@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: all build test vet bench fuzz experiments golden clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One benchmark per table/figure of the paper's evaluation.
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Short fuzz pass over the wire codecs.
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/packet/
+	$(GO) test -fuzz=FuzzDecodeMapping -fuzztime=10s ./internal/packet/
+	$(GO) test -fuzz=FuzzSplitITBRoute -fuzztime=10s ./internal/packet/
+
+# Regenerate every experiment table at full size.
+experiments:
+	$(GO) run ./cmd/itbsim -exp all -iters 100 -switches 16 -window 1500
+
+# Refresh the calibration lock after a deliberate timing change.
+golden:
+	REGEN_GOLDEN=1 $(GO) test ./internal/core/ -run TestCalibrationGolden
+
+clean:
+	$(GO) clean ./...

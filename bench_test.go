@@ -1,0 +1,394 @@
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation (and per extension experiment in DESIGN.md). Each
+// benchmark runs the corresponding experiment end to end and reports
+// the headline quantity as a custom metric, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the whole evaluation. The benchmarks use reduced
+// iteration counts and windows to stay fast; `cmd/itbsim` runs the
+// full-size versions.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/gm"
+	"repro/internal/mapper"
+	"repro/internal/mcp"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+// BenchmarkFig7_CodeOverhead regenerates Figure 7: per-packet latency
+// overhead of the ITB-modified MCP vs the original, across message
+// sizes. Paper: ~125 ns average, <300 ns max.
+func BenchmarkFig7_CodeOverhead(b *testing.B) {
+	var last core.Fig7Result
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunFig7(core.Fig7Config{
+			Sizes:      []int{1, 64, 1024, 4096},
+			Iterations: 30,
+			Warmup:     3,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.AvgOverhead.Nanoseconds(), "ns-overhead/pkt")
+	b.ReportMetric(last.MaxOverhead.Nanoseconds(), "ns-overhead-max")
+}
+
+// BenchmarkFig8_ITBOverhead regenerates Figure 8: per-ITB latency cost
+// over matched 5-crossing paths. Paper: ~1.3 us per ITB.
+func BenchmarkFig8_ITBOverhead(b *testing.B) {
+	var last core.Fig8Result
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunFig8(core.Fig8Config{
+			Sizes:      []int{1, 64, 1024, 4096},
+			Iterations: 30,
+			Warmup:     3,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.AvgOverhead.Nanoseconds(), "ns/ITB")
+	b.ReportMetric(last.Rows[0].RelativePct, "pct-rel-short")
+	b.ReportMetric(last.Rows[len(last.Rows)-1].RelativePct, "pct-rel-long")
+}
+
+// BenchmarkMCPCycleCosts regenerates the Section 5 in-text numbers:
+// the firmware's component costs (detection ~275 ns, DMA programming
+// ~200 ns in the authors' earlier estimates) and the measured
+// end-to-end values.
+func BenchmarkMCPCycleCosts(b *testing.B) {
+	var last core.CostReport
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunCostReport()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.ITBDetect.Nanoseconds(), "ns-detect")
+	b.ReportMetric(last.ProgramSendDMA.Nanoseconds(), "ns-program")
+	b.ReportMetric(last.MeasuredPerPacket.Nanoseconds(), "ns-pkt-overhead")
+	b.ReportMetric(last.MeasuredPerITB.Nanoseconds(), "ns-per-ITB")
+}
+
+// benchSweep runs a reduced throughput sweep.
+func benchSweep(b *testing.B, alg routing.Algorithm) core.SweepResult {
+	b.Helper()
+	cfg := core.DefaultSweepConfig(alg, 16, 5)
+	cfg.Loads = []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+	cfg.Window = 500 * units.Microsecond
+	cfg.Warmup = 50 * units.Microsecond
+	res, err := core.RunSweep(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkThroughputSweep_UpDown regenerates the up*/down* half of
+// the X-thr extension experiment (accepted traffic vs offered load).
+func BenchmarkThroughputSweep_UpDown(b *testing.B) {
+	var last core.SweepResult
+	for i := 0; i < b.N; i++ {
+		last = benchSweep(b, routing.UpDownRouting)
+	}
+	b.ReportMetric(last.Throughput, "accepted-peak")
+}
+
+// BenchmarkThroughputSweep_ITB regenerates the ITB half. Paper (via
+// the companion studies): throughput easily doubled on large nets.
+func BenchmarkThroughputSweep_ITB(b *testing.B) {
+	var last core.SweepResult
+	for i := 0; i < b.N; i++ {
+		last = benchSweep(b, routing.ITBRouting)
+	}
+	b.ReportMetric(last.Throughput, "accepted-peak")
+	b.ReportMetric(last.RouteStats.AvgITBs, "avg-ITBs/route")
+}
+
+// BenchmarkLatencyUnderLoad regenerates X-lat-load: average message
+// latency below saturation for both routings. The paper argues the
+// ITB detour stays negligible at load because blocked output ports
+// dominate.
+func BenchmarkLatencyUnderLoad(b *testing.B) {
+	var udLat, itbLat units.Time
+	for i := 0; i < b.N; i++ {
+		mk := func(alg routing.Algorithm) units.Time {
+			cfg := core.DefaultSweepConfig(alg, 16, 5)
+			cfg.Loads = []float64{0.3}
+			cfg.Window = 500 * units.Microsecond
+			cfg.Warmup = 50 * units.Microsecond
+			res, err := core.RunSweep(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return res.Points[0].AvgLatency
+		}
+		udLat = mk(routing.UpDownRouting)
+		itbLat = mk(routing.ITBRouting)
+	}
+	b.ReportMetric(udLat.Microseconds(), "us-UD")
+	b.ReportMetric(itbLat.Microseconds(), "us-ITB")
+}
+
+// BenchmarkBufferPool regenerates X-bufpool: drop/retransmission
+// behaviour of the proposed circular receive queue beyond saturation.
+func BenchmarkBufferPool(b *testing.B) {
+	var last core.BufPoolResult
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultBufPoolConfig()
+		cfg.PoolSizes = []int{2, 8, 32}
+		cfg.Window = 300 * units.Microsecond
+		res, err := core.RunBufPool(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(100*last.Points[0].DropRate, "pct-drop-pool2")
+	b.ReportMetric(100*last.Points[len(last.Points)-1].DropRate, "pct-drop-pool32")
+}
+
+// BenchmarkITBCount regenerates the per-path ITB scaling ablation:
+// latency grows ~linearly, ~1.3 us per in-transit hop.
+func BenchmarkITBCount(b *testing.B) {
+	var last core.ITBCountResult
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunITBCount(4, 64, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	rows := last.Rows
+	b.ReportMetric(rows[len(rows)-1].ExtraPerITB.Nanoseconds(), "ns/ITB")
+}
+
+// BenchmarkAblationEarlyRecv quantifies the cut-through benefit of the
+// Early Recv event vs store-and-forward detection.
+func BenchmarkAblationEarlyRecv(b *testing.B) {
+	var penalty units.Time
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunAblations([]int{4096}, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		penalty = res.Rows[0].Penalty
+	}
+	b.ReportMetric(penalty.Microseconds(), "us-penalty-4KB")
+}
+
+// BenchmarkAblationDispatch quantifies the paper's "avoid one
+// dispatching cycle" optimisation in the re-injection path.
+func BenchmarkAblationDispatch(b *testing.B) {
+	var penalty units.Time
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunAblations([]int{64}, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		penalty = res.Rows[1].Penalty
+	}
+	b.ReportMetric(penalty.Nanoseconds(), "ns-penalty")
+}
+
+// BenchmarkScaling regenerates the network-size study: the ITB/UD
+// throughput ratio grows with switch count toward the companion
+// papers' 2-3x.
+func BenchmarkScaling(b *testing.B) {
+	var last core.ScalingResult
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunScaling([]int{8, 16}, 5, 400*units.Microsecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.Rows[0].Ratio, "ratio-8sw")
+	b.ReportMetric(last.Rows[len(last.Rows)-1].Ratio, "ratio-16sw")
+}
+
+// BenchmarkPatternStudy regenerates the traffic-pattern sensitivity
+// comparison.
+func BenchmarkPatternStudy(b *testing.B) {
+	var last core.PatternResult
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunPatternStudy(8, 7, 300*units.Microsecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for _, row := range last.Rows {
+		b.ReportMetric(row.Ratio, "ratio-"+row.Pattern.String())
+	}
+}
+
+// BenchmarkRootStudy regenerates the root-sensitivity comparison: the
+// ITB mechanism makes routing insensitive to the spanning-tree root.
+func BenchmarkRootStudy(b *testing.B) {
+	var last core.RootStudyResult
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunRootStudy(16, 13, 300*units.Microsecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for _, row := range last.Rows {
+		if row.Algorithm == routing.UpDownRouting {
+			name := "UD-hops-best-root"
+			if row.Label == "worst root" {
+				name = "UD-hops-worst-root"
+			}
+			b.ReportMetric(row.AvgHops, name)
+		}
+	}
+}
+
+// BenchmarkAblationChunkSize regenerates the SDMA chunk-size ablation
+// (Figure 4's send-chunk pipeline).
+func BenchmarkAblationChunkSize(b *testing.B) {
+	var last core.ChunkResult
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunChunkAblation(8192, []int{0, 256, 1024}, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.Rows[0].Latency.Microseconds(), "us-whole")
+	b.ReportMetric(last.Rows[len(last.Rows)-1].Latency.Microseconds(), "us-1KB-chunks")
+}
+
+// BenchmarkModelFidelity regenerates the channel-release-policy
+// ablation: the ITB/UD conclusion must hold under both the
+// conservative and the progressive wormhole models.
+func BenchmarkModelFidelity(b *testing.B) {
+	var last core.FidelityResult
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunModelFidelity(16, 5, 300*units.Microsecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.RatioConservative, "ratio-conservative")
+	b.ReportMetric(last.RatioProgressive, "ratio-progressive")
+}
+
+// BenchmarkSchemes regenerates the companion-paper [3] comparison:
+// {BFS, DFS} orderings x {UD, ITB} routings.
+func BenchmarkSchemes(b *testing.B) {
+	var last core.SchemesResult
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunSchemes(16, 5, 300*units.Microsecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for _, row := range last.Rows {
+		alg := "UD"
+		if row.Algorithm == routing.ITBRouting {
+			alg = "ITB"
+		}
+		b.ReportMetric(row.Throughput, "thr-"+row.Orientation+"-"+alg)
+	}
+}
+
+// BenchmarkAppStudy regenerates the distributed-application study
+// (the paper's future-work experiment): bulk-synchronous stride
+// exchange completion time under both routings.
+func BenchmarkAppStudy(b *testing.B) {
+	var last core.AppStudyResult
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunAppStudy(core.AppStudyConfig{
+			Switches: 16, Seed: 9, Supersteps: 8, MsgBytes: 4096,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.Speedup, "app-speedup")
+	b.ReportMetric(last.Rows[0].PerStep.Microseconds(), "us-step-UD")
+	b.ReportMetric(last.Rows[1].PerStep.Microseconds(), "us-step-ITB")
+}
+
+// BenchmarkMapperDiscovery measures the mapping protocol: probes and
+// wall time to discover a 16-switch irregular network.
+func BenchmarkMapperDiscovery(b *testing.B) {
+	topo, err := topology.Generate(topology.DefaultGenConfig(16, 3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var probes int
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		net := fabric.New(eng, topo, fabric.DefaultParams())
+		var mine *mcp.MCP
+		for _, h := range topo.Hosts() {
+			m := mcp.New(net, h, mcp.DefaultConfig(mcp.ITB))
+			if mine == nil {
+				mine = m
+			}
+		}
+		res, err := mapper.New(mine, mapper.DefaultConfig()).Discover()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Matches(topo); err != nil {
+			b.Fatal(err)
+		}
+		probes = res.Probes
+	}
+	b.ReportMetric(float64(probes), "probes")
+}
+
+// BenchmarkAllsizePingPong measures the simulator's own speed driving
+// the gm_allsize workload (simulated ping-pongs per second of real
+// time).
+func BenchmarkAllsizePingPong(b *testing.B) {
+	topo, nodes := topology.Testbed()
+	cl, err := core.NewCluster(core.DefaultConfig(topo, routing.UpDownRouting, mcp.ITB))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	_, err = gm.Allsize(cl.Eng, cl.Host(nodes.Host1), cl.Host(nodes.Host2), gm.AllsizeConfig{
+		Sizes:      []int{64},
+		Iterations: b.N,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkRouteTableBuild measures mapper speed: full all-pairs ITB
+// route computation on a 32-switch irregular network.
+func BenchmarkRouteTableBuild(b *testing.B) {
+	topo, err := topology.Generate(topology.DefaultGenConfig(32, 7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ud := topology.BuildUpDown(topo)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := routing.BuildTable(topo, ud, routing.ITBRouting); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Command gmallsize replicates Myricom's gm_allsize latency test on
+// the simulated testbed: half-round-trip latency between hosts 1 and 2
+// for a sweep of message sizes, under either MCP firmware build.
+//
+// Usage:
+//
+//	gmallsize                 # ITB firmware, default sizes
+//	gmallsize -mcp original   # stock GM-1.2pre16 firmware
+//	gmallsize -max 65536 -iters 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/gm"
+	"repro/internal/mcp"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+func main() {
+	variant := flag.String("mcp", "itb", "firmware build: original or itb")
+	iters := flag.Int("iters", 100, "iterations per size")
+	maxSize := flag.Int("max", 4096, "largest message size (sweeps powers of two from 1)")
+	flag.Parse()
+
+	var v mcp.Variant
+	switch *variant {
+	case "original":
+		v = mcp.Original
+	case "itb":
+		v = mcp.ITB
+	default:
+		fmt.Fprintf(os.Stderr, "gmallsize: unknown -mcp %q (want original or itb)\n", *variant)
+		os.Exit(2)
+	}
+
+	var sizes []int
+	for s := 1; s <= *maxSize; s *= 2 {
+		sizes = append(sizes, s)
+	}
+
+	topo, nodes := topology.Testbed()
+	cl, err := core.NewCluster(core.DefaultConfig(topo, routing.UpDownRouting, v))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gmallsize:", err)
+		os.Exit(1)
+	}
+	res, err := gm.Allsize(cl.Eng, cl.Host(nodes.Host1), cl.Host(nodes.Host2), gm.AllsizeConfig{
+		Sizes:      sizes,
+		Iterations: *iters,
+		Warmup:     3,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gmallsize:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("gm_allsize on simulated testbed (%s, %d iterations/size)\n", v, *iters)
+	fmt.Printf("%10s %16s %16s %16s\n", "size(B)", "half-rtt", "min", "max")
+	for _, row := range res {
+		fmt.Printf("%10d %16s %16s %16s\n", row.Size, row.HalfRoundTrip, row.Min, row.Max)
+	}
+}

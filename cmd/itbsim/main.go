@@ -1,0 +1,257 @@
+// Command itbsim runs the paper's experiments and prints their tables.
+//
+// Usage:
+//
+//	itbsim -exp fig7                 # Figure 7: MCP code overhead
+//	itbsim -exp fig8                 # Figure 8: per-ITB latency cost
+//	itbsim -exp costs                # Section 5 cost breakdown
+//	itbsim -exp throughput -switches 16
+//	itbsim -exp latload    -switches 16
+//	itbsim -exp bufpool
+//	itbsim -exp itbcount
+//	itbsim -exp ablation
+//	itbsim -exp scaling              # ITB/UD ratio vs network size
+//	itbsim -exp patterns             # by traffic pattern
+//	itbsim -exp chunks               # SDMA chunk-size ablation
+//	itbsim -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/routing"
+	"repro/internal/units"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig7, fig8, costs, throughput, latload, bufpool, itbcount, ablation, scaling, patterns, roots, schemes, chunks, app, fidelity, all")
+	switches := flag.Int("switches", 16, "switches in the irregular network (throughput/latload)")
+	seed := flag.Int64("seed", 5, "random seed for topology and traffic")
+	iters := flag.Int("iters", 100, "gm_allsize iterations per message size")
+	windowUs := flag.Int("window", 1000, "measurement window in microseconds (throughput/latload)")
+	csvOut := flag.Bool("csv", false, "emit CSV data series instead of tables (fig7, fig8, itbcount)")
+	flag.Parse()
+
+	run := func(name string, f func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "itbsim: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("fig7", func() error {
+		cfg := core.DefaultFig7Config()
+		cfg.Iterations = *iters
+		res, err := core.RunFig7(cfg)
+		if err != nil {
+			return err
+		}
+		if *csvOut {
+			return res.WriteCSV(os.Stdout)
+		}
+		res.WriteTable(os.Stdout)
+		return nil
+	})
+
+	run("fig8", func() error {
+		cfg := core.DefaultFig8Config()
+		cfg.Iterations = *iters
+		res, err := core.RunFig8(cfg)
+		if err != nil {
+			return err
+		}
+		if *csvOut {
+			return res.WriteCSV(os.Stdout)
+		}
+		res.WriteTable(os.Stdout)
+		return nil
+	})
+
+	run("costs", func() error {
+		res, err := core.RunCostReport()
+		if err != nil {
+			return err
+		}
+		res.WriteTable(os.Stdout)
+		return nil
+	})
+
+	sweep := func(alg routing.Algorithm) (core.SweepResult, error) {
+		cfg := core.DefaultSweepConfig(alg, *switches, *seed)
+		cfg.Window = units.Time(*windowUs) * units.Microsecond
+		return core.RunSweep(cfg)
+	}
+
+	run("throughput", func() error {
+		ud, err := sweep(routing.UpDownRouting)
+		if err != nil {
+			return err
+		}
+		ud.WriteTable(os.Stdout)
+		fmt.Println()
+		itb, err := sweep(routing.ITBRouting)
+		if err != nil {
+			return err
+		}
+		itb.WriteTable(os.Stdout)
+		if ud.Throughput > 0 {
+			fmt.Printf("\nITB/UD throughput ratio: %.2fx (paper: easily doubled, sometimes tripled on large nets)\n",
+				itb.Throughput/ud.Throughput)
+		}
+		return nil
+	})
+
+	run("latload", func() error {
+		fmt.Println("Average latency vs offered load (uniform traffic)")
+		fmt.Printf("%10s %16s %16s\n", "offered", "UD latency", "ITB latency")
+		ud, err := sweep(routing.UpDownRouting)
+		if err != nil {
+			return err
+		}
+		itb, err := sweep(routing.ITBRouting)
+		if err != nil {
+			return err
+		}
+		for i := range ud.Points {
+			fmt.Printf("%10.3f %16s %16s\n",
+				ud.Points[i].Offered, ud.Points[i].AvgLatency, itb.Points[i].AvgLatency)
+		}
+		// Latency distributions at a moderate load (microseconds).
+		for _, pair := range []struct {
+			name string
+			res  core.SweepResult
+		}{{"UD", ud}, {"ITB", itb}} {
+			for _, p := range pair.res.Points {
+				if p.Offered != 0.3 || p.Latencies == nil || p.Latencies.N() == 0 {
+					continue
+				}
+				us := p.Latencies.Scaled(1.0 / float64(units.Microsecond))
+				fmt.Printf("\n%s latency distribution at offered load 0.3 (us):\n", pair.name)
+				if err := us.WriteHistogram(os.Stdout, 10, 40); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+
+	run("bufpool", func() error {
+		res, err := core.RunBufPool(core.DefaultBufPoolConfig())
+		if err != nil {
+			return err
+		}
+		res.WriteTable(os.Stdout)
+		return nil
+	})
+
+	run("itbcount", func() error {
+		res, err := core.RunITBCount(4, 64, 30)
+		if err != nil {
+			return err
+		}
+		if *csvOut {
+			return res.WriteCSV(os.Stdout)
+		}
+		res.WriteTable(os.Stdout)
+		return nil
+	})
+
+	run("ablation", func() error {
+		res, err := core.RunAblations([]int{64, 1024, 4096}, 20)
+		if err != nil {
+			return err
+		}
+		res.WriteTable(os.Stdout)
+		return nil
+	})
+
+	run("scaling", func() error {
+		res, err := core.RunScaling([]int{8, 16, 32}, *seed,
+			units.Time(*windowUs)*units.Microsecond)
+		if err != nil {
+			return err
+		}
+		res.WriteTable(os.Stdout)
+		return nil
+	})
+
+	run("patterns", func() error {
+		res, err := core.RunPatternStudy(*switches, *seed,
+			units.Time(*windowUs)*units.Microsecond)
+		if err != nil {
+			return err
+		}
+		res.WriteTable(os.Stdout)
+		return nil
+	})
+
+	run("trace", func() error {
+		// One ITB-routed message through the testbed, with the full
+		// packet lifecycle dumped: the paper's Figure 4/5 control flow
+		// made visible.
+		res, err := core.RunTraceDemo()
+		if err != nil {
+			return err
+		}
+		fmt.Println("Packet lifecycle of one in-transit message (host1 -> ITB host -> host2):")
+		return res.WriteText(os.Stdout)
+	})
+
+	run("fidelity", func() error {
+		res, err := core.RunModelFidelity(*switches, *seed,
+			units.Time(*windowUs)*units.Microsecond)
+		if err != nil {
+			return err
+		}
+		res.WriteTable(os.Stdout)
+		return nil
+	})
+
+	run("schemes", func() error {
+		res, err := core.RunSchemes(*switches, *seed,
+			units.Time(*windowUs)*units.Microsecond)
+		if err != nil {
+			return err
+		}
+		res.WriteTable(os.Stdout)
+		return nil
+	})
+
+	run("app", func() error {
+		cfg := core.DefaultAppStudyConfig()
+		cfg.Switches = *switches
+		cfg.Seed = *seed
+		res, err := core.RunAppStudy(cfg)
+		if err != nil {
+			return err
+		}
+		res.WriteTable(os.Stdout)
+		return nil
+	})
+
+	run("roots", func() error {
+		res, err := core.RunRootStudy(*switches, *seed,
+			units.Time(*windowUs)*units.Microsecond)
+		if err != nil {
+			return err
+		}
+		res.WriteTable(os.Stdout)
+		return nil
+	})
+
+	run("chunks", func() error {
+		res, err := core.RunChunkAblation(8192, []int{0, 32, 64, 256, 1024, 4096}, 20)
+		if err != nil {
+			return err
+		}
+		res.WriteTable(os.Stdout)
+		return nil
+	})
+}

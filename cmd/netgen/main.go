@@ -1,0 +1,92 @@
+// Command netgen generates random irregular Myrinet topologies like
+// the ones the evaluation papers sweep, and prints a summary (and
+// optionally Graphviz DOT output).
+//
+// Usage:
+//
+//	netgen -switches 16 -seed 3
+//	netgen -switches 32 -hosts 4 -extra 40 -dot net.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/topology"
+)
+
+func main() {
+	switches := flag.Int("switches", 8, "number of switches")
+	ports := flag.Int("ports", 8, "ports per switch")
+	hosts := flag.Int("hosts", 4, "hosts per switch")
+	extra := flag.Int("extra", -1, "extra switch-switch links beyond the spanning tree (-1: one per switch)")
+	seed := flag.Int64("seed", 1, "random seed")
+	dotFile := flag.String("dot", "", "write Graphviz DOT to this file")
+	outFile := flag.String("o", "", "write the topology (text format) to this file for mapper/itbsim")
+	flag.Parse()
+
+	cfg := topology.GenConfig{
+		Switches:       *switches,
+		PortsPerSwitch: *ports,
+		HostsPerSwitch: *hosts,
+		ExtraLinks:     *extra,
+		Seed:           *seed,
+	}
+	if cfg.ExtraLinks < 0 {
+		cfg.ExtraLinks = *switches
+	}
+	topo, err := topology.Generate(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netgen:", err)
+		os.Exit(1)
+	}
+	ud := topology.BuildUpDown(topo)
+	levels := map[int]int{}
+	for _, sw := range topo.Switches() {
+		levels[ud.Level[sw]]++
+	}
+	fmt.Printf("generated: %d switches, %d hosts, %d links (seed %d)\n",
+		len(topo.Switches()), len(topo.Hosts()), len(topo.Links()), *seed)
+	fmt.Printf("spanning tree root: switch %d; levels:", ud.Root)
+	for l := 0; ; l++ {
+		n, ok := levels[l]
+		if !ok {
+			break
+		}
+		fmt.Printf(" L%d=%d", l, n)
+	}
+	fmt.Println()
+	if *dotFile != "" {
+		f, err := os.Create(*dotFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "netgen:", err)
+			os.Exit(1)
+		}
+		if err := topology.WriteDOT(f, topo, ud); err != nil {
+			fmt.Fprintln(os.Stderr, "netgen:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "netgen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *dotFile)
+	}
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "netgen:", err)
+			os.Exit(1)
+		}
+		if err := topology.Write(f, topo); err != nil {
+			fmt.Fprintln(os.Stderr, "netgen:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "netgen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *outFile)
+	}
+}

@@ -1,0 +1,12 @@
+// Package repro reproduces "A First Implementation of In-Transit
+// Buffers on Myrinet GM Software" (Coll, Flich, Malumbres, López,
+// Duato, Mora — IPPS 2001) as a cycle-approximate simulation of the
+// full stack: wormhole Myrinet fabric, LANai NIC hardware, the MCP
+// firmware in original and ITB-modified builds, the mapper's route
+// computation, and the GM host layer.
+//
+// The public entry points live in internal/core (cluster assembly and
+// every experiment of the evaluation); the runnable tools are under
+// cmd/ and the worked examples under examples/. See DESIGN.md for the
+// system inventory and EXPERIMENTS.md for paper-vs-measured results.
+package repro

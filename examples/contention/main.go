@@ -1,0 +1,45 @@
+// Contention relief: wormhole switching without virtual channels means
+// one blocked packet stalls every channel it holds, cascading backward
+// through the network. Ejecting packets into in-transit buffers frees
+// those channels.
+//
+// The example builds the Figure 1 network, drives a hotspot workload
+// that congests the spanning-tree root under up*/down* routing, and
+// compares delivered traffic and latency against ITB routing.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/routing"
+	"repro/internal/traffic"
+	"repro/internal/units"
+)
+
+func main() {
+	fmt.Println("Hotspot workload on a 16-switch irregular network, offered load 0.6")
+	fmt.Println()
+	for _, alg := range []routing.Algorithm{routing.UpDownRouting, routing.ITBRouting} {
+		cfg := core.DefaultSweepConfig(alg, 16, 11)
+		cfg.Pattern = traffic.HotSpot
+		cfg.HotFraction = 0.3
+		cfg.Loads = []float64{0.6}
+		cfg.Window = 500 * units.Microsecond
+		cfg.Warmup = 50 * units.Microsecond
+		res, err := core.RunSweep(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p := res.Points[0]
+		fmt.Printf("%-12s accepted %.3f of offered %.3f, avg latency %s, p99 %s\n",
+			alg, p.Accepted, p.Offered, p.AvgLatency, p.P99Latency)
+		fmt.Printf("%-12s routes: avg %.2f hops, %.0f%% cross the root, channel-load CV %.2f\n",
+			"", res.RouteStats.AvgLinkHops, 100*res.RouteStats.RootFraction, res.RouteStats.LinkLoadCV)
+	}
+	fmt.Println()
+	fmt.Println("ITB routing avoids the root bottleneck (lower root fraction, lower")
+	fmt.Println("channel-load CV) and ejection/re-injection releases held channels,")
+	fmt.Println("so it sustains more traffic at lower latency.")
+}

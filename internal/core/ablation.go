@@ -1,0 +1,308 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/gm"
+	"repro/internal/mcp"
+	"repro/internal/packet"
+	"repro/internal/routing"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// ITBCountRow is one point of the ITB-count scaling experiment.
+type ITBCountRow struct {
+	ITBs    int
+	Latency units.Time // one-way delivery latency
+	// ExtraPerITB is (Latency - base) / ITBs.
+	ExtraPerITB units.Time
+}
+
+// ITBCountResult shows latency growing linearly with the number of
+// in-transit buffers on a path — the paper's "more than a single ITB
+// can be needed in a path" cost model.
+type ITBCountResult struct {
+	Size int
+	Rows []ITBCountRow
+}
+
+// RunITBCount measures one-way latency over a chain of switches with
+// 0..maxITBs gratuitous ejections at intermediate hosts.
+func RunITBCount(maxITBs int, size int, iterations int) (ITBCountResult, error) {
+	if maxITBs < 1 || iterations < 1 {
+		return ITBCountResult{}, fmt.Errorf("core: need positive maxITBs and iterations")
+	}
+	chainLen := maxITBs + 2
+	res := ITBCountResult{Size: size}
+	var base units.Time
+	for n := 0; n <= maxITBs; n++ {
+		lat, err := chainLatency(chainLen, n, size, iterations)
+		if err != nil {
+			return res, err
+		}
+		row := ITBCountRow{ITBs: n, Latency: lat}
+		if n == 0 {
+			base = lat
+		} else {
+			row.ExtraPerITB = (lat - base) / units.Time(n)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// chainLatency builds a linear chain, hand-builds a route from the
+// first to the last host with n ITB splits spread over the
+// intermediate switches, and measures the mean one-way latency.
+func chainLatency(switches, nITBs, size, iterations int) (units.Time, error) {
+	topo := topology.Linear(switches, 1)
+	cl, err := NewCluster(DefaultConfig(topo, routing.UpDownRouting, mcp.ITB))
+	if err != nil {
+		return 0, err
+	}
+	hosts := topo.Hosts()
+	src, dst := hosts[0], hosts[len(hosts)-1]
+	route, err := chainRoute(topo, nITBs)
+	if err != nil {
+		return 0, err
+	}
+	var sum units.Time
+	done := 0
+	var start units.Time
+	var kick func()
+	cl.Host(dst).OnMessage = func(_ topology.NodeID, _ []byte, t units.Time) {
+		sum += t - start
+		done++
+		if done < iterations {
+			kick()
+		}
+	}
+	kick = func() {
+		start = cl.Eng.Now()
+		cl.Host(src).SendVia(dst, make([]byte, size), route, packet.TypeITB)
+	}
+	kick()
+	cl.Eng.Run()
+	if done != iterations {
+		return 0, fmt.Errorf("core: chain run finished %d of %d iterations", done, iterations)
+	}
+	return sum / units.Time(iterations), nil
+}
+
+// chainRoute builds the wire route along the chain, splitting it into
+// nITBs+1 segments at evenly spaced intermediate switches.
+func chainRoute(topo *topology.Topology, nITBs int) ([]byte, error) {
+	sws := topo.Switches()
+	hosts := topo.Hosts()
+	dst := hosts[len(hosts)-1]
+	// Ejection switches: evenly spaced interior switches.
+	interior := len(sws) - 2
+	if nITBs > interior {
+		return nil, fmt.Errorf("core: %d ITBs do not fit in %d interior switches", nITBs, interior)
+	}
+	ejectAt := map[topology.NodeID]bool{}
+	for k := 1; k <= nITBs; k++ {
+		ejectAt[sws[k*(interior+1)/(nITBs+1)]] = true
+	}
+	var segments [][]byte
+	var cur []byte
+	for i := 0; i+1 < len(sws); i++ {
+		// Output port from sws[i] toward sws[i+1].
+		port := -1
+		for _, nb := range topo.Neighbors(sws[i]) {
+			if nb.Node == sws[i+1] {
+				port = nb.Port
+				break
+			}
+		}
+		if port < 0 {
+			return nil, fmt.Errorf("core: chain broken at switch %d", sws[i])
+		}
+		cur = append(cur, byte(port))
+		next := sws[i+1]
+		if ejectAt[next] {
+			// Deliver into the host of this switch, then resume.
+			h := topo.HostsAt(next)[0]
+			cur = append(cur, byte(topo.LinkAt(h, 0).PortAt(next)))
+			segments = append(segments, cur)
+			cur = nil
+		}
+	}
+	cur = append(cur, byte(topo.LinkAt(dst, 0).PortAt(sws[len(sws)-1])))
+	segments = append(segments, cur)
+	return packet.BuildITBRoute(segments)
+}
+
+// WriteTable renders the scaling.
+func (r ITBCountResult) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "Latency vs in-transit buffer count (%d-byte messages, one way)\n", r.Size)
+	fmt.Fprintf(w, "%6s %14s %14s\n", "ITBs", "latency", "per-ITB")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%6d %14s %14s\n", row.ITBs, row.Latency, row.ExtraPerITB)
+	}
+}
+
+// AblationRow compares one firmware design choice.
+type AblationRow struct {
+	Name    string
+	Size    int
+	Fast    units.Time // the paper's design
+	Slow    units.Time // the ablated variant
+	Penalty units.Time
+}
+
+// AblationResult collects the design-choice ablations DESIGN.md calls
+// out: Early Recv cut-through vs store-and-forward detection, and the
+// Recv-side immediate DMA programming vs a dispatch-cycle delay.
+type AblationResult struct {
+	Rows []AblationRow
+}
+
+// RunAblations measures both ablations at the given sizes.
+func RunAblations(sizes []int, iterations int) (AblationResult, error) {
+	var res AblationResult
+	for _, size := range sizes {
+		fast, err := fig8ITBLatency(size, iterations, nil)
+		if err != nil {
+			return res, err
+		}
+		sf, err := fig8ITBLatency(size, iterations, func(c *mcp.Config) { c.DisableEarlyRecv = true })
+		if err != nil {
+			return res, err
+		}
+		res.Rows = append(res.Rows, AblationRow{
+			Name: "early-recv vs store-and-forward", Size: size,
+			Fast: fast, Slow: sf, Penalty: sf - fast,
+		})
+		dd, err := fig8ITBLatency(size, iterations, func(c *mcp.Config) { c.ReinjectViaDispatch = true })
+		if err != nil {
+			return res, err
+		}
+		res.Rows = append(res.Rows, AblationRow{
+			Name: "recv-side DMA vs dispatch cycle", Size: size,
+			Fast: fast, Slow: dd, Penalty: dd - fast,
+		})
+	}
+	return res, nil
+}
+
+// RunTraceDemo runs one in-transit message through the testbed with a
+// recorder attached and returns the trace — the Figure 4/5 control
+// flow made observable.
+func RunTraceDemo() (*trace.Recorder, error) {
+	topo, nodes, routes := fig8Testbed()
+	rec := trace.NewRecorder(0)
+	cfg := DefaultConfig(topo, routing.UpDownRouting, mcp.ITB)
+	cfg.Trace = rec
+	cl, err := NewCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cl.Host(nodes.Host1).SendVia(nodes.Host2, make([]byte, 256), routes.itbForward, packet.TypeITB)
+	cl.Eng.Run()
+	return rec, nil
+}
+
+// fig8ITBLatency measures the ITB-path half round trip at one size
+// under an optionally ablated firmware.
+func fig8ITBLatency(size, iterations int, tweak func(*mcp.Config)) (units.Time, error) {
+	topo, nodes, routes := fig8Testbed()
+	cfg := DefaultConfig(topo, routing.UpDownRouting, mcp.ITB)
+	if tweak != nil {
+		tweak(&cfg.MCP)
+	}
+	cl, err := NewCluster(cfg)
+	if err != nil {
+		return 0, err
+	}
+	res, err := gm.Allsize(cl.Eng, cl.Host(nodes.Host1), cl.Host(nodes.Host2), gm.AllsizeConfig{
+		Sizes:      []int{size},
+		Iterations: iterations,
+		Warmup:     2,
+		Forward:    &gm.PingRoute{Route: routes.itbForward, Type: packet.TypeITB},
+		Back:       &gm.PingRoute{Route: routes.back, Type: packet.TypeGM},
+	})
+	if err != nil {
+		return 0, err
+	}
+	return res[0].HalfRoundTrip, nil
+}
+
+// FidelityRow is one cell of the model-fidelity ablation.
+type FidelityRow struct {
+	Policy     string
+	Algorithm  routing.Algorithm
+	Throughput float64
+}
+
+// FidelityResult quantifies the fabric's channel-release modelling
+// choice: the default conservatively holds every channel until
+// delivery completes; progressive release frees each channel as the
+// tail passes it (closer to real wormhole behaviour, slightly more
+// optimistic under load). The headline comparisons must not depend on
+// this choice.
+type FidelityResult struct {
+	Switches int
+	Rows     []FidelityRow
+	// RatioConservative and RatioProgressive are the ITB/UD
+	// throughput ratios under each policy.
+	RatioConservative, RatioProgressive float64
+}
+
+// RunModelFidelity runs the UD-vs-ITB throughput comparison under
+// both release policies.
+func RunModelFidelity(switches int, seed int64, window units.Time) (FidelityResult, error) {
+	res := FidelityResult{Switches: switches}
+	thr := map[[2]bool]float64{}
+	for _, progressive := range []bool{false, true} {
+		for _, alg := range []routing.Algorithm{routing.UpDownRouting, routing.ITBRouting} {
+			cfg := DefaultSweepConfig(alg, switches, seed)
+			cfg.Loads = []float64{0.2, 0.5, 0.8}
+			cfg.Window = window
+			cfg.ProgressiveRelease = progressive
+			sr, err := RunSweep(cfg)
+			if err != nil {
+				return res, err
+			}
+			policy := "conservative"
+			if progressive {
+				policy = "progressive"
+			}
+			res.Rows = append(res.Rows, FidelityRow{
+				Policy: policy, Algorithm: alg, Throughput: sr.Throughput,
+			})
+			thr[[2]bool{progressive, alg == routing.ITBRouting}] = sr.Throughput
+		}
+	}
+	if ud := thr[[2]bool{false, false}]; ud > 0 {
+		res.RatioConservative = thr[[2]bool{false, true}] / ud
+	}
+	if ud := thr[[2]bool{true, false}]; ud > 0 {
+		res.RatioProgressive = thr[[2]bool{true, true}] / ud
+	}
+	return res, nil
+}
+
+// WriteTable renders the fidelity ablation.
+func (r FidelityResult) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "Model-fidelity ablation: channel release policy (%d switches)\n", r.Switches)
+	fmt.Fprintf(w, "%-14s %-18s %12s\n", "release", "routing", "throughput")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-14s %-18s %12.3f\n", row.Policy, row.Algorithm.String(), row.Throughput)
+	}
+	fmt.Fprintf(w, "ITB/UD ratio: %.2fx conservative, %.2fx progressive\n",
+		r.RatioConservative, r.RatioProgressive)
+}
+
+// WriteTable renders the ablations.
+func (r AblationResult) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "Firmware design-choice ablations (ITB path half round trip)\n")
+	fmt.Fprintf(w, "%-34s %8s %14s %14s %12s\n", "ablation", "size(B)", "paper design", "ablated", "penalty")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-34s %8d %14s %14s %12s\n",
+			row.Name, row.Size, row.Fast, row.Slow, row.Penalty)
+	}
+}

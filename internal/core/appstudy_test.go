@@ -1,0 +1,62 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAppStudyCompletes(t *testing.T) {
+	cfg := AppStudyConfig{Switches: 8, Seed: 5, Supersteps: 6, MsgBytes: 2048}
+	res, err := RunAppStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Completion <= 0 {
+			t.Errorf("%v: completion %v", row.Algorithm, row.Completion)
+		}
+		if row.PerStep <= 0 || row.PerStep > row.Completion {
+			t.Errorf("%v: per-step %v inconsistent", row.Algorithm, row.PerStep)
+		}
+	}
+	// The synchronous bursts create contention every superstep, where
+	// ITB's minimal balanced routes pay off.
+	if res.Speedup < 1.0 {
+		t.Errorf("ITB slowed the application: speedup %.3f", res.Speedup)
+	}
+	var sb strings.Builder
+	res.WriteTable(&sb)
+	if !strings.Contains(sb.String(), "speedup") {
+		t.Error("table missing speedup")
+	}
+}
+
+func TestAppStudyErrors(t *testing.T) {
+	if _, err := RunAppStudy(AppStudyConfig{Switches: 4, Supersteps: 0, MsgBytes: 1}); err == nil {
+		t.Error("zero supersteps accepted")
+	}
+	if _, err := RunAppStudy(AppStudyConfig{Switches: 4, Supersteps: 1, MsgBytes: 0}); err == nil {
+		t.Error("zero message size accepted")
+	}
+}
+
+func TestAppStudyDeterministic(t *testing.T) {
+	cfg := AppStudyConfig{Switches: 4, Seed: 3, Supersteps: 3, MsgBytes: 512}
+	a, err := RunAppStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunAppStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Rows {
+		if a.Rows[i].Completion != b.Rows[i].Completion {
+			t.Errorf("non-deterministic completion: %v vs %v",
+				a.Rows[i].Completion, b.Rows[i].Completion)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+// Package core is the public façade of the ITB reproduction: it
+// assembles the substrates (topology, up*/down* orientation, route
+// tables, wormhole fabric, LANai NICs, MCP firmware, GM hosts) into a
+// runnable Cluster, and packages every experiment of the paper's
+// evaluation — Figure 7, Figure 8, the cost breakdown — plus the
+// throughput/load studies from the companion papers that motivate the
+// mechanism, as library calls.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/gm"
+	"repro/internal/mcp"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// Config assembles a cluster.
+type Config struct {
+	// Topo is the network wiring. Required.
+	Topo *topology.Topology
+	// Root optionally pins the up*/down* spanning-tree root; the
+	// default elects the lowest-id switch.
+	Root *topology.NodeID
+	// DFSOrder selects the depth-first link orientation (the
+	// "optimized routing scheme" of the companion studies) instead of
+	// the stock breadth-first one.
+	DFSOrder bool
+	// Routing selects the mapper algorithm for the route tables.
+	Routing routing.Algorithm
+	// MCP is the firmware configuration used on every NIC.
+	MCP mcp.Config
+	// GM is the host-layer configuration used on every host.
+	GM gm.Params
+	// Fabric sets the network timing.
+	Fabric fabric.Params
+	// Trace, when non-nil, records packet-lifecycle events from the
+	// fabric, every MCP and every GM host.
+	Trace *trace.Recorder
+}
+
+// DefaultConfig returns a cluster configuration modelling the paper's
+// testbed software stack with the given firmware variant and routing.
+func DefaultConfig(t *topology.Topology, alg routing.Algorithm, v mcp.Variant) Config {
+	return Config{
+		Topo:    t,
+		Routing: alg,
+		MCP:     mcp.DefaultConfig(v),
+		GM:      gm.DefaultParams(),
+		Fabric:  fabric.DefaultParams(),
+	}
+}
+
+// Cluster is a fully wired simulated Myrinet cluster.
+type Cluster struct {
+	Eng   *sim.Engine
+	Topo  *topology.Topology
+	UD    *topology.UpDown
+	Net   *fabric.Network
+	Table *routing.Table
+	// Hosts maps host node ids to their GM endpoints.
+	Hosts map[topology.NodeID]*gm.Host
+}
+
+// NewCluster builds and wires a cluster.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if cfg.Topo == nil {
+		return nil, fmt.Errorf("core: config needs a topology")
+	}
+	if err := cfg.Topo.Validate(); err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+	var ud *topology.UpDown
+	switch {
+	case cfg.DFSOrder && cfg.Root != nil:
+		ud = topology.BuildUpDownDFSFrom(cfg.Topo, *cfg.Root)
+	case cfg.DFSOrder:
+		ud = topology.BuildUpDownDFS(cfg.Topo)
+	case cfg.Root != nil:
+		ud = topology.BuildUpDownFrom(cfg.Topo, *cfg.Root)
+	default:
+		ud = topology.BuildUpDown(cfg.Topo)
+	}
+	tbl, err := routing.BuildTable(cfg.Topo, ud, cfg.Routing)
+	if err != nil {
+		return nil, err
+	}
+	net := fabric.New(eng, cfg.Topo, cfg.Fabric)
+	c := &Cluster{
+		Eng:   eng,
+		Topo:  cfg.Topo,
+		UD:    ud,
+		Net:   net,
+		Table: tbl,
+		Hosts: make(map[topology.NodeID]*gm.Host),
+	}
+	net.SetTracer(cfg.Trace)
+	for _, h := range cfg.Topo.Hosts() {
+		m := mcp.New(net, h, cfg.MCP)
+		m.SetTracer(cfg.Trace)
+		host := gm.NewHost(eng, m, tbl, cfg.GM)
+		host.SetTracer(cfg.Trace)
+		c.Hosts[h] = host
+	}
+	return c, nil
+}
+
+// Host returns the GM endpoint of a host node.
+func (c *Cluster) Host(id topology.NodeID) *gm.Host {
+	h := c.Hosts[id]
+	if h == nil {
+		panic(fmt.Sprintf("core: no host %d", id))
+	}
+	return h
+}
+
+// CheckDeadlockFree verifies the cluster's route table.
+func (c *Cluster) CheckDeadlockFree() error {
+	return routing.CheckDeadlockFree(c.Table.Routes())
+}
+
+// DetectStuck reports packets wedged in the fabric after the event
+// queue drained — the runtime (protocol-level) deadlock diagnostic,
+// complementing the static route-table check above.
+func (c *Cluster) DetectStuck() []fabric.StuckFlight {
+	return c.Net.DetectStuck()
+}

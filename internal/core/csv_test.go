@@ -1,0 +1,98 @@
+package core
+
+import (
+	"encoding/csv"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/routing"
+	"repro/internal/units"
+)
+
+func parseCSV(t *testing.T, s string) [][]string {
+	t.Helper()
+	recs, err := csv.NewReader(strings.NewReader(s)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func TestFig7CSV(t *testing.T) {
+	res, err := RunFig7(Fig7Config{Sizes: []int{8, 64}, Iterations: 5, Warmup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := res.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, sb.String())
+	if len(recs) != 3 { // header + 2 rows
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[0][0] != "size_bytes" {
+		t.Errorf("header = %v", recs[0])
+	}
+	// Numeric columns parse and overhead = modified - original.
+	for _, rec := range recs[1:] {
+		orig, err1 := strconv.ParseFloat(rec[1], 64)
+		mod, err2 := strconv.ParseFloat(rec[2], 64)
+		over, err3 := strconv.ParseFloat(rec[3], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			t.Fatalf("non-numeric row %v", rec)
+		}
+		if diff := mod - orig - over; diff > 0.01 || diff < -0.01 {
+			t.Errorf("overhead inconsistent in %v", rec)
+		}
+	}
+}
+
+func TestFig8CSV(t *testing.T) {
+	res, err := RunFig8(Fig8Config{Sizes: []int{64}, Iterations: 5, Warmup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := res.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, sb.String())
+	if len(recs) != 2 || recs[0][2] != "ud_itb_ns" {
+		t.Errorf("records = %v", recs)
+	}
+}
+
+func TestSweepCSV(t *testing.T) {
+	cfg := DefaultSweepConfig(routing.UpDownRouting, 8, 5)
+	cfg.Loads = []float64{0.2}
+	cfg.Window = 200 * units.Microsecond
+	res, err := RunSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := res.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, sb.String())
+	if len(recs) != 2 || recs[0][0] != "offered" {
+		t.Errorf("records = %v", recs)
+	}
+}
+
+func TestITBCountCSV(t *testing.T) {
+	res, err := RunITBCount(2, 64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := res.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, sb.String())
+	if len(recs) != 4 { // header + 3 rows (0,1,2 ITBs)
+		t.Errorf("records = %d", len(recs))
+	}
+}

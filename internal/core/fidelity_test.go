@@ -1,0 +1,31 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestModelFidelity(t *testing.T) {
+	res, err := RunModelFidelity(16, 5, 400*units.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// The headline conclusion (ITB beats UD) must hold under both
+	// release policies.
+	if res.RatioConservative <= 1.0 {
+		t.Errorf("conservative ratio %.2f", res.RatioConservative)
+	}
+	if res.RatioProgressive <= 1.0 {
+		t.Errorf("progressive ratio %.2f", res.RatioProgressive)
+	}
+	var sb strings.Builder
+	res.WriteTable(&sb)
+	if !strings.Contains(sb.String(), "release policy") {
+		t.Error("table header")
+	}
+}

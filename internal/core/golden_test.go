@@ -1,0 +1,52 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCalibrationGolden locks the calibrated headline numbers: the
+// simulator is deterministic, so these tables must reproduce byte for
+// byte. If a deliberate calibration change (internal/mcp/costs.go,
+// internal/fabric/params.go, internal/lanai/nic.go, internal/gm/gm.go)
+// moves them, regenerate with:
+//
+//	REGEN_GOLDEN=1 go test ./internal/core/ -run TestCalibrationGolden
+//
+// and re-check the results against the paper's bands in EXPERIMENTS.md.
+func TestCalibrationGolden(t *testing.T) {
+	var sb strings.Builder
+	f7, err := RunFig7(Fig7Config{Sizes: []int{1, 64, 4096}, Iterations: 20, Warmup: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f7.WriteTable(&sb)
+	sb.WriteString("\n")
+	f8, err := RunFig8(Fig8Config{Sizes: []int{1, 64, 4096}, Iterations: 20, Warmup: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f8.WriteTable(&sb)
+	got := sb.String()
+
+	path := filepath.Join("testdata", "calibration.golden")
+	if os.Getenv("REGEN_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with REGEN_GOLDEN=1 to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("calibration drifted from golden output.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mcp"
+	"repro/internal/packet"
+	"repro/internal/routing"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// TestRouteTooLongSurfacesCleanly: Myrinet headers bound the route at
+// MaxRouteLen bytes; a topology whose diameter exceeds it must fail
+// with a clear error at send time, not panic or wedge.
+func TestRouteTooLongSurfacesCleanly(t *testing.T) {
+	topo := topology.Linear(packet.MaxRouteLen+3, 1)
+	cl, err := NewCluster(DefaultConfig(topo, routing.UpDownRouting, mcp.ITB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := topo.Hosts()
+	err = cl.Host(hosts[0]).Send(hosts[len(hosts)-1], make([]byte, 8))
+	if err == nil {
+		t.Fatal("over-long route accepted")
+	}
+	if !strings.Contains(err.Error(), "route") {
+		t.Errorf("unhelpful error: %v", err)
+	}
+	// Nearby pairs still work on the same cluster.
+	got := false
+	cl.Host(hosts[1]).OnMessage = func(topology.NodeID, []byte, units.Time) { got = true }
+	if err := cl.Host(hosts[0]).Send(hosts[1], make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	cl.Eng.Run()
+	if !got {
+		t.Error("short route failed after long-route error")
+	}
+}
+
+// TestRunTraceDemo covers the CLI trace path.
+func TestRunTraceDemo(t *testing.T) {
+	rec, err := RunTraceDemo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.OfKind(trace.ITBReinject)) != 1 {
+		t.Errorf("reinject events = %d", len(rec.OfKind(trace.ITBReinject)))
+	}
+	if rec.Total() < 10 {
+		t.Errorf("only %d events recorded", rec.Total())
+	}
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/mcp"
+	"repro/internal/packet"
+	"repro/internal/routing"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+	"repro/internal/units"
+)
+
+// ScalingRow compares the two routings at one network size.
+type ScalingRow struct {
+	Switches      int
+	UD, ITB       float64 // peak accepted traffic per host
+	Ratio         float64
+	UDHops, IHops float64 // average route length
+	AvgITBs       float64
+}
+
+// ScalingResult is the network-size study: the companion papers'
+// observation that the ITB advantage grows with network size (the
+// spanning-tree root bottleneck worsens as the tree deepens).
+type ScalingResult struct {
+	Rows []ScalingRow
+}
+
+// RunScaling sweeps network sizes.
+func RunScaling(sizes []int, seed int64, window units.Time) (ScalingResult, error) {
+	var res ScalingResult
+	for _, n := range sizes {
+		mk := func(alg routing.Algorithm) (SweepResult, error) {
+			cfg := DefaultSweepConfig(alg, n, seed)
+			cfg.Loads = []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+			cfg.Window = window
+			return RunSweep(cfg)
+		}
+		ud, err := mk(routing.UpDownRouting)
+		if err != nil {
+			return res, err
+		}
+		itb, err := mk(routing.ITBRouting)
+		if err != nil {
+			return res, err
+		}
+		row := ScalingRow{
+			Switches: n,
+			UD:       ud.Throughput,
+			ITB:      itb.Throughput,
+			UDHops:   ud.RouteStats.AvgLinkHops,
+			IHops:    itb.RouteStats.AvgLinkHops,
+			AvgITBs:  itb.RouteStats.AvgITBs,
+		}
+		if row.UD > 0 {
+			row.Ratio = row.ITB / row.UD
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// WriteTable renders the study.
+func (r ScalingResult) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "Throughput vs network size (uniform traffic, peak accepted per host)\n")
+	fmt.Fprintf(w, "%10s %10s %10s %8s %10s %10s %10s\n",
+		"switches", "UD", "ITB", "ratio", "UD-hops", "ITB-hops", "avg-ITBs")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%10d %10.3f %10.3f %7.2fx %10.2f %10.2f %10.2f\n",
+			row.Switches, row.UD, row.ITB, row.Ratio, row.UDHops, row.IHops, row.AvgITBs)
+	}
+	fmt.Fprintf(w, "paper (via companion studies): ratio grows with size, reaching ~2-3x\n")
+}
+
+// PatternRow compares the routings under one traffic pattern.
+type PatternRow struct {
+	Pattern traffic.Pattern
+	UD, ITB float64
+	Ratio   float64
+}
+
+// PatternResult is the traffic-pattern sensitivity study.
+type PatternResult struct {
+	Switches int
+	Rows     []PatternRow
+}
+
+// RunPatternStudy compares the routings under uniform, hotspot,
+// bit-reversal and permutation traffic on one network.
+func RunPatternStudy(switches int, seed int64, window units.Time) (PatternResult, error) {
+	res := PatternResult{Switches: switches}
+	patterns := []traffic.Pattern{traffic.Uniform, traffic.HotSpot, traffic.BitReversal, traffic.Permutation}
+	for _, p := range patterns {
+		mk := func(alg routing.Algorithm) (SweepResult, error) {
+			cfg := DefaultSweepConfig(alg, switches, seed)
+			cfg.Pattern = p
+			if p == traffic.HotSpot {
+				cfg.HotFraction = 0.3
+			}
+			cfg.Loads = []float64{0.2, 0.5, 0.8}
+			cfg.Window = window
+			return RunSweep(cfg)
+		}
+		ud, err := mk(routing.UpDownRouting)
+		if err != nil {
+			return res, err
+		}
+		itb, err := mk(routing.ITBRouting)
+		if err != nil {
+			return res, err
+		}
+		row := PatternRow{Pattern: p, UD: ud.Throughput, ITB: itb.Throughput}
+		if row.UD > 0 {
+			row.Ratio = row.ITB / row.UD
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// WriteTable renders the study.
+func (r PatternResult) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "Throughput by traffic pattern (%d switches, peak accepted per host)\n", r.Switches)
+	fmt.Fprintf(w, "%-14s %10s %10s %8s\n", "pattern", "UD", "ITB", "ratio")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-14s %10.3f %10.3f %7.2fx\n", row.Pattern, row.UD, row.ITB, row.Ratio)
+	}
+}
+
+// ChunkRow is one chunk size of the SDMA pipeline ablation.
+type ChunkRow struct {
+	ChunkBytes int // 0 = whole-packet staging
+	Latency    units.Time
+}
+
+// ChunkResult shows the chunk-size tradeoff: large chunks forfeit
+// SDMA/wire overlap, tiny chunks pay descriptor-chaining overhead.
+type ChunkResult struct {
+	Size int
+	Rows []ChunkRow
+}
+
+// RunChunkAblation measures one-way large-message latency on the
+// testbed across SDMA chunk sizes.
+func RunChunkAblation(size int, chunks []int, iterations int) (ChunkResult, error) {
+	res := ChunkResult{Size: size}
+	for _, cb := range chunks {
+		topo, nodes := topology.Testbed()
+		cfg := DefaultConfig(topo, routing.UpDownRouting, mcp.ITB)
+		cfg.MCP.SendChunkBytes = cb
+		cl, err := NewCluster(cfg)
+		if err != nil {
+			return res, err
+		}
+		var sum units.Time
+		done := 0
+		var start units.Time
+		var kick func()
+		cl.Host(nodes.Host2).OnMessage = func(_ topology.NodeID, _ []byte, t units.Time) {
+			sum += t - start
+			done++
+			if done < iterations {
+				kick()
+			}
+		}
+		route, ok := cl.Table.Lookup(nodes.Host1, nodes.Host2)
+		if !ok {
+			return res, fmt.Errorf("core: no testbed route")
+		}
+		hdr, err := route.EncodeHeader()
+		if err != nil {
+			return res, err
+		}
+		kick = func() {
+			start = cl.Eng.Now()
+			cl.Host(nodes.Host1).SendVia(nodes.Host2, make([]byte, size), hdr, packet.TypeGM)
+		}
+		kick()
+		cl.Eng.Run()
+		if done != iterations {
+			return res, fmt.Errorf("core: chunk run finished %d of %d", done, iterations)
+		}
+		res.Rows = append(res.Rows, ChunkRow{ChunkBytes: cb, Latency: sum / units.Time(iterations)})
+	}
+	return res, nil
+}
+
+// WriteTable renders the ablation.
+func (r ChunkResult) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "SDMA chunk-size ablation (%d-byte messages, one way)\n", r.Size)
+	fmt.Fprintf(w, "%12s %14s\n", "chunk(B)", "latency")
+	for _, row := range r.Rows {
+		label := fmt.Sprintf("%d", row.ChunkBytes)
+		if row.ChunkBytes == 0 {
+			label = "whole"
+		}
+		fmt.Fprintf(w, "%12s %14s\n", label, row.Latency)
+	}
+}

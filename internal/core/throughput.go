@@ -1,0 +1,260 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/mcp"
+	"repro/internal/routing"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+	"repro/internal/units"
+)
+
+// SweepConfig drives an offered-load sweep on an irregular network,
+// reproducing the methodology of the companion evaluation papers whose
+// results this paper's introduction summarises ("network throughput
+// can be easily doubled and, in some cases, tripled").
+type SweepConfig struct {
+	// Switches sizes the random irregular topology.
+	Switches int
+	// Seed makes topology and traffic reproducible.
+	Seed int64
+	// Pattern is the destination distribution.
+	Pattern traffic.Pattern
+	// HotFraction applies to the HotSpot pattern.
+	HotFraction float64
+	// MessageSize is the payload per message in bytes.
+	MessageSize int
+	// Loads are the offered loads to sweep, as fractions of per-host
+	// link bandwidth.
+	Loads []float64
+	// Window is the measurement interval; injection runs for
+	// Warmup+Window of simulated time and only deliveries of messages
+	// sent inside the window count.
+	Window units.Time
+	// Warmup is discarded start-up time.
+	Warmup units.Time
+	// Algorithm selects the routing (UpDownRouting uses the original
+	// MCP; ITBRouting uses the ITB firmware).
+	Algorithm routing.Algorithm
+	// Root optionally pins the up*/down* spanning-tree root.
+	Root *topology.NodeID
+	// DFSOrder selects the depth-first link orientation.
+	DFSOrder bool
+	// ProgressiveRelease switches the fabric to tail-passing channel
+	// release (model-fidelity ablation).
+	ProgressiveRelease bool
+}
+
+// DefaultSweepConfig returns a medium irregular network sweep.
+func DefaultSweepConfig(alg routing.Algorithm, switches int, seed int64) SweepConfig {
+	loads := []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	return SweepConfig{
+		Switches:    switches,
+		Seed:        seed,
+		Pattern:     traffic.Uniform,
+		MessageSize: 512,
+		Loads:       loads,
+		Window:      2 * units.Millisecond,
+		Warmup:      200 * units.Microsecond,
+		Algorithm:   alg,
+	}
+}
+
+// LoadPoint is one sweep point.
+type LoadPoint struct {
+	// Offered and Accepted are traffic fractions of per-host link
+	// bandwidth (payload bytes, normalised).
+	Offered, Accepted float64
+	// AvgLatency and P99Latency cover messages sent and delivered in
+	// the measurement window.
+	AvgLatency units.Time
+	P99Latency units.Time
+	Sent       uint64
+	Delivered  uint64
+	// Latencies holds the raw per-message latency samples (in
+	// picoseconds, as float64) for distribution plots.
+	Latencies *stats.Summary
+}
+
+// SweepResult is the full curve.
+type SweepResult struct {
+	Algorithm routing.Algorithm
+	Switches  int
+	Points    []LoadPoint
+	// Throughput is the peak accepted traffic over the sweep — the
+	// evaluation papers' headline number.
+	Throughput float64
+	// RouteStats summarises the route table (path lengths, balance).
+	RouteStats routing.Analysis
+}
+
+// encodeStamp/decodeStamp carry the injection time inside the first
+// eight payload bytes of a measurement message.
+func encodeStamp(payload []byte, t units.Time) {
+	for i := 0; i < 8; i++ {
+		payload[i] = byte(uint64(t) >> (8 * i))
+	}
+}
+
+func decodeStamp(payload []byte) units.Time {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(payload[i]) << (8 * i)
+	}
+	return units.Time(v)
+}
+
+// RunSweep executes the sweep: one fresh cluster per load point, so
+// points are independent and reproducible.
+func RunSweep(cfg SweepConfig) (SweepResult, error) {
+	if cfg.MessageSize < 8 || cfg.Window <= 0 {
+		return SweepResult{}, fmt.Errorf("core: sweep needs a message size of at least 8 bytes and a positive window")
+	}
+	res := SweepResult{Algorithm: cfg.Algorithm, Switches: cfg.Switches}
+	for _, load := range cfg.Loads {
+		p, rs, err := runLoadPoint(cfg, load)
+		if err != nil {
+			return res, err
+		}
+		res.Points = append(res.Points, p)
+		res.RouteStats = rs
+	}
+	var pts []stats.Point
+	for _, p := range res.Points {
+		pts = append(pts, stats.Point{X: p.Offered, Y: p.Accepted})
+	}
+	res.Throughput = stats.MaxY(pts).Y
+	return res, nil
+}
+
+func runLoadPoint(cfg SweepConfig, load float64) (LoadPoint, routing.Analysis, error) {
+	topo, err := topology.Generate(topology.DefaultGenConfig(cfg.Switches, cfg.Seed))
+	if err != nil {
+		return LoadPoint{}, routing.Analysis{}, err
+	}
+	variant := mcp.Original
+	if cfg.Algorithm == routing.ITBRouting {
+		variant = mcp.ITB
+	}
+	ccfg := DefaultConfig(topo, cfg.Algorithm, variant)
+	// Raw-network measurement: no acks. Loaded networks need the
+	// paper's proposed buffer pool: with the faithful two blocking
+	// receive buffers, an in-transit packet pins a buffer until its
+	// re-injection drains, which violates the consumption assumption
+	// behind the deadlock-freedom argument and wedges the network —
+	// exactly why Section 4 proposes the circular receive queue for
+	// medium and high loads. A generous pool keeps drops to beyond-
+	// saturation cases; both algorithms get the same pool for
+	// fairness.
+	ccfg.GM.DisableAcks = true
+	ccfg.MCP.BufferPool = true
+	ccfg.MCP.RecvBuffers = 64
+	ccfg.Root = cfg.Root
+	ccfg.DFSOrder = cfg.DFSOrder
+	ccfg.Fabric.ProgressiveRelease = cfg.ProgressiveRelease
+	cl, err := NewCluster(ccfg)
+	if err != nil {
+		return LoadPoint{}, routing.Analysis{}, err
+	}
+	gen, err := traffic.NewGenerator(topo, traffic.Config{
+		Pattern:     cfg.Pattern,
+		MessageSize: cfg.MessageSize,
+		HotFraction: cfg.HotFraction,
+		Seed:        cfg.Seed + 1,
+	})
+	if err != nil {
+		return LoadPoint{}, routing.Analysis{}, err
+	}
+	mean := traffic.MeanInterarrival(load, cfg.MessageSize, cl.Net.Params().LinkBandwidth)
+	endAt := cfg.Warmup + cfg.Window
+
+	var point LoadPoint
+	var lat stats.Summary
+	var deliveredBytes uint64
+
+	for _, h := range topo.Hosts() {
+		host := cl.Host(h)
+		hid := h
+		host.OnMessage = func(_ topology.NodeID, payload []byte, t units.Time) {
+			// The send timestamp rides in the first 8 payload bytes,
+			// so drops beyond saturation cannot desynchronise the
+			// measurement.
+			sentAt := decodeStamp(payload)
+			if sentAt < cfg.Warmup || sentAt >= endAt || t > endAt {
+				return // outside the measurement window
+			}
+			point.Delivered++
+			deliveredBytes += uint64(len(payload))
+			lat.Add(float64(t - sentAt))
+		}
+		// Poisson injection process.
+		var tick func()
+		tick = func() {
+			if cl.Eng.Now() >= endAt {
+				return
+			}
+			msg := gen.NextFrom(hid)
+			if cl.Eng.Now() >= cfg.Warmup && cl.Eng.Now() < endAt {
+				point.Sent++
+			}
+			payload := make([]byte, msg.Size)
+			encodeStamp(payload, cl.Eng.Now())
+			if err := host.Send(msg.Dst, payload); err != nil {
+				panic(err)
+			}
+			cl.Eng.Schedule(gen.ExpInterarrival(mean), tick)
+		}
+		cl.Eng.Schedule(gen.ExpInterarrival(mean), tick)
+	}
+	// Run to the window end plus a drain margin for messages sent
+	// near the edge, then stop (saturated backlogs need not drain).
+	cl.Eng.RunUntil(endAt + cfg.Window/2)
+
+	hosts := float64(len(topo.Hosts()))
+	windowSec := cfg.Window.Seconds()
+	linkBps := float64(cl.Net.Params().LinkBandwidth)
+	point.Offered = load
+	point.Accepted = float64(deliveredBytes) / windowSec / hosts / linkBps
+	if lat.N() > 0 {
+		point.AvgLatency = units.Time(lat.Mean())
+		point.P99Latency = units.Time(lat.Percentile(99))
+	}
+	point.Latencies = &lat
+	return point, routing.Analyze(topo, cl.UD, cl.Table), nil
+}
+
+// WriteTable renders the sweep.
+func (r SweepResult) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "Throughput sweep: %s, %d switches (uniform traffic)\n", r.Algorithm, r.Switches)
+	fmt.Fprintf(w, "%10s %10s %14s %14s %8s %10s\n",
+		"offered", "accepted", "avg-latency", "p99-latency", "sent", "delivered")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%10.3f %10.3f %14s %14s %8d %10d\n",
+			p.Offered, p.Accepted, p.AvgLatency, p.P99Latency, p.Sent, p.Delivered)
+	}
+	fmt.Fprintf(w, "peak accepted traffic: %.3f of link bandwidth per host\n", r.Throughput)
+	fmt.Fprintf(w, "routes: avg %.2f hops, %.0f%% minimal, load CV %.2f, %.0f%% cross the root, avg %.2f ITBs\n",
+		r.RouteStats.AvgLinkHops, 100*r.RouteStats.MinimalFraction, r.RouteStats.LinkLoadCV,
+		100*r.RouteStats.RootFraction, r.RouteStats.AvgITBs)
+}
+
+// CompareSweeps runs UD and ITB sweeps on the same topology seed and
+// reports the throughput ratio — the companion papers' headline
+// ("throughput can be easily doubled").
+func CompareSweeps(switches int, seed int64) (ud, itb SweepResult, ratio float64, err error) {
+	ud, err = RunSweep(DefaultSweepConfig(routing.UpDownRouting, switches, seed))
+	if err != nil {
+		return
+	}
+	itb, err = RunSweep(DefaultSweepConfig(routing.ITBRouting, switches, seed))
+	if err != nil {
+		return
+	}
+	if ud.Throughput > 0 {
+		ratio = itb.Throughput / ud.Throughput
+	}
+	return
+}

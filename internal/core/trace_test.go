@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/mcp"
+	"repro/internal/packet"
+	"repro/internal/routing"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// TestTraceITBLifecycle verifies the full event sequence of one
+// in-transit packet through the stack: queued at the sender, injected,
+// header at the in-transit host, ITB detected, re-injected, delivered
+// at the destination, RDMA-ed to the host.
+func TestTraceITBLifecycle(t *testing.T) {
+	topo, nodes, routes := fig8Testbed()
+	rec := trace.NewRecorder(0)
+	cfg := DefaultConfig(topo, routing.UpDownRouting, mcp.ITB)
+	cfg.Trace = rec
+	cl, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Host(nodes.Host1).SendVia(nodes.Host2, make([]byte, 256), routes.itbForward, packet.TypeITB)
+	cl.Eng.Run()
+
+	// Find the data packet: the one with an itb-detect event.
+	detects := rec.OfKind(trace.ITBDetect)
+	if len(detects) != 1 {
+		t.Fatalf("itb-detect events = %d, want 1", len(detects))
+	}
+	id := detects[0].Packet
+	evs := rec.Packet(id)
+	var kinds []trace.Kind
+	for _, e := range evs {
+		kinds = append(kinds, e.Kind)
+	}
+	want := []trace.Kind{
+		trace.SendQueued,   // host1 GM -> MCP
+		trace.Inject,       // onto the wire
+		trace.HeaderOut,    // left host1's NIC
+		trace.HeaderArrive, // at the in-transit host
+		trace.ITBDetect,    // early-recv saw the marker
+		trace.ITBReinject,  // send DMA programmed
+		trace.Inject,       // second injection (cut-through)
+		trace.HeaderOut,    // left the in-transit NIC
+		trace.Delivered,    // first flight's tail drained into the ITB host
+		trace.HeaderArrive, // at host2
+		trace.Delivered,    // tail at host2
+		trace.RecvToHost,   // RDMA done
+	}
+	if len(kinds) != len(want) {
+		t.Fatalf("event kinds = %v\nwant        %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("event %d = %v, want %v (full: %v)", i, kinds[i], want[i], kinds)
+		}
+	}
+	// Locations: detect happens at the in-transit host, final receive
+	// at host2.
+	if detects[0].Node != nodes.InTransit {
+		t.Errorf("detect at node %d, want in-transit host %d", detects[0].Node, nodes.InTransit)
+	}
+	// The data packet RDMAs into host2 (the GM ack packet produces its
+	// own recv-to-host at host1, with a different id).
+	var recv []trace.Event
+	for _, e := range rec.OfKind(trace.RecvToHost) {
+		if e.Packet == id {
+			recv = append(recv, e)
+		}
+	}
+	if len(recv) != 1 || recv[0].Node != nodes.Host2 {
+		t.Errorf("recv-to-host events for pkt %d = %v", id, recv)
+	}
+	// Times are nondecreasing.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Errorf("event %d went back in time: %v", i, evs)
+		}
+	}
+}
+
+// TestTraceRetransmit verifies retransmissions surface in the trace.
+func TestTraceRetransmit(t *testing.T) {
+	topo, nodes := topology.Testbed()
+	rec := trace.NewRecorder(0)
+	cfg := DefaultConfig(topo, routing.UpDownRouting, mcp.ITB)
+	cfg.Trace = rec
+	cfg.MCP.BufferPool = true
+	cfg.MCP.RecvBuffers = 1
+	cfg.GM.AckTimeout = 200 * units.Microsecond
+	cl, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	cl.Host(nodes.Host2).OnMessage = func(topology.NodeID, []byte, units.Time) { delivered++ }
+	big := make([]byte, 8192)
+	if err := cl.Host(nodes.Host1).Send(nodes.Host2, big); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Host(nodes.InTransit).Send(nodes.Host2, big); err != nil {
+		t.Fatal(err)
+	}
+	cl.Eng.Run()
+	if delivered != 2 {
+		t.Fatalf("delivered %d, want 2", delivered)
+	}
+	if len(rec.OfKind(trace.Dropped)) == 0 {
+		t.Error("no dropped events despite 1-buffer pool")
+	}
+	if len(rec.OfKind(trace.Retransmit)) == 0 {
+		t.Error("no retransmit events despite drops")
+	}
+}

@@ -1,0 +1,119 @@
+package fabric
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+// arbNet builds a 3-switch star: two feeder switches each with one
+// sender host, converging on a sink switch with one receiver — two
+// crossbar inputs contending for one output.
+func arbNet(t *testing.T, rr bool) (*sim.Engine, *Network, []topology.NodeID, topology.NodeID, map[topology.NodeID]*testEP) {
+	t.Helper()
+	topo := topology.New()
+	sink := topo.AddSwitch(4, "sink")
+	feedA := topo.AddSwitch(4, "feedA")
+	feedB := topo.AddSwitch(4, "feedB")
+	topo.Connect(feedA, 0, sink, 0, topology.SAN)
+	topo.Connect(feedB, 0, sink, 1, topology.SAN)
+	senderA := topo.AddHost("a")
+	senderB := topo.AddHost("b")
+	recv := topo.AddHost("r")
+	topo.Connect(senderA, 0, feedA, 1, topology.LAN)
+	topo.Connect(senderB, 0, feedB, 1, topology.LAN)
+	topo.Connect(recv, 0, sink, 2, topology.LAN)
+
+	eng := sim.NewEngine()
+	par := DefaultParams()
+	par.RoundRobinArbitration = rr
+	net := New(eng, topo, par)
+	eps := map[topology.NodeID]*testEP{}
+	for _, h := range topo.Hosts() {
+		ep := &testEP{eng: eng}
+		eps[h] = ep
+		net.Attach(h, ep)
+	}
+	return eng, net, []topology.NodeID{senderA, senderB}, recv, eps
+}
+
+// route builds the wire route from a sender to the receiver.
+func arbRoute(topo *topology.Topology, sender, recv topology.NodeID) []byte {
+	feed, _ := topo.SwitchOf(sender)
+	sinkSw, _ := topo.SwitchOf(recv)
+	out := topo.LinkAt(feed, 0) // feeder port 0 -> sink
+	_ = out
+	return []byte{0, byte(topo.LinkAt(recv, 0).PortAt(sinkSw))}
+}
+
+// TestArbitrationPoliciesAgreeAtPacketGranularity documents a real
+// property of wormhole switching: upstream serialisation means each
+// crossbar input presents at most one packet at a time to an output,
+// so at packet granularity round-robin and FIFO arbitrate (nearly)
+// identically — the fairness RR provides on real crossbars lives at
+// flit granularity, below this model. Both policies must deliver the
+// same packet count and keep B's single packet from starving behind
+// A's burst.
+func TestArbitrationPoliciesAgreeAtPacketGranularity(t *testing.T) {
+	bDone := func(rr bool) units.Time {
+		eng, net, senders, recv, _ := arbNet(t, rr)
+		topo := net.Topology()
+		const burst = 8
+		for i := 0; i < burst; i++ {
+			pkt := &packet.Packet{
+				Route: arbRoute(topo, senders[0], recv), Type: packet.TypeGM,
+				Payload: make([]byte, 2048),
+			}
+			net.Inject(pkt, senders[0], InjectOpts{})
+		}
+		// B's single packet arrives while A's backlog queues.
+		var done units.Time
+		eng.Schedule(30*units.Microsecond, func() {
+			pkt := &packet.Packet{
+				Route: arbRoute(topo, senders[1], recv), Type: packet.TypeGM,
+				Payload: make([]byte, 2048),
+			}
+			net.Inject(pkt, senders[1], InjectOpts{OnDelivered: func(tm units.Time) { done = tm }})
+		})
+		eng.Run()
+		if done == 0 {
+			t.Fatal("B's packet never delivered")
+		}
+		return done
+	}
+	fifo := bDone(false)
+	rr := bDone(true)
+	if rr > fifo {
+		t.Errorf("round-robin served B at %v, later than FIFO's %v", rr, fifo)
+	}
+	// No starvation under either policy: B lands long before the
+	// burst tail (8 packets x ~13us each).
+	limit := 70 * units.Microsecond
+	if fifo > limit || rr > limit {
+		t.Errorf("B starved: fifo %v, rr %v", fifo, rr)
+	}
+}
+
+// TestRoundRobinDeliversEverything: fairness must not lose or
+// duplicate packets.
+func TestRoundRobinDeliversEverything(t *testing.T) {
+	eng, net, senders, recv, eps := arbNet(t, true)
+	topo := net.Topology()
+	const per = 6
+	for i := 0; i < per; i++ {
+		for _, s := range senders {
+			pkt := &packet.Packet{
+				Route: arbRoute(topo, s, recv), Type: packet.TypeGM,
+				Payload: make([]byte, 512),
+			}
+			net.Inject(pkt, s, InjectOpts{})
+		}
+	}
+	eng.Run()
+	if got := len(eps[recv].received); got != 2*per {
+		t.Errorf("delivered %d, want %d", got, 2*per)
+	}
+}

@@ -1,0 +1,241 @@
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// flight states.
+const (
+	flightInjecting = iota
+	flightInFlight
+	flightAtEndpoint // header arrived, waiting for Accept/Drop
+	flightDraining   // accepted or dropped, body streaming
+	flightDone
+)
+
+// Flight is one packet traversing one up*/down* segment of the
+// network: from a source NIC to whichever host port the route bytes
+// deliver it to.
+//
+// Body timing model: the packet is a rigid snake behind its header.
+// While the header waits for an output channel, the body stalls with
+// it (Stop&Go flow control, no virtual channels). Channels stay held
+// until the tail has fully drained into the destination NIC; this is
+// slightly conservative (a real tail frees upstream channels a few
+// hundred nanoseconds earlier as it passes) but preserves the blocking
+// and contention-relief behaviour the experiments measure.
+type Flight struct {
+	id      uint64
+	net     *Network
+	pkt     *packet.Packet
+	src     topology.NodeID
+	opts    InjectOpts
+	wireLen int
+
+	held []*channel
+	// heldProp[i] is the flight's accumulated unstalled propagation
+	// delay at the moment held[i] carried the header — used by
+	// progressive release to place the tail's passing time.
+	heldProp  []units.Time
+	state     int
+	waitStart units.Time
+	stall     units.Time // total time blocked on channels / buffers
+	prop      units.Time // unstalled propagation delay accumulated
+
+	headerOutAt units.Time // header left source NIC
+	headerInAt  units.Time // header reached destination endpoint
+	completeAt  units.Time
+	dstHost     topology.NodeID
+}
+
+// ID returns the unique flight id.
+func (f *Flight) ID() uint64 { return f.id }
+
+// Packet returns the packet being carried.
+func (f *Flight) Packet() *packet.Packet { return f.pkt }
+
+// Source returns the injecting host.
+func (f *Flight) Source() topology.NodeID { return f.src }
+
+// HeaderArrivedAt returns when the header reached the destination
+// endpoint (valid from HeaderArrived onward).
+func (f *Flight) HeaderArrivedAt() units.Time { return f.headerInAt }
+
+// CompletionTime returns when the tail fully arrives (valid after
+// Accept).
+func (f *Flight) CompletionTime() units.Time { return f.completeAt }
+
+// StallTime returns the total time the flight spent blocked.
+func (f *Flight) StallTime() units.Time { return f.stall }
+
+// Done reports whether the flight has fully drained (delivered or
+// dropped).
+func (f *Flight) Done() bool { return f.state == flightDone }
+
+// acquireChannel requests a channel for the flight, tolerating routes
+// that revisit a channel the flight already holds (e.g. a mapper scout
+// bouncing back and forth over one cable): a real packet short enough
+// to fit in the intervening pipeline re-uses the channel its own tail
+// has already vacated, so the revisit proceeds without re-queueing.
+// class identifies the crossbar input (incoming link id).
+func (f *Flight) acquireChannel(c *channel, class int, fn func()) {
+	for _, held := range f.held {
+		if held == c {
+			fn()
+			return
+		}
+	}
+	c.acquire(f.net.eng, f, class, fn)
+}
+
+// atNode handles the header reaching a node's input.
+func (f *Flight) atNode(node topology.NodeID, via *topology.Link) {
+	n := f.net
+	if n.topo.Node(node).Kind == topology.KindHost {
+		f.state = flightAtEndpoint
+		f.headerInAt = n.eng.Now()
+		f.waitStart = f.headerInAt
+		f.dstHost = node
+		ep := n.eps[node]
+		if ep == nil {
+			panic(fmt.Sprintf("fabric: no endpoint attached at host %d", node))
+		}
+		n.emit(trace.HeaderArrive, node, f.pkt.ID, "")
+		ep.HeaderArrived(f)
+		return
+	}
+	// At a switch: consume the route byte, select the output port.
+	if f.pkt.RouteIsDelivered() || f.pkt.AtITBBoundary() {
+		// Route exhausted at a switch (or an ITB marker leaked into
+		// the fabric): misroute. The switch discards the packet.
+		f.net.stats.Misrouted++
+		f.drainAndFinish(true)
+		return
+	}
+	port := int(f.pkt.ConsumeRouteByte())
+	if port >= n.topo.Node(node).Ports || n.topo.LinkAt(node, port) == nil {
+		f.net.stats.Misrouted++
+		f.drainAndFinish(true)
+		return
+	}
+	out := n.topo.LinkAt(node, port)
+	cross := n.par.FallThrough + n.portExtra(via.Type) + n.portExtra(out.Type)
+	f.prop += cross + n.par.WireLatency
+	f.state = flightInFlight
+	fromA := out.FromA(node, port)
+	// Pay the fall-through, then contend for the output channel.
+	n.eng.Schedule(cross, func() {
+		f.waitStart = n.eng.Now()
+		ch := n.chanOf(out, fromA)
+		f.acquireChannel(ch, via.ID, func() {
+			waited := n.eng.Now() - f.waitStart
+			f.stall += waited
+			ch.waited += waited
+			n.eng.Schedule(n.par.WireLatency, func() {
+				f.atNode(out.NodeAt(!fromA), out)
+			})
+		})
+	})
+}
+
+// Accept is called by the destination endpoint to start draining the
+// packet into a receive buffer. It computes the tail arrival time.
+func (f *Flight) Accept() {
+	if f.state != flightAtEndpoint {
+		panic("fabric: Accept on flight not at endpoint")
+	}
+	f.stall += f.net.eng.Now() - f.waitStart
+	f.drainAndFinish(false)
+}
+
+// Drop is called by the destination endpoint instead of Accept when
+// no buffer is available (buffer-pool overflow): the packet is flushed
+// by the NIC, draining from the network without being received. GM's
+// reliability layer will retransmit it.
+func (f *Flight) Drop() {
+	if f.state != flightAtEndpoint {
+		panic("fabric: Drop on flight not at endpoint")
+	}
+	f.stall += f.net.eng.Now() - f.waitStart
+	f.drainAndFinish(true)
+}
+
+// drainAndFinish schedules the tail's arrival and the release of all
+// held channels.
+func (f *Flight) drainAndFinish(dropped bool) {
+	n := f.net
+	now := n.eng.Now()
+	f.state = flightDraining
+	tB := n.par.ByteTime()
+	// Earliest the last byte can leave the source: paced by the
+	// source DMA, or by upstream reception for cut-through ITB
+	// re-injection.
+	tailReadySrc := f.headerOutAt + units.Time(f.wireLen)*f.opts.SourceByteTime
+	if f.opts.TailReadyAt > tailReadySrc {
+		tailReadySrc = f.opts.TailReadyAt
+	}
+	// Tail fully at the endpoint: streaming at link rate from header
+	// arrival, but never before the tail has left the source and
+	// propagated across the (unstalled) pipeline.
+	f.completeAt = now + units.Time(f.wireLen)*tB
+	if t := tailReadySrc + f.prop; t > f.completeAt {
+		f.completeAt = t
+	}
+	tailLeavesSrc := f.completeAt - f.prop
+	if tailLeavesSrc < now {
+		// The body is already fully buffered downstream.
+		tailLeavesSrc = now
+	}
+	if f.opts.OnTailOut != nil {
+		t := tailLeavesSrc
+		n.eng.ScheduleAt(t, func() { f.opts.OnTailOut(t) })
+	}
+	done := f.completeAt
+	if n.par.ProgressiveRelease {
+		// Free each channel when the tail passes it: the completion
+		// instant minus the remaining pipeline delay downstream of the
+		// channel's exit.
+		for i, c := range f.held {
+			relAt := done - (f.prop - f.heldProp[i])
+			if relAt < now {
+				relAt = now
+			}
+			c := c
+			n.eng.ScheduleAt(relAt, func() { c.release(n.eng, f) })
+		}
+		f.held = nil
+		f.heldProp = nil
+	}
+	n.eng.ScheduleAt(done, func() {
+		for _, c := range f.held {
+			c.release(n.eng, f)
+		}
+		f.held = nil
+		f.state = flightDone
+		if dropped {
+			n.stats.Dropped++
+			n.emit(trace.Dropped, f.dstHost, f.pkt.ID, "")
+			if f.opts.OnDropped != nil {
+				f.opts.OnDropped(done)
+			}
+			return
+		}
+		n.stats.Delivered++
+		n.stats.BytesMoved += uint64(f.wireLen)
+		if !f.pkt.Corrupt && n.corrupts(f.wireLen) {
+			f.pkt.Corrupt = true
+			n.stats.Corrupted++
+		}
+		n.emit(trace.Delivered, f.dstHost, f.pkt.ID, "")
+		ep := n.eps[f.dstHost]
+		ep.PacketReceived(f.pkt, f.headerInAt, done)
+		if f.opts.OnDelivered != nil {
+			f.opts.OnDelivered(done)
+		}
+	})
+}

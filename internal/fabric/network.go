@@ -1,0 +1,371 @@
+package fabric
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// Endpoint is the NIC-side consumer of the network attached to a host
+// node. The LANai/MCP model implements it.
+type Endpoint interface {
+	// HeaderArrived is called when a packet header reaches the host's
+	// input port. The endpoint must eventually call f.Accept() (to
+	// start draining the packet into a receive buffer) or f.Drop()
+	// (buffer-pool overflow). Until then the packet blocks in the
+	// network, holding every channel it has acquired.
+	HeaderArrived(f *Flight)
+	// PacketReceived is called when the packet tail has fully arrived
+	// after an Accept.
+	PacketReceived(pkt *packet.Packet, headerAt, completedAt units.Time)
+}
+
+// chanKey identifies one direction of a link by its sending end, which
+// disambiguates the two directions of a loopback cable.
+type chanKey struct {
+	link  int
+	fromA bool
+}
+
+// channel is one directed half of a physical link.
+type channel struct {
+	res       *sim.Resource
+	link      *topology.Link
+	fromA     bool
+	busy      units.Time // accumulated holding time
+	waited    units.Time // accumulated blocking time of requesters
+	lastGrant units.Time
+}
+
+// Counters accumulates network-level totals.
+type Counters struct {
+	Injected   uint64
+	Delivered  uint64
+	Dropped    uint64
+	Misrouted  uint64
+	Corrupted  uint64
+	BytesMoved uint64
+}
+
+// Network is the wormhole fabric: all switches and links of a
+// topology, driven by a shared event engine.
+type Network struct {
+	eng    *sim.Engine
+	topo   *topology.Topology
+	par    Params
+	chans  map[chanKey]*channel
+	eps    map[topology.NodeID]Endpoint
+	next   uint64
+	stats  Counters
+	tracer *trace.Recorder
+	faults *rand.Rand
+}
+
+// New builds the fabric for a topology.
+func New(eng *sim.Engine, topo *topology.Topology, par Params) *Network {
+	n := &Network{
+		eng:   eng,
+		topo:  topo,
+		par:   par,
+		chans: make(map[chanKey]*channel),
+		eps:   make(map[topology.NodeID]Endpoint),
+	}
+	mkRes := sim.NewResource
+	if par.RoundRobinArbitration {
+		mkRes = sim.NewResourceRR
+	}
+	for i := range topo.Links() {
+		l := topo.Link(i)
+		for _, fromA := range []bool{true, false} {
+			k := chanKey{link: l.ID, fromA: fromA}
+			n.chans[k] = &channel{
+				res:   mkRes(fmt.Sprintf("link%d.fromA=%v", l.ID, fromA)),
+				link:  l,
+				fromA: fromA,
+			}
+		}
+	}
+	if par.BitErrorRate > 0 {
+		n.faults = rand.New(rand.NewSource(par.FaultSeed + 1))
+	}
+	return n
+}
+
+// corrupts decides whether a packet of wireLen bytes survives one
+// network transit under the configured bit error rate.
+func (n *Network) corrupts(wireLen int) bool {
+	if n.faults == nil {
+		return false
+	}
+	// P(at least one corrupted byte) = 1 - (1-BER)^len.
+	p := 1 - math.Pow(1-n.par.BitErrorRate, float64(wireLen))
+	return n.faults.Float64() < p
+}
+
+// Attach registers the NIC endpoint of a host node.
+func (n *Network) Attach(host topology.NodeID, ep Endpoint) {
+	if n.topo.Node(host).Kind != topology.KindHost {
+		panic(fmt.Sprintf("fabric: attach to non-host node %d", host))
+	}
+	if n.eps[host] != nil {
+		panic(fmt.Sprintf("fabric: host %d already has an endpoint", host))
+	}
+	n.eps[host] = ep
+}
+
+// Engine returns the event engine driving the network.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// Topology returns the network's topology.
+func (n *Network) Topology() *topology.Topology { return n.topo }
+
+// Params returns the timing constants.
+func (n *Network) Params() Params { return n.par }
+
+// Stats returns a snapshot of the counters.
+func (n *Network) Stats() Counters { return n.stats }
+
+// SetTracer attaches an event recorder (nil to detach).
+func (n *Network) SetTracer(r *trace.Recorder) { n.tracer = r }
+
+// TagPacket assigns the packet a stable trace id if it has none yet.
+// Inject does this implicitly; upper layers call it earlier so their
+// pre-injection events correlate.
+func (n *Network) TagPacket(pkt *packet.Packet) {
+	if pkt.ID == 0 {
+		n.next++
+		pkt.ID = n.next
+	}
+}
+
+// emit records a trace event if a recorder is attached.
+func (n *Network) emit(k trace.Kind, node topology.NodeID, pktID uint64, detail string) {
+	if n.tracer == nil {
+		return
+	}
+	n.tracer.Record(trace.Event{At: n.eng.Now(), Kind: k, Node: node, Packet: pktID, Detail: detail})
+}
+
+// ChannelBusy returns the accumulated busy time of the directed
+// channel of the given link sent from its A (or B) end, for
+// utilisation metrics.
+func (n *Network) ChannelBusy(link int, fromA bool) units.Time {
+	c := n.chans[chanKey{link: link, fromA: fromA}]
+	if c == nil {
+		return 0
+	}
+	return c.busy
+}
+
+// StuckFlight describes one packet wedged in the network when the
+// simulation went quiescent: the classic wormhole deadlock symptom
+// (nothing to do, channels still held).
+type StuckFlight struct {
+	Packet    *packet.Packet
+	Source    topology.NodeID
+	HeldLinks []int // link ids of channels the flight holds
+	// WaitingFor is the link id of the channel whose queue the flight
+	// sits in, or -1 if it is waiting for an endpoint buffer.
+	WaitingFor int
+	// HeldBy identifies the packet currently owning that channel, or
+	// nil.
+	HeldBy *packet.Packet
+}
+
+// DetectStuck inspects every channel for waiters after the event
+// queue has drained and reconstructs the wait-for relationships. An
+// empty result means the network is clean; a non-empty one is a
+// protocol deadlock (e.g. minimal routing without ITBs, or blocking
+// receive buffers pinned by in-transit packets). Purely diagnostic —
+// the simulation state is not modified.
+func (n *Network) DetectStuck() []StuckFlight {
+	var out []StuckFlight
+	seen := map[*Flight]bool{}
+	collect := func(f *Flight, waitLink int, holder *Flight) {
+		if seen[f] {
+			return
+		}
+		seen[f] = true
+		sf := StuckFlight{
+			Packet:     f.pkt,
+			Source:     f.src,
+			WaitingFor: waitLink,
+		}
+		for _, c := range f.held {
+			sf.HeldLinks = append(sf.HeldLinks, c.link.ID)
+		}
+		if holder != nil {
+			sf.HeldBy = holder.pkt
+		}
+		out = append(out, sf)
+	}
+	// Waiters first: in a deadlock cycle every flight is both a waiter
+	// and a holder, and the waiter view carries the wait-for edge.
+	for _, c := range n.chans {
+		for _, w := range c.res.Waiters() {
+			if f, ok := w.(*Flight); ok {
+				holder, _ := c.res.Owner().(*Flight)
+				collect(f, c.link.ID, holder)
+			}
+		}
+	}
+	// Then holders of contended channels that are not themselves
+	// queued anywhere (e.g. wedged on an endpoint buffer).
+	for _, c := range n.chans {
+		if c.res.QueueLen() == 0 {
+			continue
+		}
+		if holder, ok := c.res.Owner().(*Flight); ok && !holder.Done() {
+			collect(holder, -1, nil)
+		}
+	}
+	return out
+}
+
+// SwitchLoad summarises one switch's traffic.
+type SwitchLoad struct {
+	Switch topology.NodeID
+	// Busy is the summed holding time of the switch's outgoing
+	// switch-to-switch channels.
+	Busy units.Time
+	// Waited is the total time packets spent blocked on those
+	// channels — the head-of-line contention concentrated here.
+	Waited units.Time
+}
+
+// SwitchLoads aggregates per-switch channel occupancy and blocking,
+// the observable behind the paper's "up*/down* saturates the zone
+// near the root" claim.
+func (n *Network) SwitchLoads() []SwitchLoad {
+	bySwitch := make(map[topology.NodeID]*SwitchLoad)
+	for _, c := range n.chans {
+		from := c.link.NodeAt(c.fromA)
+		to := c.link.NodeAt(!c.fromA)
+		if n.topo.Node(from).Kind != topology.KindSwitch ||
+			n.topo.Node(to).Kind != topology.KindSwitch {
+			continue
+		}
+		sl := bySwitch[from]
+		if sl == nil {
+			sl = &SwitchLoad{Switch: from}
+			bySwitch[from] = sl
+		}
+		sl.Busy += c.busy
+		sl.Waited += c.waited
+	}
+	out := make([]SwitchLoad, 0, len(bySwitch))
+	for _, sw := range n.topo.Switches() {
+		if sl := bySwitch[sw]; sl != nil {
+			out = append(out, *sl)
+		} else {
+			out = append(out, SwitchLoad{Switch: sw})
+		}
+	}
+	return out
+}
+
+// InjectOpts tunes one injection.
+type InjectOpts struct {
+	// SourceByteTime is the per-byte pacing of the source NIC (the
+	// slower of the link and whatever feeds the send DMA). Zero means
+	// link rate.
+	SourceByteTime units.Time
+	// TailReadyAt is the earliest instant the packet's last byte is
+	// available at the source. Used for virtual cut-through
+	// re-injection, where the send DMA must not outrun reception.
+	TailReadyAt units.Time
+	// OnHeaderOut fires when the header leaves the source NIC.
+	OnHeaderOut func(t units.Time)
+	// OnTailOut fires when the last byte leaves the source NIC: the
+	// send DMA engine becomes free.
+	OnTailOut func(t units.Time)
+	// OnDelivered fires when the destination endpoint has the whole
+	// packet.
+	OnDelivered func(t units.Time)
+	// OnDropped fires if the packet is dropped (misroute or receiver
+	// overflow).
+	OnDropped func(t units.Time)
+}
+
+// Inject starts a packet from a host into the network. The packet's
+// Route bytes steer it; the flight ends at whichever host port the
+// route delivers it to (for an ITB route, the in-transit host, whose
+// MCP re-injects the rest with a fresh Inject).
+func (n *Network) Inject(pkt *packet.Packet, src topology.NodeID, opts InjectOpts) *Flight {
+	if n.topo.Node(src).Kind != topology.KindHost {
+		panic(fmt.Sprintf("fabric: inject from non-host node %d", src))
+	}
+	if opts.SourceByteTime < n.par.ByteTime() {
+		opts.SourceByteTime = n.par.ByteTime()
+	}
+	n.next++
+	n.TagPacket(pkt)
+	f := &Flight{
+		id:      n.next,
+		net:     n,
+		pkt:     pkt,
+		src:     src,
+		opts:    opts,
+		wireLen: pkt.WireLen(),
+		state:   flightInjecting,
+	}
+	n.stats.Injected++
+	n.emit(trace.Inject, src, pkt.ID, fmt.Sprintf("len=%dB", f.wireLen))
+	hostLink := n.topo.LinkAt(src, 0)
+	if hostLink == nil {
+		panic(fmt.Sprintf("fabric: host %d is not cabled", src))
+	}
+	f.waitStart = n.eng.Now()
+	fromA := hostLink.FromA(src, 0)
+	// Accumulate the hop's propagation before acquiring, so the
+	// channel's heldProp marks the pipeline delay through its exit.
+	f.prop += n.par.WireLatency
+	n.chanOf(hostLink, fromA).acquire(n.eng, f, -1, func() {
+		now := n.eng.Now()
+		f.stall += now - f.waitStart
+		f.headerOutAt = now
+		n.emit(trace.HeaderOut, src, pkt.ID, "")
+		if opts.OnHeaderOut != nil {
+			opts.OnHeaderOut(now)
+		}
+		n.eng.Schedule(n.par.WireLatency, func() {
+			f.atNode(hostLink.NodeAt(!fromA), hostLink)
+		})
+	})
+	return f
+}
+
+func (n *Network) chanOf(l *topology.Link, fromA bool) *channel {
+	return n.chans[chanKey{link: l.ID, fromA: fromA}]
+}
+
+// acquire queues the flight on the channel. class identifies the
+// crossbar input the request arrives on (the incoming link id), which
+// round-robin arbitration cycles over.
+func (c *channel) acquire(eng *sim.Engine, f *Flight, class int, fn func()) {
+	f.held = append(f.held, c)
+	f.heldProp = append(f.heldProp, f.prop)
+	c.res.AcquireClass(f, class, func() {
+		c.lastGrant = eng.Now()
+		fn()
+	})
+}
+
+func (c *channel) release(eng *sim.Engine, f *Flight) {
+	c.busy += eng.Now() - c.lastGrant
+	c.res.Release(f)
+}
+
+// portExtra returns the pipeline delay of one port of the given type.
+func (n *Network) portExtra(t topology.PortType) units.Time {
+	if t == topology.LAN {
+		return n.par.PortExtraLAN
+	}
+	return n.par.PortExtraSAN
+}

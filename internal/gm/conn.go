@@ -1,0 +1,235 @@
+package gm
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// conn holds the reliability state between this host and one peer:
+// go-back-N sending (window, cumulative acks, timeout retransmission)
+// and in-order receiving with message reassembly. GM provides exactly
+// this: reliable and ordered packet delivery in the presence of
+// drops, which the buffer-pool experiments rely on.
+type conn struct {
+	h    *Host
+	peer topology.NodeID
+
+	// Sender state. Sequence numbers count packets, not bytes.
+	nextSeq   uint32 // next sequence number to assign
+	ackedTo   uint32 // everything below this is acknowledged
+	inflight  []*packet.Packet
+	backlog   []*packet.Packet // waiting for window space
+	timer     *sim.Event
+	submitted map[uint32]bool   // seqs handed to the MCP and not yet re-sendable
+	acked     map[uint32]func() // per-seq acknowledgement callbacks (send tokens)
+
+	// Receiver state.
+	expected uint32
+	assembly []byte // fragments of the in-progress message
+	// Ack coalescing (Params.AckDelay).
+	pendingAcks int
+	ackTimer    *sim.Event
+}
+
+func newConn(h *Host, peer topology.NodeID) *conn {
+	return &conn{h: h, peer: peer, submitted: make(map[uint32]bool), acked: make(map[uint32]func())}
+}
+
+// enqueue assigns a sequence number and transmits when the window
+// allows. onAcked (optional) fires when this packet is acknowledged.
+func (c *conn) enqueue(pkt *packet.Packet, onAcked func()) {
+	pkt.Seq = c.nextSeq
+	c.nextSeq++
+	if onAcked != nil {
+		c.acked[pkt.Seq] = onAcked
+	}
+	c.backlog = append(c.backlog, pkt)
+	c.pump()
+}
+
+// pump moves backlog packets into the window.
+func (c *conn) pump() {
+	for len(c.backlog) > 0 && (len(c.inflight) < c.h.par.Window || c.h.par.DisableAcks) {
+		pkt := c.backlog[0]
+		c.backlog = c.backlog[1:]
+		if !c.h.par.DisableAcks {
+			c.inflight = append(c.inflight, pkt)
+		}
+		c.transmit(pkt)
+	}
+}
+
+// transmit hands one packet to the MCP. The MCP keeps its own queue,
+// so this never blocks.
+func (c *conn) transmit(pkt *packet.Packet) {
+	c.h.stats.PacketsSent++
+	c.submitted[pkt.Seq] = true
+	// The MCP consumes the route bytes in flight, so each (re)send
+	// works on a fresh copy; the original stays pristine for
+	// retransmission.
+	wire := pkt.Clone()
+	seq := pkt.Seq
+	c.h.m.SubmitSend(wire, func(units.Time) {
+		delete(c.submitted, seq)
+		if c.h.par.DisableAcks {
+			// No ack will come; the tail leaving stands in for it.
+			c.fireAcked(seq)
+		}
+	})
+	c.armTimer()
+}
+
+// fireAcked runs and clears the acknowledgement callback of one seq.
+func (c *conn) fireAcked(seq uint32) {
+	if cb, ok := c.acked[seq]; ok {
+		delete(c.acked, seq)
+		cb()
+	}
+}
+
+func (c *conn) armTimer() {
+	if c.h.par.DisableAcks || c.timer != nil {
+		return
+	}
+	c.timer = c.h.eng.Schedule(c.h.par.AckTimeout, c.timeout)
+}
+
+func (c *conn) disarmTimer() {
+	if c.timer != nil {
+		c.h.eng.Cancel(c.timer)
+		c.timer = nil
+	}
+}
+
+// timeout retransmits every unacknowledged packet (go-back-N).
+func (c *conn) timeout() {
+	c.timer = nil
+	if len(c.inflight) == 0 {
+		return
+	}
+	for _, pkt := range c.inflight {
+		if c.submitted[pkt.Seq] {
+			// Still sitting in the NIC's send queue; re-sending would
+			// duplicate it.
+			continue
+		}
+		c.h.stats.Retransmits++
+		c.h.emit(trace.Retransmit, pkt.ID, fmt.Sprintf("seq=%d", pkt.Seq))
+		c.transmit(pkt)
+	}
+	c.armTimer()
+}
+
+// handleAck processes a cumulative acknowledgement: everything below
+// nextExpected has arrived.
+func (c *conn) handleAck(nextExpected uint32) {
+	if nextExpected <= c.ackedTo {
+		return // stale
+	}
+	old := c.ackedTo
+	c.ackedTo = nextExpected
+	keep := c.inflight[:0]
+	for _, pkt := range c.inflight {
+		if pkt.Seq >= nextExpected {
+			keep = append(keep, pkt)
+		}
+	}
+	c.inflight = keep
+	for seq := old; seq < nextExpected; seq++ {
+		c.fireAcked(seq)
+	}
+	c.disarmTimer()
+	if len(c.inflight) > 0 {
+		c.armTimer()
+	}
+	c.pump()
+}
+
+// handleData processes an arriving data packet.
+func (c *conn) handleData(pkt *packet.Packet, t units.Time) {
+	if c.h.par.DisableAcks {
+		// Raw mode: deliver whatever arrives, reassembling naively.
+		c.deliverFrag(pkt, t)
+		return
+	}
+	switch {
+	case pkt.Seq == c.expected:
+		c.expected++
+		c.deliverFrag(pkt, t)
+		c.scheduleAck()
+	case pkt.Seq < c.expected:
+		// Duplicate (a retransmission raced the ack): re-ack at once.
+		c.h.stats.DuplicateDrops++
+		c.flushAck()
+	default:
+		// Gap: an earlier packet was flushed by a buffer pool.
+		// Go-back-N discards and re-acks the last good position
+		// immediately, so the sender rewinds without a full timeout.
+		c.h.stats.OutOfOrderDrops++
+		c.flushAck()
+	}
+}
+
+// scheduleAck acknowledges the in-order progress: immediately by
+// default, or coalesced under Params.AckDelay (one cumulative ack per
+// AckEvery packets or per delay window, whichever first).
+func (c *conn) scheduleAck() {
+	if c.h.par.AckDelay <= 0 {
+		c.h.sendAck(c.peer, c.expected)
+		return
+	}
+	c.pendingAcks++
+	every := c.h.par.AckEvery
+	if every <= 0 {
+		every = 4
+	}
+	if c.pendingAcks >= every {
+		c.flushAck()
+		return
+	}
+	if c.ackTimer == nil {
+		c.ackTimer = c.h.eng.Schedule(c.h.par.AckDelay, func() {
+			c.ackTimer = nil
+			c.flushAck()
+		})
+	}
+}
+
+// flushAck emits the cumulative acknowledgement now.
+func (c *conn) flushAck() {
+	if c.ackTimer != nil {
+		c.h.eng.Cancel(c.ackTimer)
+		c.ackTimer = nil
+	}
+	c.pendingAcks = 0
+	c.h.sendAck(c.peer, c.expected)
+}
+
+// deliverFrag appends a fragment and completes the message on its
+// last fragment, dispatching to the destination port (or the legacy
+// OnMessage callback when nobody opened that port).
+func (c *conn) deliverFrag(pkt *packet.Packet, t units.Time) {
+	c.assembly = append(c.assembly, pkt.Payload...)
+	if !pkt.LastFrag {
+		return
+	}
+	msg := c.assembly
+	c.assembly = nil
+	c.h.stats.MessagesReceived++
+	srcPort, dstPort := pkt.SrcPort, pkt.DstPort
+	// The application sees the message after the host-side receive
+	// overhead.
+	c.h.eng.Schedule(c.h.par.HostRecvOverhead, func() {
+		if c.h.deliverToPort(c.peer, srcPort, dstPort, msg, c.h.eng.Now()) {
+			return
+		}
+		if c.h.OnMessage != nil {
+			c.h.OnMessage(c.peer, msg, c.h.eng.Now())
+		}
+	})
+}

@@ -1,0 +1,255 @@
+// Package gm models the host-visible side of the GM message system:
+// user-level send/receive with reliable, ordered delivery over the
+// (unreliable, droppable) MCP/fabric substrate, message segmentation
+// at the GM MTU, and the gm_allsize latency test the paper's
+// evaluation is built on.
+package gm
+
+import (
+	"fmt"
+
+	"repro/internal/mcp"
+	"repro/internal/packet"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// Params configures the host-side GM behaviour.
+type Params struct {
+	// HostSendOverhead is the user-level gm_send() CPU cost before
+	// the NIC sees the request.
+	HostSendOverhead units.Time
+	// HostRecvOverhead is the user-level receive-event cost after the
+	// NIC delivers.
+	HostRecvOverhead units.Time
+	// MTU is the largest payload per packet; longer messages are
+	// segmented.
+	MTU int
+	// Window is the go-back-N send window per destination.
+	Window int
+	// AckTimeout triggers retransmission of unacknowledged packets.
+	AckTimeout units.Time
+	// DisableAcks turns off the reliability layer (no acks, no
+	// retransmission) for raw-network experiments.
+	DisableAcks bool
+	// AckDelay coalesces acknowledgements: instead of acking every
+	// packet, the receiver waits up to AckDelay (or until AckEvery
+	// packets are pending) and sends one cumulative ack — GM's
+	// ack-coalescing optimisation. Zero acks immediately (the
+	// default, used by the paper-calibrated experiments).
+	AckDelay units.Time
+	// AckEvery bounds coalescing: a cumulative ack goes out at the
+	// latest after this many unacknowledged packets (default 4 when
+	// AckDelay is set).
+	AckEvery int
+}
+
+// DefaultParams returns constants calibrated to a 450 MHz Pentium III
+// host of the paper's era running GM over 64/33 PCI.
+func DefaultParams() Params {
+	return Params{
+		HostSendOverhead: 3 * units.Microsecond,
+		HostRecvOverhead: 3 * units.Microsecond,
+		MTU:              4096,
+		Window:           8,
+		AckTimeout:       2 * units.Millisecond,
+		DisableAcks:      false,
+	}
+}
+
+// Stats counts GM-level activity on one host.
+type Stats struct {
+	MessagesSent     uint64
+	MessagesReceived uint64
+	PacketsSent      uint64
+	AcksSent         uint64
+	Retransmits      uint64
+	OutOfOrderDrops  uint64
+	DuplicateDrops   uint64
+}
+
+// Host is one workstation's GM endpoint: it owns the MCP beneath it
+// and the per-peer connection state for reliable ordered delivery.
+type Host struct {
+	eng  *sim.Engine
+	m    *mcp.MCP
+	node topology.NodeID
+	par  Params
+	tbl  *routing.Table
+
+	conns map[topology.NodeID]*conn
+	ports map[uint8]*Port
+	msgID uint32
+
+	// OnMessage delivers a complete, in-order message to the
+	// application.
+	OnMessage func(src topology.NodeID, payload []byte, t units.Time)
+
+	tracer *trace.Recorder
+	stats  Stats
+}
+
+// SetTracer attaches an event recorder (nil to detach).
+func (h *Host) SetTracer(r *trace.Recorder) { h.tracer = r }
+
+func (h *Host) emit(k trace.Kind, pktID uint64, detail string) {
+	if h.tracer == nil {
+		return
+	}
+	h.tracer.Record(trace.Event{At: h.eng.Now(), Kind: k, Node: h.node, Packet: pktID, Detail: detail})
+}
+
+// NewHost wraps an MCP instance with the GM host layer. tbl supplies
+// default routes; it may be nil if every send uses SendVia.
+func NewHost(eng *sim.Engine, m *mcp.MCP, tbl *routing.Table, par Params) *Host {
+	if par.MTU <= 0 {
+		panic("gm: non-positive MTU")
+	}
+	if par.Window <= 0 {
+		panic("gm: non-positive window")
+	}
+	h := &Host{
+		eng:   eng,
+		m:     m,
+		node:  m.Host(),
+		par:   par,
+		tbl:   tbl,
+		conns: make(map[topology.NodeID]*conn),
+	}
+	m.OnDeliver = h.deliver
+	return h
+}
+
+// Node returns the host's topology node.
+func (h *Host) Node() topology.NodeID { return h.node }
+
+// MCP returns the firmware under this host.
+func (h *Host) MCP() *mcp.MCP { return h.m }
+
+// Stats returns a snapshot of the counters.
+func (h *Host) Stats() Stats { return h.stats }
+
+// packetTypeFor returns the wire type a route requires.
+func packetTypeFor(r *routing.Route) packet.Type {
+	if r.NumITBs() > 0 {
+		return packet.TypeITB
+	}
+	return packet.TypeGM
+}
+
+// Send transmits payload to dst using the route table.
+func (h *Host) Send(dst topology.NodeID, payload []byte) error {
+	if h.tbl == nil {
+		return fmt.Errorf("gm: host %d has no route table", h.node)
+	}
+	r, ok := h.tbl.Lookup(h.node, dst)
+	if !ok {
+		return fmt.Errorf("gm: no route %d->%d", h.node, dst)
+	}
+	hdr, err := r.EncodeHeader()
+	if err != nil {
+		return err
+	}
+	h.sendPort(dst, payload, hdr, packetTypeFor(r), 0, 0, nil)
+	return nil
+}
+
+// SendVia transmits payload to dst over an explicit wire route (used
+// by the evaluation harness to pin the exact paths of Figures 7/8).
+func (h *Host) SendVia(dst topology.NodeID, payload []byte, route []byte, typ packet.Type) {
+	h.sendPort(dst, payload, append([]byte(nil), route...), typ, 0, 0, nil)
+}
+
+// sendPort segments and enqueues one message; onAcked (optional)
+// fires when GM has acknowledged the whole message (or when its tail
+// leaves the NIC, with acks disabled).
+func (h *Host) sendPort(dst topology.NodeID, payload []byte, route []byte, typ packet.Type, srcPort, dstPort uint8, onAcked func()) {
+	c := h.connTo(dst)
+	h.msgID++
+	id := h.msgID
+	h.stats.MessagesSent++
+	// Segment at the MTU.
+	var frags [][]byte
+	if len(payload) == 0 {
+		frags = [][]byte{nil}
+	}
+	for off := 0; off < len(payload); off += h.par.MTU {
+		end := off + h.par.MTU
+		if end > len(payload) {
+			end = len(payload)
+		}
+		frags = append(frags, payload[off:end])
+	}
+	// The user-level send overhead is paid once per gm_send call.
+	h.eng.Schedule(h.par.HostSendOverhead, func() {
+		for i, fr := range frags {
+			pkt := &packet.Packet{
+				Route:     append([]byte(nil), route...),
+				Type:      typ,
+				Payload:   append([]byte(nil), fr...),
+				Src:       int(h.node),
+				Dst:       int(dst),
+				SrcPort:   srcPort,
+				DstPort:   dstPort,
+				MsgID:     id,
+				FragIndex: i,
+				LastFrag:  i == len(frags)-1,
+			}
+			var cb func()
+			if pkt.LastFrag {
+				cb = onAcked
+			}
+			c.enqueue(pkt, cb)
+		}
+	})
+}
+
+func (h *Host) connTo(peer topology.NodeID) *conn {
+	c := h.conns[peer]
+	if c == nil {
+		c = newConn(h, peer)
+		h.conns[peer] = c
+	}
+	return c
+}
+
+// deliver is the MCP's completion upcall.
+func (h *Host) deliver(pkt *packet.Packet, t units.Time) {
+	src := topology.NodeID(pkt.Src)
+	if pkt.Type == packet.TypeAck {
+		h.connTo(src).handleAck(pkt.Seq)
+		return
+	}
+	h.connTo(src).handleData(pkt, t)
+}
+
+// sendAck emits a zero-payload acknowledgement carrying the
+// cumulative next-expected sequence number.
+func (h *Host) sendAck(peer topology.NodeID, nextExpected uint32) {
+	if h.par.DisableAcks {
+		return
+	}
+	if h.tbl == nil {
+		return
+	}
+	r, ok := h.tbl.Lookup(h.node, peer)
+	if !ok {
+		return
+	}
+	hdr, err := r.EncodeHeader()
+	if err != nil {
+		return
+	}
+	ack := &packet.Packet{
+		Route: hdr,
+		Type:  packet.TypeAck,
+		Src:   int(h.node),
+		Dst:   int(peer),
+		Seq:   nextExpected,
+	}
+	h.stats.AcksSent++
+	h.m.SubmitSend(ack, nil)
+}

@@ -1,0 +1,197 @@
+package gmip
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/mcp"
+	"repro/internal/routing"
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := Header{TTL: 64, Protocol: ProtoUDP, Src: Addr{10, 0, 0, 1}, Dst: Addr{10, 0, 0, 2}, ID: 99}
+	payload := []byte("datagram body")
+	buf := Encode(h, payload)
+	got, body, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Errorf("header %+v != %+v", got, h)
+	}
+	if !bytes.Equal(body, payload) {
+		t.Errorf("payload mismatch")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := Decode(nil); err == nil {
+		t.Error("nil accepted")
+	}
+	buf := Encode(Header{TTL: 1, Protocol: 1}, []byte("x"))
+	short := buf[:len(buf)-1]
+	if _, _, err := Decode(short); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	bad := append([]byte(nil), buf...)
+	bad[12] ^= 0xFF // corrupt src address
+	if _, _, err := Decode(bad); err == nil {
+		t.Error("checksum corruption accepted")
+	}
+	vers := append([]byte(nil), buf...)
+	vers[0] = 0x46
+	if _, _, err := Decode(vers); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+func TestChecksumRFC1071(t *testing.T) {
+	// Known vector: the classic example from RFC 1071 material.
+	b := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := checksum(b); got != ^uint16(0xddf2) {
+		t.Errorf("checksum = %#04x, want %#04x", got, ^uint16(0xddf2))
+	}
+	// Odd-length buffers pad with zero.
+	if checksum([]byte{0xFF}) != ^uint16(0xFF00) {
+		t.Error("odd-length checksum")
+	}
+}
+
+// Property: Encode/Decode round-trips arbitrary datagrams.
+func TestCodecProperty(t *testing.T) {
+	f := func(ttl, proto uint8, src, dst [4]byte, id uint16, payload []byte) bool {
+		if len(payload) > 40000 {
+			payload = payload[:40000]
+		}
+		h := Header{TTL: ttl, Protocol: proto, Src: src, Dst: dst, ID: id}
+		got, body, err := Decode(Encode(h, payload))
+		return err == nil && got == h && bytes.Equal(body, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// ipRig builds two stacks on the simulated testbed.
+type ipRig struct {
+	cl     *core.Cluster
+	a, b   *Stack
+	ipA    Addr
+	ipB    Addr
+	engRun func()
+}
+
+func newIPRig(t *testing.T) *ipRig {
+	t.Helper()
+	topo, nodes := topology.Testbed()
+	cl, err := core.NewCluster(core.DefaultConfig(topo, routing.UpDownRouting, mcp.ITB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ipA, ipB := Addr{10, 0, 0, 1}, Addr{10, 0, 0, 2}
+	a, err := NewStack(cl.Host(nodes.Host1), ipA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewStack(cl.Host(nodes.Host2), ipB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.AddNeighbor(ipB, nodes.Host2)
+	b.AddNeighbor(ipA, nodes.Host1)
+	return &ipRig{cl: cl, a: a, b: b, ipA: ipA, ipB: ipB, engRun: cl.Eng.Run}
+}
+
+func TestDatagramOverGM(t *testing.T) {
+	r := newIPRig(t)
+	var gotH Header
+	var gotBody []byte
+	r.b.OnDatagram = func(h Header, p []byte, _ units.Time) { gotH, gotBody = h, p }
+	msg := bytes.Repeat([]byte{0xAB}, 9000) // spans 3 GM fragments
+	if err := r.a.SendDatagram(r.ipB, ProtoUDP, msg); err != nil {
+		t.Fatal(err)
+	}
+	r.engRun()
+	if gotH.Protocol != ProtoUDP || gotH.Src != r.ipA || gotH.Dst != r.ipB {
+		t.Errorf("header = %+v", gotH)
+	}
+	if !bytes.Equal(gotBody, msg) {
+		t.Fatalf("payload corrupted: %d bytes", len(gotBody))
+	}
+	if r.a.Stats().Sent != 1 || r.b.Stats().Received != 1 {
+		t.Errorf("stats: %+v / %+v", r.a.Stats(), r.b.Stats())
+	}
+}
+
+func TestPingPong(t *testing.T) {
+	r := newIPRig(t)
+	var rtt units.Time
+	var gotSeq uint16
+	start := r.cl.Eng.Now()
+	r.a.OnEchoReply = func(seq uint16, t units.Time) { gotSeq, rtt = seq, t-start }
+	if err := r.a.Ping(r.ipB, 7); err != nil {
+		t.Fatal(err)
+	}
+	r.engRun()
+	if gotSeq != 7 {
+		t.Fatalf("echo seq = %d, want 7", gotSeq)
+	}
+	if rtt < 10*units.Microsecond || rtt > 100*units.Microsecond {
+		t.Errorf("ping RTT = %v, expected tens of microseconds", rtt)
+	}
+	if r.b.Stats().EchoReplies != 1 {
+		t.Errorf("b stats: %+v", r.b.Stats())
+	}
+}
+
+func TestSendToUnknownNeighbor(t *testing.T) {
+	r := newIPRig(t)
+	if err := r.a.SendDatagram(Addr{9, 9, 9, 9}, ProtoUDP, nil); err == nil {
+		t.Error("send to unknown neighbour succeeded")
+	}
+}
+
+func TestAddrString(t *testing.T) {
+	if got := (Addr{10, 0, 0, 1}).String(); got != "10.0.0.1" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestDoubleStackOnOneHost(t *testing.T) {
+	topo, nodes := topology.Testbed()
+	cl, err := core.NewCluster(core.DefaultConfig(topo, routing.UpDownRouting, mcp.ITB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewStack(cl.Host(nodes.Host1), Addr{10, 0, 0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewStack(cl.Host(nodes.Host1), Addr{10, 0, 0, 9}); err == nil {
+		t.Error("second stack on one host succeeded (port conflict expected)")
+	}
+}
+
+func TestMisaddressedDatagramDropped(t *testing.T) {
+	// b receives a datagram whose IP destination is not b's address:
+	// it must be counted bad and not delivered.
+	r := newIPRig(t)
+	delivered := false
+	r.b.OnDatagram = func(Header, []byte, units.Time) { delivered = true }
+	// Poison a's neighbour table: IP says 10.0.0.9 but GM delivers to b.
+	wrong := Addr{10, 0, 0, 9}
+	r.a.AddNeighbor(wrong, r.b.host.Node())
+	if err := r.a.SendDatagram(wrong, ProtoUDP, []byte("stray")); err != nil {
+		t.Fatal(err)
+	}
+	r.engRun()
+	if delivered {
+		t.Error("misaddressed datagram delivered")
+	}
+	if r.b.Stats().BadDatagrams != 1 {
+		t.Errorf("bad datagrams = %d, want 1", r.b.Stats().BadDatagrams)
+	}
+}

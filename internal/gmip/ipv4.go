@@ -1,0 +1,95 @@
+// Package gmip layers IP datagram service over GM, the way the
+// paper's GM description lists TCP/IP among the interfaces "layered
+// efficiently over GM". Datagrams travel as GM messages on a reserved
+// GM port; the IPv4 header (with a real checksum) rides in the
+// payload, and a static neighbour table plays the role of ARP on the
+// single-segment Myrinet.
+package gmip
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Addr is an IPv4 address.
+type Addr [4]byte
+
+// String renders dotted quad.
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", a[0], a[1], a[2], a[3])
+}
+
+// IP protocol numbers used here.
+const (
+	ProtoICMP = 1
+	ProtoUDP  = 17
+)
+
+// Header is the IPv4 header (no options).
+type Header struct {
+	TTL      uint8
+	Protocol uint8
+	Src, Dst Addr
+	// ID tags the datagram (diagnostics; GM below handles
+	// fragmentation, so IP-level fragments never occur here).
+	ID uint16
+}
+
+// headerLen is the encoded size: a standard 20-byte IPv4 header.
+const headerLen = 20
+
+// Encode serialises the header and payload into one buffer, computing
+// the header checksum.
+func Encode(h Header, payload []byte) []byte {
+	buf := make([]byte, headerLen+len(payload))
+	buf[0] = 0x45 // version 4, IHL 5
+	binary.BigEndian.PutUint16(buf[2:], uint16(headerLen+len(payload)))
+	binary.BigEndian.PutUint16(buf[4:], h.ID)
+	buf[8] = h.TTL
+	buf[9] = h.Protocol
+	copy(buf[12:16], h.Src[:])
+	copy(buf[16:20], h.Dst[:])
+	binary.BigEndian.PutUint16(buf[10:], checksum(buf[:headerLen]))
+	copy(buf[headerLen:], payload)
+	return buf
+}
+
+// Decode parses and validates a datagram.
+func Decode(buf []byte) (Header, []byte, error) {
+	var h Header
+	if len(buf) < headerLen {
+		return h, nil, fmt.Errorf("gmip: datagram shorter than the IPv4 header (%d bytes)", len(buf))
+	}
+	if buf[0] != 0x45 {
+		return h, nil, fmt.Errorf("gmip: unsupported version/IHL byte %#02x", buf[0])
+	}
+	total := int(binary.BigEndian.Uint16(buf[2:]))
+	if total != len(buf) {
+		return h, nil, fmt.Errorf("gmip: total length %d does not match datagram size %d", total, len(buf))
+	}
+	if checksum(buf[:headerLen]) != 0 {
+		return h, nil, fmt.Errorf("gmip: header checksum mismatch")
+	}
+	h.ID = binary.BigEndian.Uint16(buf[4:])
+	h.TTL = buf[8]
+	h.Protocol = buf[9]
+	copy(h.Src[:], buf[12:16])
+	copy(h.Dst[:], buf[16:20])
+	return h, buf[headerLen:], nil
+}
+
+// checksum is the Internet checksum (RFC 1071): summing a buffer that
+// includes a correct checksum field yields zero.
+func checksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i:]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xFFFF) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}

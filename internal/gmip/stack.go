@@ -1,0 +1,132 @@
+package gmip
+
+import (
+	"fmt"
+
+	"repro/internal/gm"
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+// IPPort is the GM port reserved for IP encapsulation on every host.
+const IPPort = 255
+
+// Stats counts stack activity.
+type Stats struct {
+	Sent         uint64
+	Received     uint64
+	BadDatagrams uint64
+	EchoReplies  uint64
+}
+
+// Stack is one host's IP endpoint over GM.
+type Stack struct {
+	host  *gm.Host
+	port  *gm.Port
+	addr  Addr
+	arp   map[Addr]topology.NodeID
+	id    uint16
+	stats Stats
+
+	// OnDatagram receives non-ICMP datagrams addressed to this host.
+	OnDatagram func(h Header, payload []byte, t units.Time)
+	// OnEchoReply receives ICMP echo replies (see Ping).
+	OnEchoReply func(seq uint16, t units.Time)
+}
+
+// NewStack opens the IP port on a GM host and assigns it an address.
+func NewStack(h *gm.Host, addr Addr) (*Stack, error) {
+	p, err := h.OpenPort(IPPort, 16)
+	if err != nil {
+		return nil, err
+	}
+	s := &Stack{host: h, port: p, addr: addr, arp: make(map[Addr]topology.NodeID)}
+	p.ProvideReceiveTokens(64)
+	p.OnReceive = s.receive
+	return s, nil
+}
+
+// Addr returns the stack's address.
+func (s *Stack) Addr() Addr { return s.addr }
+
+// Stats returns a snapshot of the counters.
+func (s *Stack) Stats() Stats { return s.stats }
+
+// AddNeighbor registers the GM host behind an IP address (the static
+// stand-in for ARP on the single Myrinet segment).
+func (s *Stack) AddNeighbor(a Addr, host topology.NodeID) {
+	s.arp[a] = host
+}
+
+// SendDatagram transmits payload to dst with the given protocol.
+func (s *Stack) SendDatagram(dst Addr, proto uint8, payload []byte) error {
+	node, ok := s.arp[dst]
+	if !ok {
+		return fmt.Errorf("gmip: no neighbour entry for %s", dst)
+	}
+	s.id++
+	buf := Encode(Header{
+		TTL: 64, Protocol: proto, Src: s.addr, Dst: dst, ID: s.id,
+	}, payload)
+	if err := s.port.Send(node, IPPort, buf); err != nil {
+		return err
+	}
+	s.stats.Sent++
+	return nil
+}
+
+// Ping sends an ICMP-style echo request; the remote stack answers
+// autonomously and OnEchoReply fires with the sequence number.
+func (s *Stack) Ping(dst Addr, seq uint16) error {
+	return s.SendDatagram(dst, ProtoICMP, encodeEcho(echoRequest, seq))
+}
+
+// receive handles a datagram landing on the IP port.
+func (s *Stack) receive(_ topology.NodeID, _ uint8, buf []byte, t units.Time) {
+	h, payload, err := Decode(buf)
+	if err != nil || h.Dst != s.addr {
+		s.stats.BadDatagrams++
+		return
+	}
+	s.stats.Received++
+	if h.Protocol == ProtoICMP {
+		kind, seq, ok := decodeEcho(payload)
+		if !ok {
+			s.stats.BadDatagrams++
+			return
+		}
+		switch kind {
+		case echoRequest:
+			s.stats.EchoReplies++
+			// Reply goes back to the request's source.
+			if err := s.SendDatagram(h.Src, ProtoICMP, encodeEcho(echoReply, seq)); err != nil {
+				s.stats.BadDatagrams++
+			}
+		case echoReply:
+			if s.OnEchoReply != nil {
+				s.OnEchoReply(seq, t)
+			}
+		}
+		return
+	}
+	if s.OnDatagram != nil {
+		s.OnDatagram(h, payload, t)
+	}
+}
+
+// ICMP echo encoding: [type][0][seq:2].
+const (
+	echoRequest = 8
+	echoReply   = 0
+)
+
+func encodeEcho(kind byte, seq uint16) []byte {
+	return []byte{kind, 0, byte(seq >> 8), byte(seq)}
+}
+
+func decodeEcho(b []byte) (kind byte, seq uint16, ok bool) {
+	if len(b) < 4 {
+		return 0, 0, false
+	}
+	return b[0], uint16(b[2])<<8 | uint16(b[3]), true
+}

@@ -1,0 +1,120 @@
+package lanai
+
+import (
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Params describes one NIC's hardware. Defaults model the paper's
+// M2L/M2M-PCI64A-2 cards: a LANai processor (we use 66 MHz), 2 MB of
+// SRAM, and a single host DMA engine on a 64-bit/33 MHz PCI bus.
+type Params struct {
+	// Freq is the LANai processor clock.
+	Freq units.Frequency
+	// DispatchCycles is the event-handler overhead per dispatched
+	// handler.
+	DispatchCycles int
+	// HostDMABandwidth is the effective host<->NIC transfer rate over
+	// the I/O bus. PCI 64/33 peaks at 264 MB/s; sustained transfers
+	// see less.
+	HostDMABandwidth units.Bandwidth
+	// HostDMAStartup is the fixed latency to start one host DMA
+	// transaction (bus acquisition, descriptor fetch).
+	HostDMAStartup units.Time
+	// ChunkOverhead is the per-descriptor cost of every chunk after
+	// the first in a chained (chunked) transfer.
+	ChunkOverhead units.Time
+	// SRAMBytes is the NIC memory size (bounds the buffer pool).
+	SRAMBytes int
+}
+
+// DefaultParams returns the calibrated testbed NIC constants.
+func DefaultParams() Params {
+	return Params{
+		Freq:             66 * units.MHz,
+		DispatchCycles:   2,
+		HostDMABandwidth: 220 * units.MBs,
+		HostDMAStartup:   500 * units.Nanosecond,
+		ChunkOverhead:    120 * units.Nanosecond,
+		SRAMBytes:        2 << 20,
+	}
+}
+
+// NIC aggregates the hardware resources the MCP firmware drives: the
+// processor and the single host DMA engine (shared by the SDMA and
+// RDMA state machines; the two packet-interface DMAs are modelled by
+// the fabric's injection/drain pacing).
+type NIC struct {
+	eng *sim.Engine
+	par Params
+	// CPU is the LANai processor.
+	CPU *CPU
+	// hostDMA serialises host<->NIC transfers.
+	hostDMA *sim.Resource
+	// HostDMABusy accumulates host DMA engine busy time.
+	HostDMABusy units.Time
+	// HostDMATransfers counts completed host DMA transactions.
+	HostDMATransfers uint64
+}
+
+// NewNIC builds a NIC on the shared engine.
+func NewNIC(eng *sim.Engine, par Params) *NIC {
+	return &NIC{
+		eng:     eng,
+		par:     par,
+		CPU:     NewCPU(eng, par.Freq, par.DispatchCycles),
+		hostDMA: sim.NewResource("hostDMA"),
+	}
+}
+
+// Params returns the NIC's hardware constants.
+func (n *NIC) Params() Params { return n.par }
+
+// HostDMA performs a host<->NIC transfer of n bytes: it queues on the
+// single host DMA engine, pays the startup latency plus the transfer
+// time, then runs done. Callers model SDMA (host to NIC send buffer)
+// and RDMA (NIC receive buffer to host) with it.
+func (n *NIC) HostDMA(nbytes int, done func(t units.Time)) {
+	tok := new(int)
+	n.hostDMA.Acquire(tok, func() {
+		d := n.par.HostDMAStartup + units.TransferTime(nbytes, n.par.HostDMABandwidth)
+		n.HostDMABusy += d
+		n.eng.Schedule(d, func() {
+			n.hostDMA.Release(tok)
+			n.HostDMATransfers++
+			done(n.eng.Now())
+		})
+	})
+}
+
+// HostDMAQueued reports whether transfers are waiting on the engine.
+func (n *NIC) HostDMAQueued() int { return n.hostDMA.QueueLen() }
+
+// HostDMAChunked performs a chained host DMA of nbytes in chunks: the
+// GM "SDMA chunks" pipeline of the MCP's Figure 4 structure. ready is
+// called when the engine grants, with the time the first chunk will be
+// in NIC memory (the wire may start then) and the time the last byte
+// lands. Every chunk after the first pays the descriptor-chaining
+// overhead; the engine stays busy until the final chunk.
+func (n *NIC) HostDMAChunked(nbytes, chunkBytes int, ready func(firstChunkAt, doneAt units.Time)) {
+	if chunkBytes <= 0 || chunkBytes >= nbytes {
+		// Degenerate: a single transfer.
+		n.HostDMA(nbytes, func(t units.Time) { ready(t, t) })
+		return
+	}
+	tok := new(int)
+	n.hostDMA.Acquire(tok, func() {
+		now := n.eng.Now()
+		chunks := (nbytes + chunkBytes - 1) / chunkBytes
+		first := now + n.par.HostDMAStartup + units.TransferTime(chunkBytes, n.par.HostDMABandwidth)
+		done := now + n.par.HostDMAStartup +
+			units.TransferTime(nbytes, n.par.HostDMABandwidth) +
+			units.Time(chunks-1)*n.par.ChunkOverhead
+		n.HostDMABusy += done - now
+		ready(first, done)
+		n.eng.ScheduleAt(done, func() {
+			n.hostDMA.Release(tok)
+			n.HostDMATransfers++
+		})
+	})
+}

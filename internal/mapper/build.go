@@ -1,0 +1,148 @@
+package mapper
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/topology"
+)
+
+// BuildTopology reconstructs a Topology from a discovery result. The
+// returned map translates discovered host identities (their node ids
+// in the original network) to node ids in the reconstruction.
+//
+// Two properties of Myrinet make the reconstruction canonical-but-
+// not-literal: switches carry no identities (indices are discovery
+// order), and with parallel cables between one switch pair the far
+// port pairing is observationally ambiguous — any pairing routes
+// identically — so far ports may be permuted within a switch pair.
+// Port types are not discoverable by scouts either; host cables are
+// reconstructed as LAN, switch cables as SAN, matching the usual
+// cabling of the era.
+func (m *Map) BuildTopology(maxPorts int) (*topology.Topology, map[topology.NodeID]topology.NodeID, error) {
+	if maxPorts <= 0 {
+		return nil, nil, fmt.Errorf("mapper: maxPorts must be positive")
+	}
+	t := topology.New()
+	sws := make([]topology.NodeID, m.Switches)
+	for i := range sws {
+		sws[i] = t.AddSwitch(maxPorts, fmt.Sprintf("sw%d", i))
+	}
+	for _, c := range m.Cables {
+		if c.ASwitch >= m.Switches || c.BSwitch >= m.Switches {
+			return nil, nil, fmt.Errorf("mapper: cable references unknown switch: %+v", c)
+		}
+		a, b := sws[c.ASwitch], sws[c.BSwitch]
+		ap, bp := c.APort, c.BPort
+		// Parallel-cable ambiguity: the far port may already be taken;
+		// fall back to any free port of the far switch (routing
+		// behaviour is identical).
+		if t.LinkAt(b, bp) != nil {
+			free, ok := t.FreePort(b)
+			if !ok {
+				return nil, nil, fmt.Errorf("mapper: switch %d has no free port for cable %+v", c.BSwitch, c)
+			}
+			bp = free
+		}
+		if t.LinkAt(a, ap) != nil {
+			return nil, nil, fmt.Errorf("mapper: duplicate cable at switch %d port %d", c.ASwitch, c.APort)
+		}
+		t.Connect(a, ap, b, bp, topology.SAN)
+	}
+	ids := make(map[topology.NodeID]topology.NodeID, len(m.Hosts))
+	for _, h := range m.Hosts {
+		if h.Switch >= m.Switches {
+			return nil, nil, fmt.Errorf("mapper: host %d on unknown switch %d", h.Host, h.Switch)
+		}
+		id := t.AddHost(fmt.Sprintf("host%d", h.Host))
+		ids[h.Host] = id
+		if t.LinkAt(sws[h.Switch], h.Port) != nil {
+			return nil, nil, fmt.Errorf("mapper: host %d port conflict at switch %d port %d", h.Host, h.Switch, h.Port)
+		}
+		t.Connect(id, 0, sws[h.Switch], h.Port, topology.LAN)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return t, ids, nil
+}
+
+// Matches verifies a discovery result against the ground-truth
+// topology: same switch count, every host attached to the right
+// switch (same switch as in truth, exact port), and the multiset of
+// switch-pair cables equal (ports compared only up to the parallel-
+// cable ambiguity). It returns nil when the map is correct.
+func (m *Map) Matches(truth *topology.Topology) error {
+	if got, want := m.Switches, len(truth.Switches()); got != want {
+		return fmt.Errorf("mapper: found %d switches, want %d", got, want)
+	}
+	// Correlate discovered switch indices with true switches through
+	// host attachments (hosts are unique).
+	swOf := make(map[int]topology.NodeID) // discovered index -> true switch
+	for _, h := range m.Hosts {
+		trueSw, ok := truth.SwitchOf(h.Host)
+		if !ok {
+			return fmt.Errorf("mapper: host %d does not exist", h.Host)
+		}
+		if prev, ok := swOf[h.Switch]; ok && prev != trueSw {
+			return fmt.Errorf("mapper: discovered switch %d maps to both true switches %d and %d",
+				h.Switch, prev, trueSw)
+		}
+		swOf[h.Switch] = trueSw
+		// Exact attach port.
+		if truth.LinkAt(h.Host, 0).PortAt(trueSw) != h.Port {
+			return fmt.Errorf("mapper: host %d discovered on port %d, truth %d",
+				h.Host, h.Port, truth.LinkAt(h.Host, 0).PortAt(trueSw))
+		}
+	}
+	if got, want := len(m.Hosts), len(truth.Hosts()); got != want {
+		return fmt.Errorf("mapper: found %d hosts, want %d", got, want)
+	}
+	// Cable multiset over unordered true switch pairs.
+	key := func(a, b topology.NodeID) [2]topology.NodeID {
+		if a > b {
+			a, b = b, a
+		}
+		return [2]topology.NodeID{a, b}
+	}
+	want := map[[2]topology.NodeID]int{}
+	for _, l := range truth.Links() {
+		if truth.Node(l.A).Kind != topology.KindSwitch || truth.Node(l.B).Kind != topology.KindSwitch {
+			continue
+		}
+		if l.IsLoopback() {
+			continue // not discoverable; not part of operational maps
+		}
+		want[key(l.A, l.B)]++
+	}
+	got := map[[2]topology.NodeID]int{}
+	for _, c := range m.Cables {
+		a, aok := swOf[c.ASwitch]
+		b, bok := swOf[c.BSwitch]
+		if !aok || !bok {
+			return fmt.Errorf("mapper: cable %+v touches a switch with no host correlation", c)
+		}
+		got[key(a, b)]++
+	}
+	var keys [][2]topology.NodeID
+	for k := range want {
+		keys = append(keys, k)
+	}
+	for k := range got {
+		if _, ok := want[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		if got[k] != want[k] {
+			return fmt.Errorf("mapper: switch pair %v has %d cables, want %d", k, got[k], want[k])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package mapper
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// TestCycleFalsePositiveRegression pins the fix for a discovery bug:
+// on this topology (6 switches, seed 833999743347385057), a
+// double-bounce far-port probe self-returned through a 4-cycle of the
+// switch graph, mis-attributing cable endpoints and duplicating the
+// (3,5) cable. Requiring single- and double-bounce agreement rejects
+// the cycle path.
+func TestCycleFalsePositiveRegression(t *testing.T) {
+	topo, err := topology.Generate(topology.DefaultGenConfig(6, 833999743347385057))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := deployQuiet(topo)
+	res, err := New(m, DefaultConfig()).Discover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Matches(topo); err != nil {
+		t.Error(err)
+	}
+	// The true network has 11 inter-switch cables; the bug produced 12.
+	if len(res.Cables) != 11 {
+		t.Errorf("cables = %d, want 11", len(res.Cables))
+	}
+}
+
+// TestOrbitFalsePositiveRegression pins a second discovery bug: a
+// period-2 orbit between two switches returned a probe home for ANY
+// bounce count, so no k-bounce heuristic could reject the fake far
+// port (seed -1445903787560663286 duplicated the cable between true
+// switches 2 and 6). The known-host witness verification is immune:
+// only a hop that genuinely lands back on S can reach S's host.
+func TestOrbitFalsePositiveRegression(t *testing.T) {
+	topo, err := topology.Generate(topology.DefaultGenConfig(7, -1445903787560663286))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := deployQuiet(topo)
+	res, err := New(m, DefaultConfig()).Discover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Matches(topo); err != nil {
+		t.Error(err)
+	}
+	if len(res.Cables) != 13 {
+		t.Errorf("cables = %d, want 13", len(res.Cables))
+	}
+}
+
+func TestDiscoveredMapProbeBudget(t *testing.T) {
+	// Probe counts stay polynomial: a 6-switch, 24-host network needs
+	// a few hundred scouts, not thousands (each probe costs real
+	// network time on a live cluster).
+	topo, err := topology.Generate(topology.DefaultGenConfig(6, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := deployQuiet(topo)
+	res, err := New(m, DefaultConfig()).Discover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Probes > 2000 {
+		t.Errorf("discovery used %d probes; exploration should be polynomial", res.Probes)
+	}
+}

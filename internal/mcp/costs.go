@@ -1,0 +1,79 @@
+// Package mcp implements the Myrinet Control Program: the firmware
+// that runs on the LANai processor. It reproduces the structure the
+// paper describes — an event handler dispatching the SDMA, RDMA, Send
+// and Recv state machines — in two variants:
+//
+//   - Original: stock GM-1.2pre16 behaviour.
+//   - ITB: the paper's modification. A high-priority Early Recv event
+//     fires when the first four bytes of a packet arrive; its handler
+//     checks for the ITB marker and, for in-transit packets, programs
+//     the send DMA to re-inject the packet as soon as possible
+//     (virtual cut-through), or raises the "ITB packet pending" flag
+//     when the send engine is busy.
+//
+// Every handler is charged an explicit cycle cost, so the difference
+// between the two firmwares is measurable exactly the way the paper
+// measures it: run the same traffic on both and subtract.
+package mcp
+
+import "repro/internal/units"
+
+// Costs is the cycle/time budget of each MCP code path. Cycle counts
+// are LANai processor cycles (15.15 ns at 66 MHz); fixed times model
+// hardware engine latencies that do not scale with the clock.
+//
+// Calibration targets, from the paper's Section 5:
+//   - the added receive-path code costs ~125 ns per packet on average
+//     (EarlyRecvCheckCycles + RecvCompleteITBExtraCycles at 66 MHz);
+//   - detecting an in-transit packet takes ~275 ns and programming the
+//     re-injection DMA ~200 ns (the timings assumed in the authors'
+//     earlier simulation studies), with the measured end-to-end cost
+//     per ITB around 1.3 us once engine startup and the extra host
+//     link traversals are counted.
+type Costs struct {
+	// EarlyRecvCheckCycles is the type check run when the first four
+	// bytes of any incoming packet have arrived (ITB firmware only).
+	EarlyRecvCheckCycles int
+	// RecvCompleteITBExtraCycles is the extra per-packet work the ITB
+	// firmware adds to the normal receive-completion path (the state
+	// flag bookkeeping of Figure 5). Charged for every received
+	// packet, ITB or not — this is the Figure 7 overhead.
+	RecvCompleteITBExtraCycles int
+	// ITBDetectCycles is the in-transit handling once the marker is
+	// seen: popping the ITB tag and length, locating the rest of the
+	// route.
+	ITBDetectCycles int
+	// ProgramSendDMACycles is the cost of programming the send DMA
+	// for a re-injection.
+	ProgramSendDMACycles int
+	// SendDMAStartup is the send engine's latency from "programmed"
+	// to first byte on the wire.
+	SendDMAStartup units.Time
+	// RecvCompleteCycles is the base receive-completion handling
+	// (both firmwares).
+	RecvCompleteCycles int
+	// ProgramRecvCycles re-arms a receive buffer.
+	ProgramRecvCycles int
+	// SendSetupCycles prepares a normal send (route stamping is done
+	// at enqueue time; this is the Send state machine's work).
+	SendSetupCycles int
+	// SDMASetupCycles / RDMASetupCycles program the host DMA engine.
+	SDMASetupCycles int
+	RDMASetupCycles int
+}
+
+// DefaultCosts returns the calibrated cost table.
+func DefaultCosts() Costs {
+	return Costs{
+		EarlyRecvCheckCycles:       4,  // ~61 ns
+		RecvCompleteITBExtraCycles: 8,  // ~121 ns on the completion path
+		ITBDetectCycles:            16, // ~242 ns (+check+dispatch ~= 275 ns)
+		ProgramSendDMACycles:       13, // ~197 ns
+		SendDMAStartup:             680 * units.Nanosecond,
+		RecvCompleteCycles:         24, // ~364 ns
+		ProgramRecvCycles:          8,  // ~121 ns
+		SendSetupCycles:            30, // ~455 ns
+		SDMASetupCycles:            16, // ~242 ns
+		RDMASetupCycles:            16, // ~242 ns
+	}
+}

@@ -1,0 +1,498 @@
+package mcp
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/lanai"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// Variant selects the firmware build.
+type Variant int
+
+const (
+	// Original is stock GM-1.2pre16.
+	Original Variant = iota
+	// ITB is the paper's modified firmware.
+	ITB
+)
+
+// String names the firmware build.
+func (v Variant) String() string {
+	if v == Original {
+		return "original MCP"
+	}
+	return "ITB MCP"
+}
+
+// Config parameterises one MCP instance.
+type Config struct {
+	Variant Variant
+	NIC     lanai.Params
+	Costs   Costs
+	// SendBuffers and RecvBuffers are the NIC queue depths; the
+	// paper's implementation keeps the original two of each.
+	SendBuffers int
+	RecvBuffers int
+	// BufferPool enables the paper's proposed (future work) circular
+	// receive queue: when every buffer is busy an arriving packet is
+	// flushed instead of blocking the network, and GM retransmits it.
+	// With BufferPool set, RecvBuffers is the pool size.
+	BufferPool bool
+	// DisableEarlyRecv is an ablation switch: in-transit packets are
+	// detected only at reception completion (store-and-forward)
+	// instead of from the Early Recv event after four bytes.
+	DisableEarlyRecv bool
+	// ReinjectViaDispatch is an ablation switch: the re-injection is
+	// programmed through a normal event-dispatch cycle instead of
+	// directly from the Recv state machine (the paper's optimisation
+	// "avoiding one dispatching cycle delay").
+	ReinjectViaDispatch bool
+	// SendChunkBytes enables the GM SDMA chunk pipeline (Figure 4's
+	// "Send chunks"): the wire transmission starts once the first
+	// chunk of a packet is in NIC memory instead of waiting for the
+	// whole SDMA. Zero stages whole packets.
+	SendChunkBytes int
+}
+
+// DefaultConfig returns the faithful configuration of the paper's
+// implementation.
+func DefaultConfig(v Variant) Config {
+	return Config{
+		Variant:     v,
+		NIC:         lanai.DefaultParams(),
+		Costs:       DefaultCosts(),
+		SendBuffers: 2,
+		RecvBuffers: 2,
+	}
+}
+
+// Stats counts MCP-level activity.
+type Stats struct {
+	PacketsSent     uint64
+	PacketsReceived uint64 // delivered up to the host
+	ITBForwarded    uint64 // in-transit packets re-injected
+	ITBPendingHits  uint64 // re-injections that found the send DMA busy
+	PoolDrops       uint64 // packets flushed by the buffer pool
+	BlockedArrivals uint64 // arrivals that waited for a receive buffer
+	CRCDrops        uint64 // packets flushed for failing the payload CRC
+}
+
+// sendJob is a packet staged for transmission.
+type sendJob struct {
+	pkt    *packet.Packet
+	onSent func(t units.Time) // tail left the NIC
+	// tailReady is when the packet's last byte will be in NIC memory;
+	// zero when the whole packet was staged before queueing.
+	tailReady units.Time
+}
+
+// itbJob is a deferred in-transit re-injection.
+type itbJob struct {
+	pkt       *packet.Packet
+	tailReady units.Time
+}
+
+// MCP is one NIC's firmware instance. It implements fabric.Endpoint.
+type MCP struct {
+	eng  *sim.Engine
+	net  *fabric.Network
+	host topology.NodeID
+	cfg  Config
+	nic  *lanai.NIC
+
+	// Send side. A send buffer is occupied from SubmitSend until the
+	// packet's tail leaves the NIC; the wire (send packet DMA) is a
+	// single engine shared with ITB re-injections, which take
+	// priority via the ITB-packet-pending path.
+	sendBufsFree int
+	hostQ        []sendJob // waiting for a send buffer / SDMA
+	readyQ       []sendJob // in NIC SRAM, waiting for the wire
+	itbQ         []itbJob  // pending re-injections (highest priority)
+	wireBusy     bool
+
+	// Receive side.
+	recvBufsFree int
+	waiting      []*fabric.Flight // blocked arrivals (no buffer pool)
+	inTransit    map[*packet.Packet]bool
+
+	// OnDeliver is called when a packet has been RDMA-ed to the host.
+	OnDeliver func(pkt *packet.Packet, t units.Time)
+	// OnMapping is called (on the mapper host) when a mapping packet
+	// addressed to this host's own mapper arrives: a self-returned
+	// scout or a reply from a remote NIC. Other NICs leave it nil;
+	// their MCP answers probes autonomously.
+	OnMapping func(m packet.Mapping, t units.Time)
+
+	tracer *trace.Recorder
+	stats  Stats
+}
+
+// New builds the firmware for one host NIC and attaches it to the
+// network.
+func New(net *fabric.Network, host topology.NodeID, cfg Config) *MCP {
+	if cfg.SendBuffers < 1 || cfg.RecvBuffers < 1 {
+		panic("mcp: need at least one send and one receive buffer")
+	}
+	// Buffers live in NIC SRAM; a 4KB-MTU slot per buffer must fit in
+	// the card's memory (the paper notes 2-8 MB parts, "enough to
+	// minimize" overflow).
+	const slot = 4096 + 64
+	if cfg.NIC.SRAMBytes > 0 && (cfg.SendBuffers+cfg.RecvBuffers)*slot > cfg.NIC.SRAMBytes {
+		panic(fmt.Sprintf("mcp: %d buffers exceed the NIC's %d-byte SRAM",
+			cfg.SendBuffers+cfg.RecvBuffers, cfg.NIC.SRAMBytes))
+	}
+	m := &MCP{
+		eng:          net.Engine(),
+		net:          net,
+		host:         host,
+		cfg:          cfg,
+		nic:          lanai.NewNIC(net.Engine(), cfg.NIC),
+		sendBufsFree: cfg.SendBuffers,
+		recvBufsFree: cfg.RecvBuffers,
+		inTransit:    make(map[*packet.Packet]bool),
+	}
+	net.Attach(host, m)
+	return m
+}
+
+// Host returns the host node this firmware serves.
+func (m *MCP) Host() topology.NodeID { return m.host }
+
+// Stats returns a snapshot of the counters.
+func (m *MCP) Stats() Stats { return m.stats }
+
+// NIC returns the underlying hardware model.
+func (m *MCP) NIC() *lanai.NIC { return m.nic }
+
+// Engine returns the event engine driving this firmware.
+func (m *MCP) Engine() *sim.Engine { return m.eng }
+
+// Config returns the firmware configuration.
+func (m *MCP) Config() Config { return m.cfg }
+
+// SetTracer attaches an event recorder (nil to detach).
+func (m *MCP) SetTracer(r *trace.Recorder) { m.tracer = r }
+
+func (m *MCP) emit(k trace.Kind, pktID uint64, detail string) {
+	if m.tracer == nil {
+		return
+	}
+	m.tracer.Record(trace.Event{At: m.eng.Now(), Kind: k, Node: m.host, Packet: pktID, Detail: detail})
+}
+
+// ---------------------------------------------------------------
+// Send path: host -> SDMA -> NIC buffer -> Send state machine -> wire.
+
+// SubmitSend queues a packet for transmission. onSent (optional) fires
+// when the packet's tail has left the NIC. The route bytes must
+// already be stamped in pkt.Route (GM stamps them from the mapper's
+// table when the send is enqueued).
+func (m *MCP) SubmitSend(pkt *packet.Packet, onSent func(t units.Time)) {
+	m.net.TagPacket(pkt)
+	m.emit(trace.SendQueued, pkt.ID, pkt.Type.String())
+	job := sendJob{pkt: pkt, onSent: onSent}
+	if m.sendBufsFree == 0 {
+		m.hostQ = append(m.hostQ, job)
+		return
+	}
+	m.sendBufsFree--
+	m.startSDMA(job)
+}
+
+// startSDMA moves the packet from host memory into a NIC send buffer.
+// With chunking the packet becomes wire-eligible after its first
+// chunk; the fabric paces the tail on the SDMA's completion.
+func (m *MCP) startSDMA(job sendJob) {
+	m.nic.CPU.Post(lanai.PrioDMA, m.cfg.Costs.SDMASetupCycles, func() {
+		if m.cfg.SendChunkBytes > 0 {
+			m.nic.HostDMAChunked(job.pkt.WireLen(), m.cfg.SendChunkBytes,
+				func(firstAt, doneAt units.Time) {
+					job.tailReady = doneAt
+					m.eng.ScheduleAt(firstAt, func() {
+						m.readyQ = append(m.readyQ, job)
+						m.tryWire()
+					})
+				})
+			return
+		}
+		m.nic.HostDMA(job.pkt.WireLen(), func(units.Time) {
+			m.readyQ = append(m.readyQ, job)
+			m.tryWire()
+		})
+	})
+}
+
+// tryWire starts the next transmission if the wire engine is free.
+// ITB re-injections always win over normal sends (the high-priority
+// "ITB packet pending" path of Figure 5).
+func (m *MCP) tryWire() {
+	if m.wireBusy {
+		return
+	}
+	if len(m.itbQ) > 0 {
+		job := m.itbQ[0]
+		m.itbQ = m.itbQ[1:]
+		m.wireBusy = true
+		m.programReinjection(job)
+		return
+	}
+	if len(m.readyQ) == 0 {
+		return
+	}
+	job := m.readyQ[0]
+	m.readyQ = m.readyQ[1:]
+	m.wireBusy = true
+	m.nic.CPU.Post(lanai.PrioSend, m.cfg.Costs.SendSetupCycles, func() {
+		m.net.Inject(job.pkt, m.host, fabric.InjectOpts{
+			TailReadyAt: job.tailReady,
+			OnTailOut: func(t units.Time) {
+				m.stats.PacketsSent++
+				m.wireBusy = false
+				m.sendBufsFree++
+				// A queued host send can now claim the freed buffer.
+				if len(m.hostQ) > 0 {
+					next := m.hostQ[0]
+					m.hostQ = m.hostQ[1:]
+					m.sendBufsFree--
+					m.startSDMA(next)
+				}
+				if job.onSent != nil {
+					job.onSent(t)
+				}
+				m.tryWire()
+			},
+		})
+	})
+}
+
+// ---------------------------------------------------------------
+// Receive path.
+
+// HeaderArrived implements fabric.Endpoint.
+func (m *MCP) HeaderArrived(f *fabric.Flight) {
+	if m.recvBufsFree == 0 {
+		if m.cfg.BufferPool {
+			// The circular queue is full: flush the packet; GM's
+			// reliability layer will retransmit it.
+			m.stats.PoolDrops++
+			f.Drop()
+			return
+		}
+		m.stats.BlockedArrivals++
+		m.waiting = append(m.waiting, f)
+		return
+	}
+	m.recvBufsFree--
+	m.acceptFlight(f)
+}
+
+// acceptFlight programs the receive DMA for the arriving packet and,
+// on the ITB firmware, arms the Early Recv event for when the first
+// four bytes are in.
+func (m *MCP) acceptFlight(f *fabric.Flight) {
+	f.Accept()
+	if m.cfg.Variant != ITB || m.cfg.DisableEarlyRecv {
+		return
+	}
+	fourBytes := 4 * m.net.Params().ByteTime()
+	m.eng.Schedule(fourBytes, func() {
+		m.nic.CPU.Post(lanai.PrioITB, m.cfg.Costs.EarlyRecvCheckCycles, func() {
+			m.earlyRecv(f)
+		})
+	})
+}
+
+// earlyRecv is the Early Recv Packet event handler: the first four
+// bytes of the packet are visible, enough to see the ITB marker.
+func (m *MCP) earlyRecv(f *fabric.Flight) {
+	pkt := f.Packet()
+	if !pkt.AtITBBoundary() {
+		// A normal packet (or an ITB-routed packet at its final
+		// destination): resume normal dispatching. The check's cost
+		// has already been charged — that is the Figure 7 overhead.
+		return
+	}
+	m.detectAndForward(pkt, f.CompletionTime())
+}
+
+// detectAndForward handles a detected in-transit packet: it pays the
+// detection cost, pops the ITB header and re-injects (or raises the
+// pending flag). tailReady is when the packet's last byte will be in
+// NIC memory — the re-injection may start earlier (cut-through) but
+// cannot stream faster than that.
+func (m *MCP) detectAndForward(pkt *packet.Packet, tailReady units.Time) {
+	m.emit(trace.ITBDetect, pkt.ID, "")
+	m.inTransit[pkt] = true
+	prio := lanai.PrioITB
+	detect := m.cfg.Costs.ITBDetectCycles
+	if m.cfg.ReinjectViaDispatch {
+		// Ablation: the detection result goes back through the event
+		// handler at normal priority instead of the Recv fast path.
+		prio = lanai.PrioSend
+		detect += m.cfg.NIC.DispatchCycles
+	}
+	m.nic.CPU.Post(prio, detect, func() {
+		if _, err := pkt.PopITBHeader(); err != nil {
+			// Corrupt in-transit header: flush the packet; reception
+			// still completes into the buffer, which is freed there.
+			m.inTransit[pkt] = false
+			return
+		}
+		job := itbJob{pkt: pkt, tailReady: tailReady}
+		if m.wireBusy {
+			// Send engine busy: raise ITB packet pending; the wire
+			// completion path drains itbQ first.
+			m.stats.ITBPendingHits++
+			m.emit(trace.ITBPending, pkt.ID, "")
+			m.itbQ = append(m.itbQ, job)
+			return
+		}
+		m.wireBusy = true
+		m.programReinjection(job)
+	})
+}
+
+// programReinjection programs the send DMA with the in-transit packet
+// (possibly while it is still being received — virtual cut-through)
+// and injects it.
+func (m *MCP) programReinjection(job itbJob) {
+	m.emit(trace.ITBReinject, job.pkt.ID, "")
+	m.nic.CPU.Post(lanai.PrioITB, m.cfg.Costs.ProgramSendDMACycles, func() {
+		m.eng.Schedule(m.cfg.Costs.SendDMAStartup, func() {
+			m.net.Inject(job.pkt, m.host, fabric.InjectOpts{
+				TailReadyAt: job.tailReady,
+				OnTailOut: func(units.Time) {
+					m.stats.ITBForwarded++
+					m.wireBusy = false
+					// The in-transit packet has fully left: free its
+					// receive buffer and re-arm a reception.
+					delete(m.inTransit, job.pkt)
+					m.releaseRecvBuffer()
+					m.tryWire()
+				},
+			})
+		})
+	})
+}
+
+// PacketReceived implements fabric.Endpoint: the packet tail is fully
+// in the NIC receive buffer.
+func (m *MCP) PacketReceived(pkt *packet.Packet, headerAt, completedAt units.Time) {
+	if forward, ok := m.inTransit[pkt]; ok || pkt.AtITBBoundary() {
+		// An in-transit packet: its buffer is freed when the
+		// re-injection's tail leaves (programReinjection), except for
+		// corrupt ones (forward == false), flushed here.
+		if ok && !forward {
+			delete(m.inTransit, pkt)
+			m.releaseRecvBuffer()
+			return
+		}
+		if !ok && m.cfg.Variant == ITB && m.cfg.DisableEarlyRecv {
+			// Ablation: store-and-forward detection happens only now,
+			// with the whole packet already in the buffer.
+			m.detectAndForward(pkt, completedAt)
+		}
+		return
+	}
+	cycles := m.cfg.Costs.RecvCompleteCycles
+	if m.cfg.Variant == ITB {
+		cycles += m.cfg.Costs.RecvCompleteITBExtraCycles
+	}
+	if pkt.Corrupt {
+		// The payload CRC fails at this final destination: flush the
+		// packet; GM's reliability layer will retransmit it (its ack
+		// never goes out). In-transit hosts never reach this point —
+		// cut-through re-injects before the tail (and its CRC) is in,
+		// so corruption rides through ITB hops, exactly as on real
+		// hardware.
+		m.nic.CPU.Post(lanai.PrioRecv, cycles, func() {
+			m.stats.CRCDrops++
+			m.emit(trace.Dropped, pkt.ID, "crc")
+			m.releaseRecvBuffer()
+		})
+		return
+	}
+	if pkt.Type == packet.TypeMapping {
+		// Mapping packets are handled inside the MCP, below GM.
+		m.nic.CPU.Post(lanai.PrioRecv, cycles, func() {
+			m.handleMapping(pkt)
+			m.releaseRecvBuffer()
+		})
+		return
+	}
+	m.nic.CPU.Post(lanai.PrioRecv, cycles, func() {
+		// RDMA the payload to host memory.
+		m.nic.CPU.Post(lanai.PrioDMA, m.cfg.Costs.RDMASetupCycles, func() {
+			m.nic.HostDMA(len(pkt.Payload), func(t units.Time) {
+				m.stats.PacketsReceived++
+				m.emit(trace.RecvToHost, pkt.ID, "")
+				if m.OnDeliver != nil {
+					m.OnDeliver(pkt, t)
+				}
+				m.releaseRecvBuffer()
+			})
+		})
+	})
+}
+
+// handleMapping implements the MCP side of the network-mapping
+// protocol: probes from a remote mapper are answered with this host's
+// identity along the return route the probe carries; self-returned
+// scouts and replies are handed to the local mapper, if any.
+func (m *MCP) handleMapping(pkt *packet.Packet) {
+	mp, err := packet.DecodeMapping(pkt.Payload)
+	if err != nil {
+		return // malformed scout: flush
+	}
+	switch {
+	case mp.Kind == packet.MappingReply,
+		mp.Kind == packet.MappingProbe && mp.Origin == int32(m.host):
+		// Addressed to the mapper running on this host.
+		if m.OnMapping != nil {
+			m.OnMapping(mp, m.eng.Now())
+		}
+	default:
+		// A foreign probe: answer with our identity. A probe with an
+		// empty return route cannot be answered (the mapper was still
+		// bootstrapping its own attach port); inject anyway — the
+		// fabric flushes the route-less reply at the first switch,
+		// exactly as real misaddressed scouts die.
+		reply := &packet.Packet{
+			Route: append([]byte(nil), mp.ReturnRoute...),
+			Type:  packet.TypeMapping,
+			Src:   int(m.host),
+			Dst:   int(mp.Origin),
+			Payload: packet.EncodeMapping(packet.Mapping{
+				Kind:   packet.MappingReply,
+				Nonce:  mp.Nonce,
+				Origin: int32(m.host),
+			}),
+		}
+		m.SubmitSend(reply, nil)
+	}
+}
+
+// releaseRecvBuffer re-arms a reception and admits a blocked arrival
+// if one is waiting.
+func (m *MCP) releaseRecvBuffer() {
+	m.nic.CPU.Post(lanai.PrioRecv, m.cfg.Costs.ProgramRecvCycles, func() {
+		if len(m.waiting) > 0 {
+			f := m.waiting[0]
+			m.waiting = m.waiting[1:]
+			m.acceptFlight(f)
+			return
+		}
+		m.recvBufsFree++
+	})
+}
+
+// String identifies the instance in traces.
+func (m *MCP) String() string {
+	return fmt.Sprintf("%s@host%d", m.cfg.Variant, m.host)
+}

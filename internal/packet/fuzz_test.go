@@ -1,0 +1,78 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParse hardens the wire decoder against malformed buffers: it
+// must never panic, and whatever parses must re-encode consistently.
+func FuzzParse(f *testing.F) {
+	good, _ := Encode(&Packet{Route: []byte{1, 2}, Type: TypeGM, Payload: []byte("seed")})
+	f.Add(good, 2)
+	f.Add([]byte{}, 0)
+	f.Add([]byte{0xFE, 0x01, 0x00}, 1)
+	f.Fuzz(func(t *testing.T, buf []byte, routeLen int) {
+		p, err := Parse(buf, routeLen%64)
+		if err != nil {
+			return
+		}
+		re, err := Encode(p)
+		if err != nil {
+			t.Fatalf("re-encode of parsed packet failed: %v", err)
+		}
+		q, err := Parse(re, len(p.Route))
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if q.Type != p.Type || !bytes.Equal(q.Route, p.Route) || !bytes.Equal(q.Payload, p.Payload) {
+			t.Fatal("parse/encode not idempotent")
+		}
+	})
+}
+
+// FuzzDecodeMapping hardens the mapper payload decoder.
+func FuzzDecodeMapping(f *testing.F) {
+	f.Add(EncodeMapping(Mapping{Kind: MappingProbe, Nonce: 1, Origin: 2, ReturnRoute: []byte{3}}))
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0, 0, 5, 1, 2})
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		m, err := DecodeMapping(buf)
+		if err != nil {
+			return
+		}
+		got, err := DecodeMapping(EncodeMapping(m))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if got.Kind != m.Kind || got.Nonce != m.Nonce || got.Origin != m.Origin ||
+			!bytes.Equal(got.ReturnRoute, m.ReturnRoute) {
+			t.Fatal("mapping decode/encode not idempotent")
+		}
+	})
+}
+
+// FuzzSplitITBRoute hardens the in-transit route splitter.
+func FuzzSplitITBRoute(f *testing.F) {
+	r, _ := BuildITBRoute([][]byte{{1, 2}, {3}})
+	f.Add(r)
+	f.Add([]byte{ITBTag})
+	f.Add([]byte{ITBTag, 200, 1})
+	f.Fuzz(func(t *testing.T, route []byte) {
+		segs, err := SplitITBRoute(route)
+		if err != nil {
+			return
+		}
+		rebuilt, err := BuildITBRoute(segs)
+		if err != nil {
+			// Rebuild can fail only on size limits, never on shape.
+			if len(route) <= MaxRouteLen {
+				t.Fatalf("rebuild of split route failed: %v", err)
+			}
+			return
+		}
+		if !bytes.Equal(rebuilt, route) {
+			t.Fatalf("split/build not idempotent: %v -> %v", route, rebuilt)
+		}
+	})
+}

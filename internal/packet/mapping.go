@@ -1,0 +1,73 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Mapping packets implement GM's network-exploration protocol: the
+// mapper host emits "scout" probes with trial routes; probes that
+// wind back to the mapper prove a route loops home, and probes that
+// land on a remote NIC are answered by that NIC's MCP using the
+// return route carried in the probe payload.
+
+// MappingKind distinguishes probes from replies.
+type MappingKind byte
+
+const (
+	// MappingProbe is a scout sent by the mapper.
+	MappingProbe MappingKind = 0
+	// MappingReply is an MCP's answer to a probe.
+	MappingReply MappingKind = 1
+)
+
+// Mapping is the decoded payload of a TypeMapping packet.
+type Mapping struct {
+	Kind MappingKind
+	// Nonce correlates replies (and self-returned probes) with the
+	// probe that caused them.
+	Nonce uint32
+	// Origin is the mapper host's node id (probes), or the replying
+	// host's node id (replies).
+	Origin int32
+	// ReturnRoute is the wire route a replying NIC must use to reach
+	// the mapper (probes only).
+	ReturnRoute []byte
+}
+
+// EncodeMapping serialises a mapping payload.
+func EncodeMapping(m Mapping) []byte {
+	buf := make([]byte, 0, 1+4+4+1+len(m.ReturnRoute))
+	buf = append(buf, byte(m.Kind))
+	var u [4]byte
+	binary.BigEndian.PutUint32(u[:], m.Nonce)
+	buf = append(buf, u[:]...)
+	binary.BigEndian.PutUint32(u[:], uint32(m.Origin))
+	buf = append(buf, u[:]...)
+	if len(m.ReturnRoute) > 255 {
+		panic("packet: mapping return route too long")
+	}
+	buf = append(buf, byte(len(m.ReturnRoute)))
+	buf = append(buf, m.ReturnRoute...)
+	return buf
+}
+
+// DecodeMapping parses a mapping payload.
+func DecodeMapping(payload []byte) (Mapping, error) {
+	var m Mapping
+	if len(payload) < 10 {
+		return m, fmt.Errorf("packet: mapping payload too short (%d bytes)", len(payload))
+	}
+	m.Kind = MappingKind(payload[0])
+	if m.Kind != MappingProbe && m.Kind != MappingReply {
+		return m, fmt.Errorf("packet: unknown mapping kind %d", payload[0])
+	}
+	m.Nonce = binary.BigEndian.Uint32(payload[1:5])
+	m.Origin = int32(binary.BigEndian.Uint32(payload[5:9]))
+	n := int(payload[9])
+	if len(payload) < 10+n {
+		return m, fmt.Errorf("packet: mapping return route truncated")
+	}
+	m.ReturnRoute = append([]byte(nil), payload[10:10+n]...)
+	return m, nil
+}

@@ -1,0 +1,94 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestMappingRoundTrip(t *testing.T) {
+	m := Mapping{
+		Kind:        MappingProbe,
+		Nonce:       0xDEADBEEF,
+		Origin:      42,
+		ReturnRoute: []byte{3, 1, 4},
+	}
+	got, err := DecodeMapping(EncodeMapping(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != m.Kind || got.Nonce != m.Nonce || got.Origin != m.Origin ||
+		!bytes.Equal(got.ReturnRoute, m.ReturnRoute) {
+		t.Errorf("round trip: %+v != %+v", got, m)
+	}
+}
+
+func TestMappingReplyRoundTrip(t *testing.T) {
+	m := Mapping{Kind: MappingReply, Nonce: 7, Origin: -1}
+	got, err := DecodeMapping(EncodeMapping(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != MappingReply || got.Origin != -1 {
+		t.Errorf("got %+v", got)
+	}
+	if len(got.ReturnRoute) != 0 {
+		t.Errorf("empty return route decoded as %v", got.ReturnRoute)
+	}
+}
+
+func TestMappingDecodeErrors(t *testing.T) {
+	if _, err := DecodeMapping(nil); err == nil {
+		t.Error("nil payload accepted")
+	}
+	if _, err := DecodeMapping(make([]byte, 5)); err == nil {
+		t.Error("short payload accepted")
+	}
+	bad := EncodeMapping(Mapping{Kind: MappingProbe, Nonce: 1})
+	bad[0] = 99
+	if _, err := DecodeMapping(bad); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	trunc := EncodeMapping(Mapping{Kind: MappingProbe, ReturnRoute: []byte{1, 2, 3}})
+	if _, err := DecodeMapping(trunc[:len(trunc)-2]); err == nil {
+		t.Error("truncated return route accepted")
+	}
+}
+
+func TestMappingEncodeTooLongPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	EncodeMapping(Mapping{Kind: MappingProbe, ReturnRoute: make([]byte, 256)})
+}
+
+// Property: encode/decode round-trips arbitrary mapping payloads.
+func TestMappingProperty(t *testing.T) {
+	f := func(kindRaw bool, nonce uint32, origin int32, route []byte) bool {
+		if len(route) > 255 {
+			route = route[:255]
+		}
+		m := Mapping{Nonce: nonce, Origin: origin, ReturnRoute: route}
+		if kindRaw {
+			m.Kind = MappingReply
+		}
+		got, err := DecodeMapping(EncodeMapping(m))
+		if err != nil {
+			return false
+		}
+		return got.Kind == m.Kind && got.Nonce == m.Nonce &&
+			got.Origin == m.Origin && bytes.Equal(got.ReturnRoute, m.ReturnRoute)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNextSegmentLenNoITB(t *testing.T) {
+	p := &Packet{Route: []byte{1, 2, 3}}
+	if got := p.NextSegmentLen(); got != 3 {
+		t.Errorf("NextSegmentLen = %d, want 3", got)
+	}
+}

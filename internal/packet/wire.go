@@ -1,0 +1,163 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// crc8 computes the 8-bit CRC Myrinet appends to (and recomputes for)
+// the packet header at every hop, polynomial x^8+x^2+x+1 (CRC-8-ATM).
+func crc8(data []byte) byte {
+	var crc byte
+	for _, b := range data {
+		crc ^= b
+		for i := 0; i < 8; i++ {
+			if crc&0x80 != 0 {
+				crc = (crc << 1) ^ 0x07
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc
+}
+
+// Encode serialises the packet to its wire form:
+//
+//	[route][type:2][payload][crc32(payload):4][crc8(header):1]
+//
+// The trailing header CRC covers the route and type bytes; Myrinet
+// switches strip and recompute it per hop, so Parse tolerates (and
+// Validate checks) the value as-encoded.
+func Encode(p *Packet) ([]byte, error) {
+	if len(p.Route) > MaxRouteLen {
+		return nil, ErrRouteTooBig
+	}
+	n := len(p.Route) + 2 + len(p.Payload) + 4 + 1
+	buf := make([]byte, 0, n)
+	buf = append(buf, p.Route...)
+	var tb [2]byte
+	binary.BigEndian.PutUint16(tb[:], uint16(p.Type))
+	buf = append(buf, tb[:]...)
+	buf = append(buf, p.Payload...)
+	var cb [4]byte
+	binary.BigEndian.PutUint32(cb[:], crc32.ChecksumIEEE(p.Payload))
+	buf = append(buf, cb[:]...)
+	buf = append(buf, crc8(buf[:len(p.Route)+2]))
+	return buf, nil
+}
+
+// Parse decodes a wire buffer produced by Encode, given the number of
+// route bytes still in front of the type field. routeLen must be
+// supplied by the caller because on the real wire the route length is
+// implicit: switches consume leading bytes and a NIC knows the route
+// is empty by construction.
+func Parse(buf []byte, routeLen int) (*Packet, error) {
+	if routeLen < 0 || routeLen > MaxRouteLen {
+		return nil, ErrRouteTooBig
+	}
+	if len(buf) < routeLen+2+4+1 {
+		return nil, ErrShort
+	}
+	p := &Packet{}
+	p.Route = append([]byte(nil), buf[:routeLen]...)
+	p.Type = Type(binary.BigEndian.Uint16(buf[routeLen : routeLen+2]))
+	body := buf[routeLen+2 : len(buf)-5]
+	p.Payload = append([]byte(nil), body...)
+	wantCRC := binary.BigEndian.Uint32(buf[len(buf)-5 : len(buf)-1])
+	if crc32.ChecksumIEEE(p.Payload) != wantCRC {
+		return nil, ErrBadCRC
+	}
+	if crc8(buf[:routeLen+2]) != buf[len(buf)-1] {
+		return nil, ErrBadHeadCRC
+	}
+	return p, nil
+}
+
+// Validate checks the structural invariants of a parsed packet:
+// route length bounds and well-formed ITB markers (every ITBTag is
+// followed by a length byte that matches the bytes that follow it,
+// counting nested segment markers).
+func Validate(p *Packet) error {
+	if len(p.Route) > MaxRouteLen {
+		return ErrRouteTooBig
+	}
+	r := p.Route
+	for i := 0; i < len(r); i++ {
+		if r[i] != ITBTag {
+			continue
+		}
+		if i+1 >= len(r) {
+			return fmt.Errorf("%w: ITB tag at end of route", ErrBadITB)
+		}
+		declared := int(r[i+1])
+		actual := len(r) - i - 2
+		if declared != actual {
+			return fmt.Errorf("%w: ITB segment declares %d remaining bytes, have %d",
+				ErrBadITB, declared, actual)
+		}
+		i++ // skip length byte
+	}
+	return nil
+}
+
+// BuildITBRoute concatenates up*/down* sub-paths into one ITB route:
+// segments after the first are each preceded by an ITBTag and the
+// length of everything that follows, matching Figure 3.b. A single
+// segment yields a plain route.
+func BuildITBRoute(segments [][]byte) ([]byte, error) {
+	if len(segments) == 0 {
+		return nil, fmt.Errorf("packet: no route segments")
+	}
+	// Compute total length first to validate the remaining-length
+	// bytes fit in one byte each.
+	total := len(segments[0])
+	for _, s := range segments[1:] {
+		total += 2 + len(s)
+	}
+	if total > MaxRouteLen {
+		return nil, ErrRouteTooBig
+	}
+	route := make([]byte, 0, total)
+	route = append(route, segments[0]...)
+	for si, s := range segments[1:] {
+		// Remaining bytes after this tag+length pair: this segment
+		// plus all later segments with their markers.
+		rem := len(s)
+		for _, later := range segments[si+2:] {
+			rem += 2 + len(later)
+		}
+		if rem > 255 {
+			return nil, ErrRouteTooBig
+		}
+		route = append(route, ITBTag, byte(rem))
+		route = append(route, s...)
+	}
+	return route, nil
+}
+
+// SplitITBRoute is the inverse of BuildITBRoute: it splits a route
+// back into its sub-path segments. Used by tests and the mapper's
+// route printer.
+func SplitITBRoute(route []byte) ([][]byte, error) {
+	var segs [][]byte
+	cur := []byte{}
+	for i := 0; i < len(route); i++ {
+		if route[i] == ITBTag {
+			if i+1 >= len(route) {
+				return nil, ErrBadITB
+			}
+			if int(route[i+1]) != len(route)-i-2 {
+				return nil, ErrBadITB
+			}
+			segs = append(segs, cur)
+			cur = []byte{}
+			i++
+			continue
+		}
+		cur = append(cur, route[i])
+	}
+	segs = append(segs, cur)
+	return segs, nil
+}

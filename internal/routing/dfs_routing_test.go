@@ -1,0 +1,92 @@
+package routing
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topology"
+)
+
+// DFS-ordered up*/down* must compose with both routings exactly like
+// the BFS orientation: complete tables, legal segments, acyclic
+// channel dependencies.
+func TestDFSRoutingDeadlockFreeProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%10) + 2
+		tp, err := topology.Generate(topology.DefaultGenConfig(n, seed))
+		if err != nil {
+			return false
+		}
+		ud := topology.BuildUpDownDFS(tp)
+		for _, alg := range []Algorithm{UpDownRouting, ITBRouting} {
+			tbl, err := BuildTable(tp, ud, alg)
+			if err != nil {
+				return false
+			}
+			if CheckDeadlockFree(tbl.Routes()) != nil {
+				return false
+			}
+			for _, r := range tbl.Routes() {
+				if r.Validate(tp, ud) != nil {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDFSOftenBeatsBFSOnIrregular(t *testing.T) {
+	// The DFS methodology's selling point: shorter up*/down* routes on
+	// irregular networks. Demand it on at least half of a seed sample
+	// (it is a heuristic, not a theorem).
+	wins, ties, losses := 0, 0, 0
+	for seed := int64(0); seed < 10; seed++ {
+		tp, err := topology.Generate(topology.DefaultGenConfig(16, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bfs := topology.BuildUpDown(tp)
+		dfs := topology.BuildUpDownDFS(tp)
+		bt, err := BuildTable(tp, bfs, UpDownRouting)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dt, err := BuildTable(tp, dfs, UpDownRouting)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := Analyze(tp, bfs, bt).AvgLinkHops
+		d := Analyze(tp, dfs, dt).AvgLinkHops
+		switch {
+		case d < b:
+			wins++
+		case d == b:
+			ties++
+		default:
+			losses++
+		}
+	}
+	t.Logf("DFS vs BFS avg-hops: %d wins, %d ties, %d losses", wins, ties, losses)
+	if wins == 0 {
+		t.Error("DFS ordering never improved route lengths across 10 seeds")
+	}
+}
+
+func TestITBMinimalUnderDFSOrientation(t *testing.T) {
+	tp, err := topology.Generate(topology.DefaultGenConfig(16, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ud := topology.BuildUpDownDFS(tp)
+	tbl, err := BuildTable(tp, ud, ITBRouting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := Analyze(tp, ud, tbl); a.MinimalFraction != 1 {
+		t.Errorf("minimal fraction = %.2f under DFS orientation", a.MinimalFraction)
+	}
+}

@@ -1,0 +1,40 @@
+package routing_test
+
+import (
+	"fmt"
+
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// The paper's Figure 1: the minimal path from switch 4 to switch 1 is
+// forbidden by up*/down*; ITB routing splits it at a host of switch 6.
+func ExampleBuildTable() {
+	topo, f := topology.Figure1()
+	ud := topology.BuildUpDownFrom(topo, f.Switches[0])
+
+	udTbl, _ := routing.BuildTable(topo, ud, routing.UpDownRouting)
+	itbTbl, _ := routing.BuildTable(topo, ud, routing.ITBRouting)
+
+	src, dst := f.Hosts[4], f.Hosts[1]
+	udRoute, _ := udTbl.Lookup(src, dst)
+	itbRoute, _ := itbTbl.Lookup(src, dst)
+	fmt.Printf("up*/down*: %d switch crossings, %d ITBs\n",
+		udRoute.SwitchCrossings(), udRoute.NumITBs())
+	fmt.Printf("with ITBs: %d switch crossings, %d ITBs\n",
+		itbRoute.SwitchCrossings(), itbRoute.NumITBs())
+	fmt.Println("deadlock free:",
+		routing.CheckDeadlockFree(itbTbl.Routes()) == nil)
+	// Output:
+	// up*/down*: 4 switch crossings, 0 ITBs
+	// with ITBs: 4 switch crossings, 1 ITBs
+	// deadlock free: true
+}
+
+func ExampleCheckDeadlockFree() {
+	topo := topology.Ring(6, 1)
+	ud := topology.BuildUpDown(topo)
+	tbl, _ := routing.BuildTable(topo, ud, routing.UpDownRouting)
+	fmt.Println(routing.CheckDeadlockFree(tbl.Routes()))
+	// Output: <nil>
+}

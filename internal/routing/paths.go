@@ -1,0 +1,249 @@
+package routing
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/topology"
+)
+
+// phase tracks the up*/down* history of a partial path.
+type phase int
+
+const (
+	phaseUpOK   phase = iota // no down hop taken yet: up and down legal
+	phaseDowned              // a down hop taken: only down legal
+)
+
+// searchState is a node in the layered routing graph.
+type searchState struct {
+	sw topology.NodeID
+	ph phase
+}
+
+// swStep records how a search state was reached.
+type swStep struct {
+	prev searchState
+	link *topology.Link // nil at the source
+	itb  bool           // an ITB reset happened at prev.sw before this hop
+}
+
+// UpDownSwitchPath computes the shortest up*/down*-legal switch path
+// from switch src to switch dst under orientation ud. It returns the
+// traversed links in order; an empty slice when src == dst. Up*/down*
+// guarantees a legal path exists between every pair in a connected
+// network, so failure panics (it would mean a broken orientation).
+func UpDownSwitchPath(t *topology.Topology, ud *topology.UpDown, src, dst topology.NodeID) []Traversal {
+	trav, _, err := searchPath(t, ud, src, dst, false)
+	if err != nil {
+		panic(err)
+	}
+	return trav
+}
+
+// MinimalSwitchPath computes a shortest switch path ignoring routing
+// restrictions (pure BFS). Used as the lower bound the ITB mechanism
+// tries to reach, and by tests.
+func MinimalSwitchPath(t *topology.Topology, src, dst topology.NodeID) []Traversal {
+	trav, _, err := searchPath(t, nil, src, dst, false)
+	if err != nil {
+		panic(err)
+	}
+	return trav
+}
+
+// ITBSwitchPath computes a minimal-hop path from switch src to switch
+// dst in which every up*/down* violation is repaired by an in-transit
+// buffer at a host-attached switch. Among minimal-hop paths it uses
+// the fewest ITBs. The returned itbAt lists, in order, the indices
+// into the traversal after which an ejection/re-injection happens
+// (i.e. the packet is ejected at the switch reached by traversal
+// itbAt[k] ... precisely: before taking traversal itbAt[k], the packet
+// resets at the switch it is currently on).
+func ITBSwitchPath(t *topology.Topology, ud *topology.UpDown, src, dst topology.NodeID) (trav []Traversal, itbBefore []int, err error) {
+	return searchPathITB(t, ud, src, dst)
+}
+
+// searchPath is a BFS over (switch, phase) states. With ud == nil the
+// phase is ignored and the search is a plain shortest path.
+func searchPath(t *topology.Topology, ud *topology.UpDown, src, dst topology.NodeID, _ bool) ([]Traversal, int, error) {
+	if t.Node(src).Kind != topology.KindSwitch || t.Node(dst).Kind != topology.KindSwitch {
+		return nil, 0, fmt.Errorf("routing: path endpoints must be switches")
+	}
+	if src == dst {
+		return nil, 0, nil
+	}
+	start := searchState{sw: src, ph: phaseUpOK}
+	parent := map[searchState]swStep{start: {}}
+	queue := []searchState{start}
+	var goal *searchState
+	for len(queue) > 0 && goal == nil {
+		st := queue[0]
+		queue = queue[1:]
+		for _, nb := range sortedSwitchNeighbors(t, st.sw) {
+			next := searchState{sw: nb.Node, ph: st.ph}
+			if ud != nil {
+				dir := ud.DirectionOf(nb.Link, st.sw)
+				var prev *topology.Direction
+				if st.ph == phaseDowned {
+					d := topology.Down
+					prev = &d
+				}
+				if !topology.LegalTransition(prev, dir) {
+					continue
+				}
+				if dir == topology.Down {
+					next.ph = phaseDowned
+				}
+			}
+			if _, seen := parent[next]; seen {
+				continue
+			}
+			parent[next] = swStep{prev: st, link: nb.Link}
+			if next.sw == dst {
+				g := next
+				goal = &g
+				break
+			}
+			queue = append(queue, next)
+		}
+	}
+	if goal == nil {
+		return nil, 0, fmt.Errorf("routing: no path from switch %d to %d", src, dst)
+	}
+	// Reconstruct.
+	var rev []Traversal
+	for st := *goal; st != start; st = parent[st].prev {
+		step := parent[st]
+		rev = append(rev, Traversal{Link: step.link, From: step.prev.sw})
+	}
+	trav := make([]Traversal, len(rev))
+	for i := range rev {
+		trav[i] = rev[len(rev)-1-i]
+	}
+	return trav, len(trav), nil
+}
+
+// itbNode is a Dijkstra node for the ITB search.
+type itbNode struct {
+	st   searchState
+	cost int64 // hops*2^20 + itbs: lexicographic (hops, itbs)
+	idx  int
+}
+
+type itbHeap []*itbNode
+
+func (h itbHeap) Len() int           { return len(h) }
+func (h itbHeap) Less(i, j int) bool { return h[i].cost < h[j].cost }
+func (h itbHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].idx = i; h[j].idx = j }
+func (h *itbHeap) Push(x any)        { n := x.(*itbNode); n.idx = len(*h); *h = append(*h, n) }
+func (h *itbHeap) Pop() any          { o := *h; n := o[len(o)-1]; *h = o[:len(o)-1]; return n }
+func hopCost(hops, itbs int64) int64 { return hops<<20 | itbs }
+
+// searchPathITB runs Dijkstra over the layered graph with an extra
+// zero-hop "reset" edge (phaseDowned -> phaseUpOK) at every switch
+// that has at least one attached host, costing one ITB. The cost is
+// lexicographic (hops, itbs), so the result is a minimal-hop path
+// using the fewest resets.
+func searchPathITB(t *topology.Topology, ud *topology.UpDown, src, dst topology.NodeID) ([]Traversal, []int, error) {
+	if t.Node(src).Kind != topology.KindSwitch || t.Node(dst).Kind != topology.KindSwitch {
+		return nil, nil, fmt.Errorf("routing: path endpoints must be switches")
+	}
+	if src == dst {
+		return nil, nil, nil
+	}
+	start := searchState{sw: src, ph: phaseUpOK}
+	dist := map[searchState]int64{start: 0}
+	parent := map[searchState]swStep{start: {}}
+	h := &itbHeap{}
+	heap.Push(h, &itbNode{st: start, cost: 0})
+	done := map[searchState]bool{}
+	for h.Len() > 0 {
+		n := heap.Pop(h).(*itbNode)
+		if done[n.st] {
+			continue
+		}
+		done[n.st] = true
+		if n.st.sw == dst {
+			// Any phase at dst is acceptable; first pop wins.
+			return reconstructITB(parent, start, n.st)
+		}
+		st := n.st
+		base := dist[st]
+		relax := func(next searchState, cost int64, step swStep) {
+			if d, ok := dist[next]; ok && d <= cost {
+				return
+			}
+			dist[next] = cost
+			parent[next] = step
+			heap.Push(h, &itbNode{st: next, cost: cost})
+		}
+		// Reset edge: eject/re-inject at a host of this switch.
+		if st.ph == phaseDowned && len(t.HostsAt(st.sw)) > 0 {
+			relax(searchState{sw: st.sw, ph: phaseUpOK}, base+hopCost(0, 1),
+				swStep{prev: st, itb: true})
+		}
+		for _, nb := range sortedSwitchNeighbors(t, st.sw) {
+			dir := ud.DirectionOf(nb.Link, st.sw)
+			if st.ph == phaseDowned && dir == topology.Up {
+				continue
+			}
+			nextPh := st.ph
+			if dir == topology.Down {
+				nextPh = phaseDowned
+			}
+			relax(searchState{sw: nb.Node, ph: nextPh}, base+hopCost(1, 0),
+				swStep{prev: st, link: nb.Link})
+		}
+	}
+	return nil, nil, fmt.Errorf("routing: no ITB path from switch %d to %d", src, dst)
+}
+
+func reconstructITB(parent map[searchState]swStep, start, goal searchState) ([]Traversal, []int, error) {
+	type revStep struct {
+		tr  Traversal
+		itb bool
+	}
+	var rev []revStep
+	for st := goal; st != start; {
+		step := parent[st]
+		if step.itb {
+			// Reset edge: mark an ITB before the next recorded hop.
+			rev = append(rev, revStep{itb: true})
+		} else {
+			rev = append(rev, revStep{tr: Traversal{Link: step.link, From: step.prev.sw}})
+		}
+		st = step.prev
+	}
+	var trav []Traversal
+	var itbBefore []int
+	for i := len(rev) - 1; i >= 0; i-- {
+		if rev[i].itb {
+			itbBefore = append(itbBefore, len(trav))
+			continue
+		}
+		trav = append(trav, rev[i].tr)
+	}
+	return trav, itbBefore, nil
+}
+
+// sortedSwitchNeighbors returns switch neighbours of sw in
+// deterministic (node id, link id) order.
+func sortedSwitchNeighbors(t *topology.Topology, sw topology.NodeID) []topology.Neighbor {
+	nbs := t.Neighbors(sw)
+	out := nbs[:0]
+	for _, nb := range nbs {
+		// Loopback cables are invisible to the mapper's route search.
+		if t.Node(nb.Node).Kind == topology.KindSwitch && !nb.Link.IsLoopback() {
+			out = append(out, nb)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return out[i].Link.ID < out[j].Link.ID
+	})
+	return out
+}

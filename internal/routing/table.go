@@ -1,0 +1,186 @@
+package routing
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// Algorithm selects how the mapper computes routes.
+type Algorithm int
+
+const (
+	// UpDownRouting is stock Myrinet: shortest up*/down*-legal routes.
+	UpDownRouting Algorithm = iota
+	// ITBRouting is the paper's mechanism: minimal routes with
+	// up*/down* violations repaired by in-transit buffers.
+	ITBRouting
+)
+
+// String names the routing algorithm.
+func (a Algorithm) String() string {
+	if a == UpDownRouting {
+		return "up*/down*"
+	}
+	return "up*/down* + ITB"
+}
+
+// Table holds the source routes between every ordered host pair, as
+// the mapper would store them in each NIC's SRAM.
+type Table struct {
+	Algorithm Algorithm
+	routes    map[[2]topology.NodeID]*Route
+	// itbLoad counts in-transit assignments per host, used to balance
+	// host selection at in-transit switches.
+	itbLoad map[topology.NodeID]int
+	// pathCache memoises switch-pair searches: all host pairs on the
+	// same switch pair share one search (ITB host choice still varies
+	// per route for balance).
+	pathCache map[[2]topology.NodeID]cachedPath
+}
+
+type cachedPath struct {
+	trav      []Traversal
+	itbBefore []int
+}
+
+// BuildTable computes routes for all ordered host pairs.
+func BuildTable(t *topology.Topology, ud *topology.UpDown, alg Algorithm) (*Table, error) {
+	tbl := &Table{
+		Algorithm: alg,
+		routes:    make(map[[2]topology.NodeID]*Route),
+		itbLoad:   make(map[topology.NodeID]int),
+		pathCache: make(map[[2]topology.NodeID]cachedPath),
+	}
+	hosts := t.Hosts()
+	for _, src := range hosts {
+		for _, dst := range hosts {
+			if src == dst {
+				continue
+			}
+			r, err := tbl.buildRoute(t, ud, src, dst)
+			if err != nil {
+				return nil, err
+			}
+			tbl.routes[[2]topology.NodeID{src, dst}] = r
+		}
+	}
+	return tbl, nil
+}
+
+// Lookup returns the route from src to dst.
+func (tbl *Table) Lookup(src, dst topology.NodeID) (*Route, bool) {
+	r, ok := tbl.routes[[2]topology.NodeID{src, dst}]
+	return r, ok
+}
+
+// Routes returns every route in the table (iteration order is not
+// specified; callers that need determinism should iterate host pairs).
+func (tbl *Table) Routes() []*Route {
+	out := make([]*Route, 0, len(tbl.routes))
+	for _, r := range tbl.routes {
+		out = append(out, r)
+	}
+	return out
+}
+
+// Len returns the number of routes.
+func (tbl *Table) Len() int { return len(tbl.routes) }
+
+// buildRoute assembles a host-to-host Route from a switch path.
+func (tbl *Table) buildRoute(t *topology.Topology, ud *topology.UpDown, src, dst topology.NodeID) (*Route, error) {
+	srcSw, ok := t.SwitchOf(src)
+	if !ok {
+		return nil, fmt.Errorf("routing: host %d not cabled", src)
+	}
+	dstSw, ok := t.SwitchOf(dst)
+	if !ok {
+		return nil, fmt.Errorf("routing: host %d not cabled", dst)
+	}
+	key := [2]topology.NodeID{srcSw, dstSw}
+	cp, cached := tbl.pathCache[key]
+	if !cached {
+		switch tbl.Algorithm {
+		case UpDownRouting:
+			cp.trav = UpDownSwitchPath(t, ud, srcSw, dstSw)
+		case ITBRouting:
+			var err error
+			cp.trav, cp.itbBefore, err = ITBSwitchPath(t, ud, srcSw, dstSw)
+			if err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("routing: unknown algorithm %d", tbl.Algorithm)
+		}
+		tbl.pathCache[key] = cp
+	}
+	return tbl.assemble(t, src, dst, srcSw, cp.trav, cp.itbBefore)
+}
+
+// assemble converts a switch traversal plus ITB reset positions into a
+// Route with port bytes, in-transit host choices, and link path.
+func (tbl *Table) assemble(t *topology.Topology, src, dst, srcSw topology.NodeID, trav []Traversal, itbBefore []int) (*Route, error) {
+	r := &Route{Src: src, Dst: dst}
+	hostUp := t.LinkAt(src, 0)   // src host -> its switch
+	hostDown := t.LinkAt(dst, 0) // last switch -> dst host
+
+	r.LinkPath = append(r.LinkPath, Traversal{Link: hostUp, From: src})
+
+	// Split trav at the itbBefore indices.
+	nextITB := 0
+	cur := []byte{}
+	curSw := srcSw
+	r.SwitchPath = append(r.SwitchPath, curSw)
+	flushSegment := func(itbSwitch topology.NodeID) error {
+		// Eject into a host of itbSwitch: pick the least-loaded host
+		// (deterministic tie-break by id).
+		hosts := t.HostsAt(itbSwitch)
+		if len(hosts) == 0 {
+			return fmt.Errorf("routing: ITB needed at switch %d which has no hosts", itbSwitch)
+		}
+		best := hosts[0]
+		for _, h := range hosts[1:] {
+			if tbl.itbLoad[h] < tbl.itbLoad[best] {
+				best = h
+			}
+		}
+		tbl.itbLoad[best]++
+		hl := t.LinkAt(best, 0)
+		// Final port byte of this segment delivers into the ITB host.
+		cur = append(cur, byte(hl.PortAt(itbSwitch)))
+		r.LinkPath = append(r.LinkPath, Traversal{Link: hl, From: itbSwitch})
+		r.Segments = append(r.Segments, cur)
+		r.ITBHosts = append(r.ITBHosts, best)
+		// Re-injection back into the same switch.
+		r.LinkPath = append(r.LinkPath, Traversal{Link: hl, From: best})
+		// The re-injected packet crosses the switch again.
+		r.SwitchPath = append(r.SwitchPath, itbSwitch)
+		cur = []byte{}
+		return nil
+	}
+	for i, tr := range trav {
+		for nextITB < len(itbBefore) && itbBefore[nextITB] == i {
+			if err := flushSegment(curSw); err != nil {
+				return nil, err
+			}
+			nextITB++
+		}
+		cur = append(cur, byte(tr.Link.PortAt(tr.From)))
+		r.LinkPath = append(r.LinkPath, tr)
+		curSw = tr.To()
+		r.SwitchPath = append(r.SwitchPath, curSw)
+	}
+	// Trailing resets (ITB at the destination switch) would be
+	// pointless; the search never produces them, but guard anyway.
+	for nextITB < len(itbBefore) {
+		if err := flushSegment(curSw); err != nil {
+			return nil, err
+		}
+		nextITB++
+	}
+	// Deliver into dst.
+	cur = append(cur, byte(hostDown.PortAt(curSw)))
+	r.Segments = append(r.Segments, cur)
+	r.LinkPath = append(r.LinkPath, Traversal{Link: hostDown, From: curSw})
+	return r, nil
+}

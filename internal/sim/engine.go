@@ -1,0 +1,201 @@
+// Package sim implements the deterministic discrete-event engine that
+// drives every model in the simulator: the wormhole fabric, the LANai
+// NIC, the MCP firmware, and the GM host layer.
+//
+// The engine maintains a picosecond-resolution clock and a priority
+// queue of events. Events scheduled for the same instant fire in the
+// order they were scheduled, which makes every simulation run
+// reproducible byte-for-byte given the same inputs.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// Event is a scheduled callback. It can be cancelled before it fires.
+type Event struct {
+	at       units.Time
+	seq      uint64
+	index    int // heap index, -1 once removed
+	fn       func()
+	canceled bool
+}
+
+// At returns the simulated time the event is scheduled for.
+func (e *Event) At() units.Time { return e.at }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// eventHeap orders events by time, then by scheduling sequence.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation kernel.
+//
+// The zero value is not usable; create engines with NewEngine. An
+// Engine is not safe for concurrent use: a simulation is a single
+// logical timeline and runs on one goroutine by design.
+type Engine struct {
+	now     units.Time
+	seq     uint64
+	pq      eventHeap
+	stopped bool
+	fired   uint64
+}
+
+// NewEngine returns an engine with the clock at zero and no events.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() units.Time { return e.now }
+
+// Pending returns the number of events waiting to fire (including
+// cancelled events that have not yet been drained).
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Schedule queues fn to run after delay. A zero delay schedules fn for
+// the current instant, after all events already queued for that
+// instant. Negative delays panic: the simulated past is immutable.
+func (e *Engine) Schedule(delay units.Time, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	return e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt queues fn to run at absolute time t, which must not be in
+// the past.
+func (e *Engine) ScheduleAt(t units.Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.pq, ev)
+	return ev
+}
+
+// Cancel prevents ev from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.canceled {
+		return
+	}
+	ev.canceled = true
+	// Leave the event in the heap; it is skipped when popped. This
+	// keeps Cancel O(1) amortised, which matters for the GM layer's
+	// retransmission timers (almost all of which are cancelled).
+	ev.fn = nil
+}
+
+// Step fires the next pending event, if any, and reports whether an
+// event was fired. Cancelled events are drained silently.
+func (e *Engine) Step() bool {
+	for len(e.pq) > 0 {
+		ev := heap.Pop(&e.pq).(*Event)
+		if ev.canceled {
+			continue
+		}
+		if ev.at < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = ev.at
+		e.fired++
+		fn := ev.fn
+		ev.fn = nil
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue is empty or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps <= deadline, then advances the
+// clock to the deadline. Events scheduled beyond the deadline remain
+// queued.
+func (e *Engine) RunUntil(deadline units.Time) {
+	e.stopped = false
+	for !e.stopped {
+		ev := e.peek()
+		if ev == nil || ev.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if !e.stopped && e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// RunFor runs the simulation for d simulated time from now.
+func (e *Engine) RunFor(d units.Time) {
+	e.RunUntil(e.now + d)
+}
+
+// Stop makes Run/RunUntil return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// peek returns the next live event without firing it.
+func (e *Engine) peek() *Event {
+	for len(e.pq) > 0 {
+		if !e.pq[0].canceled {
+			return e.pq[0]
+		}
+		heap.Pop(&e.pq)
+	}
+	return nil
+}
+
+// NextEventAt returns the time of the next live event, or ok=false if
+// the queue is empty.
+func (e *Engine) NextEventAt() (t units.Time, ok bool) {
+	ev := e.peek()
+	if ev == nil {
+		return 0, false
+	}
+	return ev.at, true
+}

@@ -1,0 +1,163 @@
+package sim
+
+// Resource is a single-owner resource with a wait queue, used to
+// model exclusive hardware: a wormhole output channel, a send DMA
+// engine, the LANai CPU. Grant callbacks run synchronously from
+// Release (or Acquire when the resource is free), so they execute at
+// the current simulated time.
+//
+// The default grant order is FIFO. A round-robin resource
+// (NewResourceRR) cycles between requester classes — the policy of a
+// crossbar output arbitrating among input ports — while staying FIFO
+// within each class.
+type Resource struct {
+	name      string
+	owner     any
+	waiters   []waiter
+	grants    uint64
+	rr        bool
+	lastClass int
+}
+
+type waiter struct {
+	owner any
+	class int
+	fn    func()
+}
+
+// NewResource returns a free FIFO resource. The name is used only for
+// diagnostics.
+func NewResource(name string) *Resource {
+	return &Resource{name: name}
+}
+
+// NewResourceRR returns a free resource that grants round-robin
+// across requester classes.
+func NewResourceRR(name string) *Resource {
+	return &Resource{name: name, rr: true, lastClass: -1}
+}
+
+// Name returns the diagnostic name of the resource.
+func (r *Resource) Name() string { return r.name }
+
+// Busy reports whether the resource is currently owned.
+func (r *Resource) Busy() bool { return r.owner != nil }
+
+// Owner returns the current owner, or nil.
+func (r *Resource) Owner() any { return r.owner }
+
+// QueueLen returns the number of waiters.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// Grants returns the number of times the resource has been granted.
+func (r *Resource) Grants() uint64 { return r.grants }
+
+// Acquire requests the resource for owner (class 0). If the resource
+// is free it is granted immediately: fn runs synchronously and
+// Acquire reports true. Otherwise the request joins the queue and fn
+// will run from a future Release.
+func (r *Resource) Acquire(owner any, fn func()) bool {
+	return r.AcquireClass(owner, 0, fn)
+}
+
+// AcquireClass requests the resource with an explicit arbitration
+// class (meaningful for round-robin resources; ignored under FIFO).
+func (r *Resource) AcquireClass(owner any, class int, fn func()) bool {
+	if owner == nil {
+		panic("sim: nil resource owner")
+	}
+	if r.owner == nil && len(r.waiters) == 0 {
+		r.owner = owner
+		r.grants++
+		if r.rr {
+			r.lastClass = class
+		}
+		fn()
+		return true
+	}
+	r.waiters = append(r.waiters, waiter{owner: owner, class: class, fn: fn})
+	return false
+}
+
+// TryAcquire grants the resource to owner if it is free, without
+// queueing on failure.
+func (r *Resource) TryAcquire(owner any) bool {
+	if owner == nil {
+		panic("sim: nil resource owner")
+	}
+	if r.owner != nil || len(r.waiters) > 0 {
+		return false
+	}
+	r.owner = owner
+	r.grants++
+	return true
+}
+
+// Release frees the resource, which must be owned by owner, and grants
+// it to the next waiter if any (FIFO, or round-robin over classes).
+func (r *Resource) Release(owner any) {
+	if r.owner != owner {
+		panic("sim: release of resource " + r.name + " by non-owner")
+	}
+	r.owner = nil
+	if len(r.waiters) == 0 {
+		return
+	}
+	idx := 0
+	if r.rr {
+		idx = r.nextRR()
+	}
+	next := r.waiters[idx]
+	// Shift rather than re-slice so released entries can be collected.
+	copy(r.waiters[idx:], r.waiters[idx+1:])
+	r.waiters = r.waiters[:len(r.waiters)-1]
+	r.owner = next.owner
+	r.grants++
+	if r.rr {
+		r.lastClass = next.class
+	}
+	next.fn()
+}
+
+// nextRR picks the first waiter of the smallest class strictly after
+// lastClass in cyclic order (FIFO within a class).
+func (r *Resource) nextRR() int {
+	bestIdx := -1
+	bestKey := -1
+	span := 1 << 30
+	for i, w := range r.waiters {
+		// Cyclic distance from lastClass (1..span): smaller is sooner.
+		d := w.class - r.lastClass
+		for d <= 0 {
+			d += span
+		}
+		if bestIdx == -1 || d < bestKey {
+			bestIdx = i
+			bestKey = d
+		}
+	}
+	return bestIdx
+}
+
+// Waiters returns the owners currently queued for the resource, in
+// grant order. Diagnostic only; the slice is freshly allocated.
+func (r *Resource) Waiters() []any {
+	out := make([]any, len(r.waiters))
+	for i, w := range r.waiters {
+		out[i] = w.owner
+	}
+	return out
+}
+
+// CancelWait removes a queued (not yet granted) request by owner.
+// It reports whether a request was removed.
+func (r *Resource) CancelWait(owner any) bool {
+	for i, w := range r.waiters {
+		if w.owner == owner {
+			copy(r.waiters[i:], r.waiters[i+1:])
+			r.waiters = r.waiters[:len(r.waiters)-1]
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,56 @@
+package topology
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the topology in Graphviz DOT form, with up*/down*
+// link orientation annotations when ud is non-nil. Intended for
+// debugging generated topologies and documenting experiments.
+func WriteDOT(w io.Writer, t *Topology, ud *UpDown) error {
+	if _, err := fmt.Fprintln(w, "graph myrinet {"); err != nil {
+		return err
+	}
+	for i := 0; i < t.NumNodes(); i++ {
+		n := t.Node(NodeID(i))
+		label := n.Name
+		if label == "" {
+			label = fmt.Sprintf("%s%d", n.Kind, n.ID)
+		}
+		shape := "box"
+		if n.Kind == KindHost {
+			shape = "ellipse"
+		}
+		extra := ""
+		if ud != nil && n.Kind == KindSwitch {
+			if lvl, ok := ud.Level[n.ID]; ok {
+				extra = fmt.Sprintf(`\nlevel %d`, lvl)
+				if n.ID == ud.Root {
+					extra += ` (root)`
+				}
+			}
+		}
+		if _, err := fmt.Fprintf(w, "  n%d [label=\"%s%s\", shape=%s];\n", n.ID, label, extra, shape); err != nil {
+			return err
+		}
+	}
+	for i := range t.Links() {
+		l := t.Link(i)
+		attrs := fmt.Sprintf("label=\"%s\"", l.Type)
+		if ud != nil && ud.IsSwitchLink(l) {
+			// Draw tree links solid, cross links dashed; arrowhead at
+			// the up end.
+			if ud.DirectionOf(l, l.A) == Up {
+				attrs += ", dir=forward"
+			} else {
+				attrs += ", dir=back"
+			}
+		}
+		if _, err := fmt.Fprintf(w, "  n%d -- n%d [%s];\n", l.A, l.B, attrs); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

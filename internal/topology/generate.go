@@ -1,0 +1,115 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GenConfig parameterises the irregular topology generator, following
+// the methodology of the companion evaluation papers: networks of
+// 8-port switches, a random connection pattern constrained to stay
+// connected, and a fixed number of hosts per switch.
+type GenConfig struct {
+	// Switches is the number of switches (e.g. 8, 16, 32).
+	Switches int
+	// PortsPerSwitch is the switch radix (8 for M2FM-SW8).
+	PortsPerSwitch int
+	// HostsPerSwitch is how many ports of each switch go to hosts.
+	HostsPerSwitch int
+	// ExtraLinks is how many switch-switch links to add beyond the
+	// spanning tree that guarantees connectivity. More extra links
+	// mean more minimal paths for ITBs to exploit.
+	ExtraLinks int
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+// DefaultGenConfig mirrors the usual evaluation setup: 8-port
+// switches, 4 hosts per switch, and enough random extra links to make
+// the topology genuinely irregular.
+func DefaultGenConfig(switches int, seed int64) GenConfig {
+	return GenConfig{
+		Switches:       switches,
+		PortsPerSwitch: 8,
+		HostsPerSwitch: 4,
+		ExtraLinks:     switches, // tree (n-1) + n extra ≈ 2 links/switch
+		Seed:           seed,
+	}
+}
+
+// Generate builds a random irregular topology. The construction first
+// links all switches into a random spanning tree (connectivity), then
+// adds ExtraLinks random switch-switch links where free ports allow,
+// then attaches HostsPerSwitch hosts to every switch.
+func Generate(cfg GenConfig) (*Topology, error) {
+	if cfg.Switches < 1 {
+		return nil, fmt.Errorf("topology: need at least 1 switch")
+	}
+	if cfg.HostsPerSwitch < 0 || cfg.HostsPerSwitch >= cfg.PortsPerSwitch {
+		return nil, fmt.Errorf("topology: hosts per switch %d must leave switch ports free (radix %d)",
+			cfg.HostsPerSwitch, cfg.PortsPerSwitch)
+	}
+	swPorts := cfg.PortsPerSwitch - cfg.HostsPerSwitch
+	if cfg.Switches > 1 && swPorts < 1 {
+		return nil, fmt.Errorf("topology: no ports left for switch-switch links")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	t := New()
+	sws := make([]NodeID, cfg.Switches)
+	for i := range sws {
+		sws[i] = t.AddSwitch(cfg.PortsPerSwitch, fmt.Sprintf("sw%d", i))
+	}
+	// free switch-switch port budget per switch.
+	budget := make(map[NodeID]int, cfg.Switches)
+	for _, sw := range sws {
+		budget[sw] = swPorts
+	}
+	// Random spanning tree: connect each switch (in random order) to a
+	// random already-connected switch with a free port.
+	order := rng.Perm(cfg.Switches)
+	connected := []NodeID{sws[order[0]]}
+	for _, oi := range order[1:] {
+		sw := sws[oi]
+		// Candidates with port budget.
+		var cands []NodeID
+		for _, c := range connected {
+			if budget[c] > 0 {
+				cands = append(cands, c)
+			}
+		}
+		if len(cands) == 0 || budget[sw] == 0 {
+			return nil, fmt.Errorf("topology: ran out of switch ports building spanning tree (radix too small)")
+		}
+		peer := cands[rng.Intn(len(cands))]
+		t.ConnectAny(sw, peer, SAN)
+		budget[sw]--
+		budget[peer]--
+		connected = append(connected, sw)
+	}
+	// Extra random links.
+	added := 0
+	for attempts := 0; added < cfg.ExtraLinks && attempts < cfg.ExtraLinks*50; attempts++ {
+		a := sws[rng.Intn(len(sws))]
+		b := sws[rng.Intn(len(sws))]
+		if a == b || budget[a] == 0 || budget[b] == 0 {
+			continue
+		}
+		// Allow parallel links (real clusters have them) but avoid
+		// making one pair absorb everything.
+		t.ConnectAny(a, b, SAN)
+		budget[a]--
+		budget[b]--
+		added++
+	}
+	// Hosts.
+	for _, sw := range sws {
+		for j := 0; j < cfg.HostsPerSwitch; j++ {
+			h := t.AddHost("")
+			t.ConnectAny(h, sw, LAN)
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,118 @@
+package topology
+
+import "testing"
+
+func TestLoopbackConnect(t *testing.T) {
+	tp := New()
+	sw := tp.AddSwitch(8, "sw")
+	id := tp.Connect(sw, 2, sw, 5, LAN)
+	l := tp.Link(id)
+	if !l.IsLoopback() {
+		t.Fatal("IsLoopback = false")
+	}
+	if l.Other(sw) != sw {
+		t.Error("Other on loopback")
+	}
+	if tp.LinkAt(sw, 2) != l || tp.LinkAt(sw, 5) != l {
+		t.Error("loopback not registered on both ports")
+	}
+}
+
+func TestLoopbackFromA(t *testing.T) {
+	tp := New()
+	sw := tp.AddSwitch(8, "sw")
+	id := tp.Connect(sw, 2, sw, 5, LAN)
+	l := tp.Link(id)
+	if !l.FromA(sw, 2) {
+		t.Error("port 2 should be the A end")
+	}
+	if l.FromA(sw, 5) {
+		t.Error("port 5 should be the B end")
+	}
+	if l.NodeAt(true) != sw || l.NodeAt(false) != sw {
+		t.Error("NodeAt")
+	}
+	if l.PortAtEnd(true) != 2 || l.PortAtEnd(false) != 5 {
+		t.Error("PortAtEnd")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("FromA with wrong port should panic")
+		}
+	}()
+	l.FromA(sw, 3)
+}
+
+func TestFromANonLoopback(t *testing.T) {
+	tp := New()
+	a := tp.AddSwitch(2, "")
+	b := tp.AddSwitch(2, "")
+	c := tp.AddSwitch(2, "")
+	l := tp.Link(tp.Connect(a, 0, b, 1, SAN))
+	if !l.FromA(a, 0) || l.FromA(b, 1) {
+		t.Error("FromA on normal link")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("FromA with foreign node should panic")
+		}
+	}()
+	l.FromA(c, 0)
+}
+
+func TestLoopbackInvalidPanics(t *testing.T) {
+	check := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	tp := New()
+	sw := tp.AddSwitch(8, "")
+	h := tp.AddHost("")
+	_ = h
+	check("same port", func() { tp.Connect(sw, 1, sw, 1, LAN) })
+	check("host self-link", func() {
+		tp2 := New()
+		h2 := tp2.AddHost("")
+		tp2.Connect(h2, 0, h2, 0, LAN)
+	})
+}
+
+func TestLoopbackUnorientedAndUnrouted(t *testing.T) {
+	// A loopback must not affect up*/down* or route search.
+	tp := New()
+	a := tp.AddSwitch(8, "")
+	b := tp.AddSwitch(8, "")
+	tp.Connect(a, 0, b, 0, SAN)
+	loop := tp.Link(tp.Connect(b, 5, b, 6, LAN))
+	ha := tp.AddHost("")
+	hb := tp.AddHost("")
+	tp.ConnectAny(ha, a, LAN)
+	tp.ConnectAny(hb, b, LAN)
+
+	ud := BuildUpDown(tp)
+	if ud.IsSwitchLink(loop) {
+		t.Error("loopback got an up*/down* orientation")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("DirectionOf(loopback) should panic")
+		}
+	}()
+	ud.DirectionOf(loop, b)
+}
+
+func TestTestbedStillValidWithLoopback(t *testing.T) {
+	tp, nodes := Testbed()
+	tp.Connect(nodes.Switch2, 5, nodes.Switch2, 6, LAN)
+	if err := tp.Validate(); err != nil {
+		t.Errorf("testbed with loopback invalid: %v", err)
+	}
+	if !tp.Connected() {
+		t.Error("not connected")
+	}
+}

@@ -1,0 +1,130 @@
+package topology
+
+// Preset topologies used by the paper and by the test suite.
+
+// TestbedNodes names the nodes of the paper's evaluation testbed
+// (Figure 6) within the topology returned by Testbed.
+type TestbedNodes struct {
+	Host1, Host2, InTransit NodeID
+	Switch1, Switch2        NodeID
+}
+
+// Testbed builds the paper's Figure 6 setup: three hosts and two
+// 8-port M2FM-SW8 switches (4 LAN + 4 SAN ports each; we cable ports
+// 0-3 as SAN and 4-7 as LAN).
+//
+// Cabling, chosen so both Figure 8 paths exist with the same switch
+// count and the same port-type mix:
+//
+//   - host1 and the in-transit host hang off switch 1 via LAN ports
+//     (they use M2L LAN NICs in the paper);
+//   - host2 hangs off switch 2 via a SAN port (M2M SAN NIC);
+//   - switches 1 and 2 are joined by two SAN cables and one LAN cable,
+//     so a route can wind between them ("the up*/down* path requires a
+//     loop in switch 2") to equalise switch crossings at five.
+func Testbed() (*Topology, TestbedNodes) {
+	t := New()
+	sw1 := t.AddSwitch(8, "switch1")
+	sw2 := t.AddSwitch(8, "switch2")
+	h1 := t.AddHost("host1")
+	h2 := t.AddHost("host2")
+	itb := t.AddHost("in-transit")
+
+	// Inter-switch cables: SAN ports 0,1 and LAN port 4 on each.
+	t.Connect(sw1, 0, sw2, 0, SAN)
+	t.Connect(sw1, 1, sw2, 1, SAN)
+	t.Connect(sw1, 4, sw2, 4, LAN)
+
+	// Hosts.
+	t.Connect(h1, 0, sw1, 5, LAN)
+	t.Connect(itb, 0, sw1, 6, LAN)
+	t.Connect(h2, 0, sw2, 2, SAN)
+
+	return t, TestbedNodes{Host1: h1, Host2: h2, InTransit: itb, Switch1: sw1, Switch2: sw2}
+}
+
+// Figure1Nodes names the nodes of the Figure 1 example.
+type Figure1Nodes struct {
+	Switches [7]NodeID
+	// Hosts[i] is the host attached to switch i.
+	Hosts [7]NodeID
+}
+
+// Figure1 builds the 7-switch irregular example of the paper's
+// Figure 1, in which the minimal path 4 -> 6 -> 1 is forbidden by
+// up*/down* (it needs an up hop after a down hop at switch 6) and is
+// legalised by an ITB at a host of switch 6.
+//
+// The wiring reproduces the figure: switch 0 is the spanning-tree
+// root; switches 1, 2, 3 hang below it; 4 and 5 below 2 and 3; 6 is
+// cross-connected to 1 and 4 such that both its links point up toward
+// its neighbours. One host is attached to every switch so that any
+// switch can serve as an in-transit point.
+func Figure1() (*Topology, Figure1Nodes) {
+	t := New()
+	var f Figure1Nodes
+	for i := 0; i < 7; i++ {
+		f.Switches[i] = t.AddSwitch(8, "")
+	}
+	s := f.Switches
+	// Tree links (up end toward switch 0).
+	t.ConnectAny(s[0], s[1], SAN)
+	t.ConnectAny(s[0], s[2], SAN)
+	t.ConnectAny(s[0], s[3], SAN)
+	t.ConnectAny(s[2], s[4], SAN)
+	t.ConnectAny(s[3], s[5], SAN)
+	t.ConnectAny(s[1], s[6], SAN)
+	// Cross links that create the forbidden down->up transition: the
+	// minimal route 4 -> 6 -> 1 goes up into 6 (6 is at level 2 via 1,
+	// 4 at level 2 via 2; tie broken by id, so 4 is the up end of 4-6)
+	// and then up again from 6 to 1.
+	t.ConnectAny(s[4], s[6], SAN)
+	t.ConnectAny(s[2], s[3], SAN)
+	for i := 0; i < 7; i++ {
+		h := t.AddHost("")
+		f.Hosts[i] = h
+		t.ConnectAny(h, s[i], LAN)
+	}
+	return t, f
+}
+
+// Linear builds n switches in a chain with h hosts per switch; a
+// simple regular shape used in unit tests.
+func Linear(n, h int) *Topology {
+	t := New()
+	var sws []NodeID
+	for i := 0; i < n; i++ {
+		sws = append(sws, t.AddSwitch(2+h, ""))
+	}
+	for i := 1; i < n; i++ {
+		t.ConnectAny(sws[i-1], sws[i], SAN)
+	}
+	for _, sw := range sws {
+		for j := 0; j < h; j++ {
+			host := t.AddHost("")
+			t.ConnectAny(host, sw, LAN)
+		}
+	}
+	return t
+}
+
+// Ring builds n switches in a cycle with h hosts per switch. Rings
+// contain a cycle, so pure minimal routing on them is not deadlock
+// free — a useful negative test for the deadlock checker.
+func Ring(n, h int) *Topology {
+	t := New()
+	var sws []NodeID
+	for i := 0; i < n; i++ {
+		sws = append(sws, t.AddSwitch(2+h, ""))
+	}
+	for i := 0; i < n; i++ {
+		t.ConnectAny(sws[i], sws[(i+1)%n], SAN)
+	}
+	for _, sw := range sws {
+		for j := 0; j < h; j++ {
+			host := t.AddHost("")
+			t.ConnectAny(host, sw, LAN)
+		}
+	}
+	return t
+}

@@ -1,0 +1,124 @@
+package topology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// The text topology format, one declaration per line:
+//
+//	# comment
+//	switch <ports> [name]
+//	host [name]
+//	link <nodeA> <portA> <nodeB> <portB> <SAN|LAN>
+//
+// Nodes are numbered in declaration order (switches and hosts share
+// one id space, exactly like NodeID). The format round-trips
+// everything the simulator needs, so generated networks can be saved
+// by netgen and fed to mapper/itbsim.
+
+// Write serialises the topology.
+func Write(w io.Writer, t *Topology) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# myrinet topology: %d nodes, %d links\n", t.NumNodes(), len(t.Links()))
+	for i := 0; i < t.NumNodes(); i++ {
+		n := t.Node(NodeID(i))
+		switch n.Kind {
+		case KindSwitch:
+			if n.Name != "" {
+				fmt.Fprintf(bw, "switch %d %s\n", n.Ports, n.Name)
+			} else {
+				fmt.Fprintf(bw, "switch %d\n", n.Ports)
+			}
+		case KindHost:
+			if n.Name != "" {
+				fmt.Fprintf(bw, "host %s\n", n.Name)
+			} else {
+				fmt.Fprintln(bw, "host")
+			}
+		}
+	}
+	for i := range t.Links() {
+		l := t.Link(i)
+		fmt.Fprintf(bw, "link %d %d %d %d %s\n", l.A, l.APort, l.B, l.BPort, l.Type)
+	}
+	return bw.Flush()
+}
+
+// Read parses a topology in the Write format.
+func Read(r io.Reader) (*Topology, error) {
+	t := New()
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "switch":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("topology: line %d: switch needs a port count", lineNo)
+			}
+			var ports int
+			if _, err := fmt.Sscanf(fields[1], "%d", &ports); err != nil || ports <= 0 {
+				return nil, fmt.Errorf("topology: line %d: bad port count %q", lineNo, fields[1])
+			}
+			name := ""
+			if len(fields) > 2 {
+				name = strings.Join(fields[2:], " ")
+			}
+			t.AddSwitch(ports, name)
+		case "host":
+			name := ""
+			if len(fields) > 1 {
+				name = strings.Join(fields[1:], " ")
+			}
+			t.AddHost(name)
+		case "link":
+			if len(fields) != 6 {
+				return nil, fmt.Errorf("topology: line %d: link needs 5 fields", lineNo)
+			}
+			var a, ap, b, bp int
+			if _, err := fmt.Sscanf(strings.Join(fields[1:5], " "), "%d %d %d %d", &a, &ap, &b, &bp); err != nil {
+				return nil, fmt.Errorf("topology: line %d: bad link endpoints: %v", lineNo, err)
+			}
+			var typ PortType
+			switch fields[5] {
+			case "SAN":
+				typ = SAN
+			case "LAN":
+				typ = LAN
+			default:
+				return nil, fmt.Errorf("topology: line %d: unknown port type %q", lineNo, fields[5])
+			}
+			if a < 0 || a >= t.NumNodes() || b < 0 || b >= t.NumNodes() {
+				return nil, fmt.Errorf("topology: line %d: link references undeclared node", lineNo)
+			}
+			// Connect panics on structural misuse; surface as errors.
+			if err := safeConnect(t, NodeID(a), ap, NodeID(b), bp, typ); err != nil {
+				return nil, fmt.Errorf("topology: line %d: %v", lineNo, err)
+			}
+		default:
+			return nil, fmt.Errorf("topology: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func safeConnect(t *Topology, a NodeID, ap int, b NodeID, bp int, typ PortType) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	t.Connect(a, ap, b, bp, typ)
+	return nil
+}

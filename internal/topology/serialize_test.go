@@ -1,0 +1,112 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, tp *Topology) *Topology {
+	t.Helper()
+	var sb strings.Builder
+	if err := Write(&sb, tp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("Read failed: %v\ninput:\n%s", err, sb.String())
+	}
+	return got
+}
+
+func sameTopology(a, b *Topology) bool {
+	if a.NumNodes() != b.NumNodes() || len(a.Links()) != len(b.Links()) {
+		return false
+	}
+	for i := 0; i < a.NumNodes(); i++ {
+		na, nb := a.Node(NodeID(i)), b.Node(NodeID(i))
+		if na.Kind != nb.Kind || na.Ports != nb.Ports || na.Name != nb.Name {
+			return false
+		}
+	}
+	for i := range a.Links() {
+		la, lb := *a.Link(i), *b.Link(i)
+		if la != lb {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSerializeTestbed(t *testing.T) {
+	tp, _ := Testbed()
+	if !sameTopology(tp, roundTrip(t, tp)) {
+		t.Error("testbed did not round-trip")
+	}
+}
+
+func TestSerializeWithLoopbackAndNames(t *testing.T) {
+	tp, nodes := Testbed()
+	tp.Connect(nodes.Switch2, 5, nodes.Switch2, 6, LAN)
+	if !sameTopology(tp, roundTrip(t, tp)) {
+		t.Error("loopback topology did not round-trip")
+	}
+}
+
+func TestSerializeGeneratedProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%10) + 2
+		tp, err := Generate(DefaultGenConfig(n, seed))
+		if err != nil {
+			return false
+		}
+		var sb strings.Builder
+		if err := Write(&sb, tp); err != nil {
+			return false
+		}
+		got, err := Read(strings.NewReader(sb.String()))
+		if err != nil {
+			return false
+		}
+		return sameTopology(tp, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad directive":      "frobnicate 1\n",
+		"switch no ports":    "switch\n",
+		"switch bad ports":   "switch x\n",
+		"switch zero ports":  "switch 0\n",
+		"link fields":        "switch 4\nlink 0 0 0\n",
+		"link bad numbers":   "switch 4\nswitch 4\nlink a 0 1 0 SAN\n",
+		"link bad type":      "switch 4\nswitch 4\nlink 0 0 1 0 WAN\n",
+		"link unknown node":  "switch 4\nlink 0 0 7 0 SAN\n",
+		"link occupied port": "switch 4\nswitch 4\nlink 0 0 1 0 SAN\nlink 0 0 1 1 SAN\n",
+	}
+	for name, input := range cases {
+		if _, err := Read(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadCommentsAndBlanks(t *testing.T) {
+	input := "# a cluster\n\nswitch 4 core\n  \nhost worker one\nlink 1 0 0 2 LAN\n"
+	tp, err := Read(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.NumNodes() != 2 {
+		t.Errorf("nodes = %d", tp.NumNodes())
+	}
+	if tp.Node(0).Name != "core" || tp.Node(1).Name != "worker one" {
+		t.Errorf("names = %q, %q", tp.Node(0).Name, tp.Node(1).Name)
+	}
+	if err := tp.Validate(); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,259 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Direction is the up*/down* label of a directed traversal of a link.
+type Direction int
+
+const (
+	// Up is a traversal toward the spanning-tree root.
+	Up Direction = iota
+	// Down is a traversal away from the spanning-tree root.
+	Down
+)
+
+// String names the direction.
+func (d Direction) String() string {
+	if d == Up {
+		return "up"
+	}
+	return "down"
+}
+
+// UpDown is the up*/down* orientation of a topology: for every
+// switch-to-switch link, which end is the "up" end. Host links have no
+// orientation (a packet's first and last hops are always legal).
+//
+// The orientation follows the classic Autonet/Myrinet rule: compute a
+// breadth-first spanning tree, then the up end of a link is (1) the
+// end whose switch is closer to the root, or (2) the end with the
+// lower switch id when both ends are at the same tree level.
+type UpDown struct {
+	topo *Topology
+	// Root is the spanning-tree root switch.
+	Root NodeID
+	// Level[sw] is the BFS tree depth of a switch (root = 0). Hosts
+	// have no level; their map entries are absent.
+	Level map[NodeID]int
+	// upEnd[linkID] is the node at the up end of each switch-switch
+	// link. Host links are absent from the map.
+	upEnd map[int]NodeID
+	// TreeLink[sw] is the link connecting sw to its BFS parent (absent
+	// for the root). Exposed for diagnostics and traffic-balance
+	// metrics (the root-congestion effect lives on tree links).
+	TreeLink map[NodeID]int
+}
+
+// BuildUpDown computes the up*/down* orientation, choosing the root
+// switch as in Autonet: the switch with the lowest id among those of
+// minimal eccentricity is a common choice; the original Myrinet mapper
+// simply uses a BFS from an elected switch. We elect the switch with
+// the lowest id, which matches the deterministic behaviour tests need,
+// and expose BuildUpDownFrom for explicit roots.
+func BuildUpDown(t *Topology) *UpDown {
+	sws := t.Switches()
+	if len(sws) == 0 {
+		panic("topology: no switches")
+	}
+	return BuildUpDownFrom(t, sws[0])
+}
+
+// BuildUpDownFrom computes the orientation using the given root.
+func BuildUpDownFrom(t *Topology, root NodeID) *UpDown {
+	if t.Node(root).Kind != KindSwitch {
+		panic(fmt.Sprintf("topology: up*/down* root %d is not a switch", root))
+	}
+	ud := &UpDown{
+		topo:     t,
+		Root:     root,
+		Level:    make(map[NodeID]int),
+		upEnd:    make(map[int]NodeID),
+		TreeLink: make(map[NodeID]int),
+	}
+	// Breadth-first spanning tree over switches only. Neighbor order
+	// is port order, which is deterministic.
+	ud.Level[root] = 0
+	queue := []NodeID{root}
+	for len(queue) > 0 {
+		sw := queue[0]
+		queue = queue[1:]
+		// Visit neighbours in increasing node id for determinism
+		// independent of cabling order.
+		nbs := t.Neighbors(sw)
+		sort.Slice(nbs, func(i, j int) bool { return nbs[i].Node < nbs[j].Node })
+		for _, nb := range nbs {
+			if t.Node(nb.Node).Kind != KindSwitch {
+				continue
+			}
+			if _, seen := ud.Level[nb.Node]; !seen {
+				ud.Level[nb.Node] = ud.Level[sw] + 1
+				ud.TreeLink[nb.Node] = nb.Link.ID
+				queue = append(queue, nb.Node)
+			}
+		}
+	}
+	// Orient every switch-switch link. Loopback cables are left
+	// unoriented: the mapper never routes through them (they exist
+	// only for hand-built measurement paths).
+	for i := range t.Links() {
+		l := t.Link(i)
+		if t.Node(l.A).Kind != KindSwitch || t.Node(l.B).Kind != KindSwitch || l.IsLoopback() {
+			continue
+		}
+		la, oka := ud.Level[l.A]
+		lb, okb := ud.Level[l.B]
+		if !oka || !okb {
+			panic("topology: switch not reached by spanning tree (disconnected)")
+		}
+		switch {
+		case la < lb:
+			ud.upEnd[l.ID] = l.A
+		case lb < la:
+			ud.upEnd[l.ID] = l.B
+		case l.A < l.B:
+			ud.upEnd[l.ID] = l.A
+		default:
+			ud.upEnd[l.ID] = l.B
+		}
+	}
+	return ud
+}
+
+// DirectionOf returns the up*/down* direction of traversing link l
+// from node "from" toward the other end. It panics for host links,
+// which have no orientation.
+func (ud *UpDown) DirectionOf(l *Link, from NodeID) Direction {
+	up, ok := ud.upEnd[l.ID]
+	if !ok {
+		panic(fmt.Sprintf("topology: link %d is a host link and has no direction", l.ID))
+	}
+	if l.Other(from) == up {
+		return Up
+	}
+	return Down
+}
+
+// IsSwitchLink reports whether l connects two switches (and therefore
+// has an orientation).
+func (ud *UpDown) IsSwitchLink(l *Link) bool {
+	_, ok := ud.upEnd[l.ID]
+	return ok
+}
+
+// LegalTransition implements the up*/down* rule: a packet may not
+// traverse an up link after having traversed a down link. prev is the
+// direction of the previous switch-switch hop (or nil for the first).
+func LegalTransition(prev *Direction, next Direction) bool {
+	if prev == nil {
+		return true
+	}
+	return !(*prev == Down && next == Up)
+}
+
+// BuildUpDownDFS computes a depth-first up*/down* orientation, the
+// improved labelling of the era's "optimized routing schemes" papers
+// (the ITB companion study [3] combines ITBs with exactly this kind of
+// base routing). A DFS tree tends to be deeper but its cross edges
+// connect nodes on one branch, which reduces the forbidden-turn
+// pressure of the BFS root bottleneck.
+//
+// Correctness rests on the standard total-order argument: every link
+// is oriented toward the endpoint with the smaller DFS discovery
+// index, so the channel orientation is acyclic; and tree paths
+// (ascend to the common ancestor, then descend) are always legal, so
+// every pair stays connected.
+func BuildUpDownDFS(t *Topology) *UpDown {
+	sws := t.Switches()
+	if len(sws) == 0 {
+		panic("topology: no switches")
+	}
+	// Root heuristic: the highest-degree switch (ties to lower id),
+	// as in the DFS methodology literature.
+	root := sws[0]
+	bestDeg := -1
+	for _, sw := range sws {
+		d := switchDegree(t, sw)
+		if d > bestDeg {
+			bestDeg = d
+			root = sw
+		}
+	}
+	return BuildUpDownDFSFrom(t, root)
+}
+
+// BuildUpDownDFSFrom computes the DFS orientation from an explicit
+// root switch.
+func BuildUpDownDFSFrom(t *Topology, root NodeID) *UpDown {
+	if t.Node(root).Kind != KindSwitch {
+		panic(fmt.Sprintf("topology: DFS root %d is not a switch", root))
+	}
+	ud := &UpDown{
+		topo:     t,
+		Root:     root,
+		Level:    make(map[NodeID]int),
+		upEnd:    make(map[int]NodeID),
+		TreeLink: make(map[NodeID]int),
+	}
+	// Iterative DFS; neighbours visited in descending degree (ties to
+	// lower id), the usual branch-selection heuristic.
+	index := 0
+	var visit func(sw NodeID)
+	visit = func(sw NodeID) {
+		ud.Level[sw] = index
+		index++
+		nbs := t.Neighbors(sw)
+		sort.Slice(nbs, func(i, j int) bool {
+			di, dj := switchDegree(t, nbs[i].Node), switchDegree(t, nbs[j].Node)
+			if di != dj {
+				return di > dj
+			}
+			if nbs[i].Node != nbs[j].Node {
+				return nbs[i].Node < nbs[j].Node
+			}
+			return nbs[i].Link.ID < nbs[j].Link.ID
+		})
+		for _, nb := range nbs {
+			if t.Node(nb.Node).Kind != KindSwitch || nb.Link.IsLoopback() {
+				continue
+			}
+			if _, seen := ud.Level[nb.Node]; seen {
+				continue
+			}
+			ud.TreeLink[nb.Node] = nb.Link.ID
+			visit(nb.Node)
+		}
+	}
+	visit(root)
+	// Orient every switch-switch link toward the smaller DFS index.
+	for i := range t.Links() {
+		l := t.Link(i)
+		if t.Node(l.A).Kind != KindSwitch || t.Node(l.B).Kind != KindSwitch || l.IsLoopback() {
+			continue
+		}
+		la, oka := ud.Level[l.A]
+		lb, okb := ud.Level[l.B]
+		if !oka || !okb {
+			panic("topology: switch not reached by DFS (disconnected)")
+		}
+		if la < lb {
+			ud.upEnd[l.ID] = l.A
+		} else {
+			ud.upEnd[l.ID] = l.B
+		}
+	}
+	return ud
+}
+
+// switchDegree counts a switch's switch-to-switch cables.
+func switchDegree(t *Topology, sw NodeID) int {
+	d := 0
+	for _, nb := range t.Neighbors(sw) {
+		if t.Node(nb.Node).Kind == KindSwitch && !nb.Link.IsLoopback() {
+			d++
+		}
+	}
+	return d
+}

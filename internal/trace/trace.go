@@ -1,0 +1,143 @@
+// Package trace records packet-lifecycle events from the fabric, the
+// MCP firmware and the GM layer, for debugging simulations and for
+// verifying mechanism behaviour in tests (e.g. that an in-transit
+// packet was detected, re-injected, and delivered in that order).
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+// Kind classifies an event.
+type Kind int
+
+// Event kinds, in rough lifecycle order.
+const (
+	Inject       Kind = iota // packet header offered to the network
+	HeaderOut                // header left the source NIC
+	HeaderArrive             // header reached a host port
+	Delivered                // tail fully received at a host
+	Dropped                  // flushed (misroute or pool overflow)
+	ITBDetect                // in-transit marker recognised
+	ITBPending               // send engine busy; pending flag raised
+	ITBReinject              // re-injection programmed
+	SendQueued               // GM handed a packet to the MCP
+	RecvToHost               // RDMA to host memory complete
+	Retransmit               // GM go-back-N retransmission
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Inject:
+		return "inject"
+	case HeaderOut:
+		return "header-out"
+	case HeaderArrive:
+		return "header-arrive"
+	case Delivered:
+		return "delivered"
+	case Dropped:
+		return "dropped"
+	case ITBDetect:
+		return "itb-detect"
+	case ITBPending:
+		return "itb-pending"
+	case ITBReinject:
+		return "itb-reinject"
+	case SendQueued:
+		return "send-queued"
+	case RecvToHost:
+		return "recv-to-host"
+	case Retransmit:
+		return "retransmit"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	At     units.Time
+	Kind   Kind
+	Node   topology.NodeID // where it happened
+	Packet uint64          // packet id (0 if not applicable)
+	Detail string
+}
+
+// String renders one line.
+func (e Event) String() string {
+	s := fmt.Sprintf("%12s %-13s node=%d pkt=%d", e.At, e.Kind, e.Node, e.Packet)
+	if e.Detail != "" {
+		s += " " + e.Detail
+	}
+	return s
+}
+
+// Recorder collects events in a bounded ring. The zero value is
+// unusable; use NewRecorder. Recorders are not goroutine safe — the
+// simulation is single-threaded by design.
+type Recorder struct {
+	events []Event
+	max    int
+	total  uint64
+}
+
+// NewRecorder keeps at most max events (older ones are discarded).
+// max <= 0 means unbounded.
+func NewRecorder(max int) *Recorder {
+	return &Recorder{max: max}
+}
+
+// Record appends an event.
+func (r *Recorder) Record(e Event) {
+	r.total++
+	if r.max > 0 && len(r.events) == r.max {
+		copy(r.events, r.events[1:])
+		r.events = r.events[:r.max-1]
+	}
+	r.events = append(r.events, e)
+}
+
+// Events returns the retained events in order. The slice is shared;
+// do not modify.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Total returns how many events were recorded (including discarded).
+func (r *Recorder) Total() uint64 { return r.total }
+
+// Packet returns the retained events of one packet, in order.
+func (r *Recorder) Packet(id uint64) []Event {
+	var out []Event
+	for _, e := range r.events {
+		if e.Packet == id {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// OfKind returns the retained events of one kind, in order.
+func (r *Recorder) OfKind(k Kind) []Event {
+	var out []Event
+	for _, e := range r.events {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// WriteText dumps the retained events, one per line.
+func (r *Recorder) WriteText(w io.Writer) error {
+	for _, e := range r.events {
+		if _, err := fmt.Fprintln(w, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

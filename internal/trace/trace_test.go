@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record(Event{At: 1, Kind: Inject, Packet: 7})
+	r.Record(Event{At: 2, Kind: Delivered, Packet: 7})
+	r.Record(Event{At: 3, Kind: Inject, Packet: 8})
+	if r.Total() != 3 || len(r.Events()) != 3 {
+		t.Fatalf("total=%d retained=%d", r.Total(), len(r.Events()))
+	}
+	if got := r.Packet(7); len(got) != 2 || got[0].Kind != Inject || got[1].Kind != Delivered {
+		t.Errorf("Packet(7) = %v", got)
+	}
+	if got := r.OfKind(Inject); len(got) != 2 {
+		t.Errorf("OfKind(Inject) = %v", got)
+	}
+}
+
+func TestRecorderRing(t *testing.T) {
+	r := NewRecorder(3)
+	for i := 0; i < 10; i++ {
+		r.Record(Event{At: units.Time(i), Kind: Inject})
+	}
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d, want 3", len(evs))
+	}
+	if evs[0].At != 7 || evs[2].At != 9 {
+		t.Errorf("ring kept %v..%v, want 7..9", evs[0].At, evs[2].At)
+	}
+	if r.Total() != 10 {
+		t.Errorf("Total = %d", r.Total())
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := []Kind{Inject, HeaderOut, HeaderArrive, Delivered, Dropped,
+		ITBDetect, ITBPending, ITBReinject, SendQueued, RecvToHost, Retransmit}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Errorf("kind %d has bad/duplicate string %q", int(k), s)
+		}
+		seen[s] = true
+	}
+	if !strings.Contains(Kind(99).String(), "99") {
+		t.Error("unknown kind string")
+	}
+}
+
+func TestEventStringAndWriteText(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record(Event{At: 125 * units.Nanosecond, Kind: ITBDetect, Node: 4, Packet: 9, Detail: "x"})
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"itb-detect", "node=4", "pkt=9", "x", "125"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output %q missing %q", out, want)
+		}
+	}
+}
+
+// Property: a ring recorder always retains the most recent min(n, max)
+// events in order.
+func TestRingProperty(t *testing.T) {
+	f := func(maxRaw uint8, n uint8) bool {
+		max := int(maxRaw%20) + 1
+		r := NewRecorder(max)
+		for i := 0; i < int(n); i++ {
+			r.Record(Event{At: units.Time(i)})
+		}
+		evs := r.Events()
+		want := int(n)
+		if want > max {
+			want = max
+		}
+		if len(evs) != want {
+			return false
+		}
+		for i, e := range evs {
+			if e.At != units.Time(int(n)-want+i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

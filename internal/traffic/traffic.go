@@ -1,0 +1,205 @@
+// Package traffic generates the synthetic workloads of the evaluation:
+// uniform random traffic (the distribution used in the companion
+// simulation studies), hotspot, bit-reversal and fixed-permutation
+// patterns, with configurable message sizes and offered load.
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+// Pattern selects the destination distribution.
+type Pattern int
+
+const (
+	// Uniform picks destinations uniformly among all other hosts.
+	Uniform Pattern = iota
+	// HotSpot sends a fraction of traffic to one hot host and the
+	// rest uniformly.
+	HotSpot
+	// BitReversal sends host i to the host whose rank is the
+	// bit-reversal of i (a classic adversarial permutation).
+	BitReversal
+	// Permutation uses one fixed random derangement of the hosts.
+	Permutation
+)
+
+// String names the pattern.
+func (p Pattern) String() string {
+	switch p {
+	case Uniform:
+		return "uniform"
+	case HotSpot:
+		return "hotspot"
+	case BitReversal:
+		return "bit-reversal"
+	case Permutation:
+		return "permutation"
+	default:
+		return fmt.Sprintf("Pattern(%d)", int(p))
+	}
+}
+
+// Config parameterises a generator.
+type Config struct {
+	Pattern Pattern
+	// MessageSize is the fixed payload size in bytes.
+	MessageSize int
+	// HotFraction is the share of messages aimed at the hot host
+	// (HotSpot only).
+	HotFraction float64
+	// Seed makes the stream reproducible.
+	Seed int64
+}
+
+// Message is one generated send.
+type Message struct {
+	Src, Dst topology.NodeID
+	Size     int
+}
+
+// Generator produces a deterministic stream of messages over the
+// hosts of a topology.
+type Generator struct {
+	cfg   Config
+	hosts []topology.NodeID
+	rank  map[topology.NodeID]int
+	perm  []int
+	rng   *rand.Rand
+	hot   topology.NodeID
+}
+
+// NewGenerator builds a generator for the topology's hosts.
+func NewGenerator(t *topology.Topology, cfg Config) (*Generator, error) {
+	hosts := t.Hosts()
+	if len(hosts) < 2 {
+		return nil, fmt.Errorf("traffic: need at least 2 hosts, have %d", len(hosts))
+	}
+	if cfg.MessageSize < 0 {
+		return nil, fmt.Errorf("traffic: negative message size")
+	}
+	if cfg.Pattern == HotSpot && (cfg.HotFraction <= 0 || cfg.HotFraction > 1) {
+		return nil, fmt.Errorf("traffic: hotspot needs HotFraction in (0,1], got %v", cfg.HotFraction)
+	}
+	g := &Generator{
+		cfg:   cfg,
+		hosts: hosts,
+		rank:  make(map[topology.NodeID]int, len(hosts)),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+	for i, h := range hosts {
+		g.rank[h] = i
+	}
+	g.hot = hosts[g.rng.Intn(len(hosts))]
+	if cfg.Pattern == Permutation {
+		g.perm = g.derangement()
+	}
+	return g, nil
+}
+
+// derangement builds a random permutation with no fixed points.
+func (g *Generator) derangement() []int {
+	n := len(g.hosts)
+	for {
+		p := g.rng.Perm(n)
+		ok := true
+		for i, v := range p {
+			if i == v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return p
+		}
+	}
+}
+
+// Hot returns the hotspot destination.
+func (g *Generator) Hot() topology.NodeID { return g.hot }
+
+// NextFrom generates the next message originated by src.
+func (g *Generator) NextFrom(src topology.NodeID) Message {
+	i, ok := g.rank[src]
+	if !ok {
+		panic(fmt.Sprintf("traffic: unknown host %d", src))
+	}
+	var dst topology.NodeID
+	switch g.cfg.Pattern {
+	case Uniform:
+		dst = g.uniformOther(src)
+	case HotSpot:
+		if g.rng.Float64() < g.cfg.HotFraction && src != g.hot {
+			dst = g.hot
+		} else {
+			dst = g.uniformOther(src)
+		}
+	case BitReversal:
+		dst = g.hosts[g.bitReverse(i)]
+		if dst == src {
+			dst = g.uniformOther(src)
+		}
+	case Permutation:
+		dst = g.hosts[g.perm[i]]
+	default:
+		panic(fmt.Sprintf("traffic: unknown pattern %d", g.cfg.Pattern))
+	}
+	return Message{Src: src, Dst: dst, Size: g.cfg.MessageSize}
+}
+
+func (g *Generator) uniformOther(src topology.NodeID) topology.NodeID {
+	for {
+		d := g.hosts[g.rng.Intn(len(g.hosts))]
+		if d != src {
+			return d
+		}
+	}
+}
+
+// bitReverse reverses the bits of rank i within the width needed for
+// the host count, re-mapping out-of-range results by modulo.
+func (g *Generator) bitReverse(i int) int {
+	n := len(g.hosts)
+	bits := 0
+	for 1<<bits < n {
+		bits++
+	}
+	if bits == 0 {
+		return 0
+	}
+	r := 0
+	for b := 0; b < bits; b++ {
+		if i&(1<<b) != 0 {
+			r |= 1 << (bits - 1 - b)
+		}
+	}
+	return r % n
+}
+
+// ExpInterarrival draws an exponential interarrival time with the
+// given mean (a Poisson process), quantised to the engine resolution.
+func (g *Generator) ExpInterarrival(mean units.Time) units.Time {
+	if mean <= 0 {
+		panic("traffic: non-positive mean interarrival")
+	}
+	d := units.Time(g.rng.ExpFloat64() * float64(mean))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// MeanInterarrival converts an offered load (fraction of per-host
+// link bandwidth) into the mean time between message injections of
+// one host.
+func MeanInterarrival(load float64, msgBytes int, link units.Bandwidth) units.Time {
+	if load <= 0 || msgBytes <= 0 {
+		panic("traffic: load and message size must be positive")
+	}
+	perMsg := units.TransferTime(msgBytes, link)
+	return units.Time(float64(perMsg) / load)
+}

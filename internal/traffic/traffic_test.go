@@ -1,0 +1,222 @@
+package traffic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+func gen(t *testing.T, cfg Config) (*Generator, *topology.Topology) {
+	t.Helper()
+	topo, err := topology.Generate(topology.DefaultGenConfig(4, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGenerator(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, topo
+}
+
+func TestUniformNeverSelf(t *testing.T) {
+	g, topo := gen(t, Config{Pattern: Uniform, MessageSize: 64, Seed: 1})
+	for _, src := range topo.Hosts() {
+		for i := 0; i < 200; i++ {
+			m := g.NextFrom(src)
+			if m.Dst == src {
+				t.Fatalf("self-message from %d", src)
+			}
+			if m.Size != 64 {
+				t.Fatalf("size = %d", m.Size)
+			}
+		}
+	}
+}
+
+func TestUniformCoversAllDestinations(t *testing.T) {
+	g, topo := gen(t, Config{Pattern: Uniform, MessageSize: 8, Seed: 2})
+	src := topo.Hosts()[0]
+	seen := map[topology.NodeID]bool{}
+	for i := 0; i < 2000; i++ {
+		seen[g.NextFrom(src).Dst] = true
+	}
+	if len(seen) != len(topo.Hosts())-1 {
+		t.Errorf("covered %d destinations, want %d", len(seen), len(topo.Hosts())-1)
+	}
+}
+
+func TestHotSpotBias(t *testing.T) {
+	g, topo := gen(t, Config{Pattern: HotSpot, HotFraction: 0.5, MessageSize: 8, Seed: 3})
+	hot := g.Hot()
+	counts := map[topology.NodeID]int{}
+	n := 0
+	for _, src := range topo.Hosts() {
+		if src == hot {
+			continue
+		}
+		for i := 0; i < 500; i++ {
+			counts[g.NextFrom(src).Dst]++
+			n++
+		}
+	}
+	frac := float64(counts[hot]) / float64(n)
+	// 50% direct + uniform share; must be well above uniform (1/15).
+	if frac < 0.4 {
+		t.Errorf("hot fraction = %.3f, want >= 0.4", frac)
+	}
+}
+
+func TestBitReversalDeterministicAndNotSelf(t *testing.T) {
+	g, topo := gen(t, Config{Pattern: BitReversal, MessageSize: 8, Seed: 4})
+	for _, src := range topo.Hosts() {
+		first := g.NextFrom(src).Dst
+		if first == src {
+			t.Fatalf("bit-reversal self-message from %d", src)
+		}
+	}
+}
+
+func TestPermutationIsFixedDerangement(t *testing.T) {
+	g, topo := gen(t, Config{Pattern: Permutation, MessageSize: 8, Seed: 5})
+	dsts := map[topology.NodeID]topology.NodeID{}
+	for _, src := range topo.Hosts() {
+		d := g.NextFrom(src).Dst
+		if d == src {
+			t.Fatalf("fixed point at %d", src)
+		}
+		dsts[src] = d
+	}
+	// Stable across draws.
+	for _, src := range topo.Hosts() {
+		if g.NextFrom(src).Dst != dsts[src] {
+			t.Fatalf("permutation not fixed for %d", src)
+		}
+	}
+	// It is a bijection.
+	seen := map[topology.NodeID]bool{}
+	for _, d := range dsts {
+		if seen[d] {
+			t.Fatal("permutation not injective")
+		}
+		seen[d] = true
+	}
+}
+
+func TestGeneratorErrors(t *testing.T) {
+	topo, err := topology.Generate(topology.DefaultGenConfig(4, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewGenerator(topo, Config{Pattern: HotSpot, MessageSize: 8}); err == nil {
+		t.Error("hotspot without fraction accepted")
+	}
+	if _, err := NewGenerator(topo, Config{MessageSize: -1}); err == nil {
+		t.Error("negative size accepted")
+	}
+	single := topology.New()
+	sw := single.AddSwitch(4, "")
+	h := single.AddHost("")
+	single.ConnectAny(h, sw, topology.LAN)
+	if _, err := NewGenerator(single, Config{MessageSize: 8}); err == nil {
+		t.Error("single host accepted")
+	}
+}
+
+func TestNextFromUnknownHostPanics(t *testing.T) {
+	g, _ := gen(t, Config{Pattern: Uniform, MessageSize: 8, Seed: 6})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	g.NextFrom(topology.NodeID(9999))
+}
+
+func TestExpInterarrival(t *testing.T) {
+	g, _ := gen(t, Config{Pattern: Uniform, MessageSize: 8, Seed: 7})
+	mean := 10 * units.Microsecond
+	var sum units.Time
+	const n = 5000
+	for i := 0; i < n; i++ {
+		d := g.ExpInterarrival(mean)
+		if d <= 0 {
+			t.Fatal("non-positive interarrival")
+		}
+		sum += d
+	}
+	avg := sum / n
+	if avg < mean/2 || avg > mean*2 {
+		t.Errorf("mean interarrival = %v, want ~%v", avg, mean)
+	}
+}
+
+func TestMeanInterarrival(t *testing.T) {
+	// One host at 100% load with 1600-byte messages on a 160 MB/s
+	// link injects one message every 10us.
+	got := MeanInterarrival(1.0, 1600, 160*units.MBs)
+	if got != 10*units.Microsecond {
+		t.Errorf("interarrival = %v, want 10us", got)
+	}
+	// Half load doubles the gap.
+	if MeanInterarrival(0.5, 1600, 160*units.MBs) != 20*units.Microsecond {
+		t.Error("load scaling wrong")
+	}
+}
+
+func TestMeanInterarrivalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MeanInterarrival(0, 64, units.MBs)
+}
+
+func TestPatternString(t *testing.T) {
+	for p, want := range map[Pattern]string{
+		Uniform: "uniform", HotSpot: "hotspot", BitReversal: "bit-reversal", Permutation: "permutation",
+	} {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q", int(p), p.String())
+		}
+	}
+}
+
+// Property: streams are reproducible for any seed.
+func TestDeterminismProperty(t *testing.T) {
+	topo, err := topology.Generate(topology.DefaultGenConfig(4, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		mk := func() []Message {
+			g, err := NewGenerator(topo, Config{Pattern: Uniform, MessageSize: 32, Seed: seed})
+			if err != nil {
+				return nil
+			}
+			var out []Message
+			for _, src := range topo.Hosts() {
+				for i := 0; i < 10; i++ {
+					out = append(out, g.NextFrom(src))
+				}
+			}
+			return out
+		}
+		a, b := mk(), mk()
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,25 @@
+package units_test
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+func ExampleTransferTime() {
+	// A 4 KB packet on a Myrinet-1280 link (160 MB/s).
+	fmt.Println(units.TransferTime(4096, 160*units.MBs))
+	// Output: 25.600us
+}
+
+func ExampleFrequency_Cycles() {
+	// Eight LANai cycles at 66 MHz — the order of the paper's 125 ns
+	// per-packet ITB check.
+	fmt.Println((66 * units.MHz).Cycles(8))
+	// Output: 121.212ns
+}
+
+func ExampleByteTime() {
+	fmt.Println(units.ByteTime(160 * units.MBs))
+	// Output: 6.250ns
+}

@@ -1,0 +1,143 @@
+// Package units defines the physical quantities used throughout the
+// simulator: simulated time, bandwidth, and clock frequencies.
+//
+// Simulated time is an integer count of picoseconds. Picosecond
+// resolution lets us represent byte times on multi-gigabit links
+// (6250 ps per byte at 160 MB/s) and LANai CPU cycles (15152 ps at
+// 66 MHz) without rounding error, while an int64 still covers over
+// 100 days of simulated time.
+package units
+
+import "fmt"
+
+// Time is a point in simulated time, or a duration, in picoseconds.
+type Time int64
+
+// Common durations.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Nanoseconds returns t expressed in nanoseconds as a float.
+func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
+
+// Microseconds returns t expressed in microseconds as a float.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// Seconds returns t expressed in seconds as a float.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the time with an adaptive unit, e.g. "1.300us".
+func (t Time) String() string {
+	switch {
+	case t == 0:
+		return "0s"
+	case t < Nanosecond && t > -Nanosecond:
+		return fmt.Sprintf("%dps", int64(t))
+	case t < Microsecond && t > -Microsecond:
+		return fmt.Sprintf("%.3fns", t.Nanoseconds())
+	case t < Millisecond && t > -Millisecond:
+		return fmt.Sprintf("%.3fus", t.Microseconds())
+	case t < Second && t > -Second:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.6fs", t.Seconds())
+	}
+}
+
+// Nanoseconds converts a nanosecond count into a Time.
+func Nanoseconds(ns float64) Time { return Time(ns * float64(Nanosecond)) }
+
+// Microseconds converts a microsecond count into a Time.
+func Microseconds(us float64) Time { return Time(us * float64(Microsecond)) }
+
+// Bandwidth is a transfer rate in bytes per second.
+type Bandwidth int64
+
+// Common bandwidths.
+const (
+	BytePerSecond Bandwidth = 1
+	KBs           Bandwidth = 1000
+	MBs           Bandwidth = 1000 * KBs
+	GBs           Bandwidth = 1000 * MBs
+)
+
+// String formats the bandwidth with an adaptive unit.
+func (b Bandwidth) String() string {
+	switch {
+	case b >= GBs:
+		return fmt.Sprintf("%.2fGB/s", float64(b)/float64(GBs))
+	case b >= MBs:
+		return fmt.Sprintf("%.2fMB/s", float64(b)/float64(MBs))
+	case b >= KBs:
+		return fmt.Sprintf("%.2fKB/s", float64(b)/float64(KBs))
+	default:
+		return fmt.Sprintf("%dB/s", int64(b))
+	}
+}
+
+// ByteTime returns the time to transfer one byte at bandwidth b.
+func ByteTime(b Bandwidth) Time {
+	if b <= 0 {
+		panic("units: non-positive bandwidth")
+	}
+	return Time(int64(Second) / int64(b))
+}
+
+// TransferTime returns the time to transfer n bytes at bandwidth b.
+// It computes n*Second/b with the multiplication first so that the
+// result does not accumulate per-byte rounding error.
+func TransferTime(n int, b Bandwidth) Time {
+	if n < 0 {
+		panic("units: negative transfer size")
+	}
+	if b <= 0 {
+		panic("units: non-positive bandwidth")
+	}
+	return Time(int64(n) * int64(Second) / int64(b))
+}
+
+// Frequency is a clock rate in hertz.
+type Frequency int64
+
+// Common frequencies.
+const (
+	Hz  Frequency = 1
+	KHz Frequency = 1000
+	MHz Frequency = 1000 * KHz
+	GHz Frequency = 1000 * MHz
+)
+
+// Period returns the duration of one clock cycle at frequency f.
+func (f Frequency) Period() Time {
+	if f <= 0 {
+		panic("units: non-positive frequency")
+	}
+	return Time(int64(Second) / int64(f))
+}
+
+// Cycles returns the duration of n clock cycles at frequency f.
+func (f Frequency) Cycles(n int) Time {
+	if n < 0 {
+		panic("units: negative cycle count")
+	}
+	return Time(int64(n) * int64(Second) / int64(f))
+}
+
+// String formats the frequency with an adaptive unit.
+func (f Frequency) String() string {
+	switch {
+	case f >= GHz:
+		return fmt.Sprintf("%.2fGHz", float64(f)/float64(GHz))
+	case f >= MHz:
+		return fmt.Sprintf("%.2fMHz", float64(f)/float64(MHz))
+	case f >= KHz:
+		return fmt.Sprintf("%.2fKHz", float64(f)/float64(KHz))
+	default:
+		return fmt.Sprintf("%dHz", int64(f))
+	}
+}

@@ -1,0 +1,170 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{0, "0s"},
+		{500 * Picosecond, "500ps"},
+		{Nanosecond, "1.000ns"},
+		{125 * Nanosecond, "125.000ns"},
+		{1300 * Nanosecond, "1.300us"},
+		{Microsecond, "1.000us"},
+		{2500 * Microsecond, "2.500ms"},
+		{3 * Second, "3.000000s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if got := (1500 * Nanosecond).Microseconds(); got != 1.5 {
+		t.Errorf("Microseconds = %v, want 1.5", got)
+	}
+	if got := (2 * Microsecond).Nanoseconds(); got != 2000 {
+		t.Errorf("Nanoseconds = %v, want 2000", got)
+	}
+	if got := Nanoseconds(125); got != 125*Nanosecond {
+		t.Errorf("Nanoseconds(125) = %v, want 125ns", got)
+	}
+	if got := Microseconds(1.3); got != 1300*Nanosecond {
+		t.Errorf("Microseconds(1.3) = %v, want 1300ns", got)
+	}
+}
+
+func TestByteTime(t *testing.T) {
+	// Myrinet-1280 link: 160 MB/s => 6.25 ns per byte.
+	bt := ByteTime(160 * MBs)
+	if bt != 6250*Picosecond {
+		t.Errorf("ByteTime(160MB/s) = %v, want 6.25ns", bt)
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	// 4096 bytes at 160 MB/s = 25.6 us.
+	tt := TransferTime(4096, 160*MBs)
+	if tt != 25600*Nanosecond {
+		t.Errorf("TransferTime(4096, 160MB/s) = %v, want 25.6us", tt)
+	}
+	if TransferTime(0, 160*MBs) != 0 {
+		t.Error("TransferTime(0, ...) != 0")
+	}
+}
+
+func TestTransferTimeNoPerByteRounding(t *testing.T) {
+	// At 66 MHz-ish awkward rates, n*ByteTime underestimates because of
+	// per-byte truncation; TransferTime must multiply first.
+	bw := Bandwidth(123456789)
+	n := 1000
+	exact := int64(n) * int64(Second) / int64(bw)
+	if got := TransferTime(n, bw); int64(got) != exact {
+		t.Errorf("TransferTime = %d, want %d", int64(got), exact)
+	}
+}
+
+func TestFrequency(t *testing.T) {
+	// LANai at 66 MHz: one cycle is 15151 ps (truncated).
+	p := (66 * MHz).Period()
+	if p != Time(int64(Second)/66e6) {
+		t.Errorf("Period = %v", p)
+	}
+	// Cycles multiplies before dividing.
+	c := (66 * MHz).Cycles(8)
+	want := Time(8 * int64(Second) / 66e6)
+	if c != want {
+		t.Errorf("Cycles(8) = %v, want %v", c, want)
+	}
+	// 8 cycles at 66 MHz is about 121 ns -- the order of the paper's
+	// measured 125 ns ITB-check overhead.
+	if c < 120*Nanosecond || c > 122*Nanosecond {
+		t.Errorf("8 cycles at 66MHz = %v, want ~121ns", c)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("ByteTime(0)", func() { ByteTime(0) })
+	mustPanic("TransferTime neg size", func() { TransferTime(-1, MBs) })
+	mustPanic("TransferTime zero bw", func() { TransferTime(1, 0) })
+	mustPanic("Period(0)", func() { Frequency(0).Period() })
+	mustPanic("Cycles neg", func() { MHz.Cycles(-1) })
+}
+
+func TestBandwidthString(t *testing.T) {
+	cases := []struct {
+		b    Bandwidth
+		want string
+	}{
+		{160 * MBs, "160.00MB/s"},
+		{2 * GBs, "2.00GB/s"},
+		{5 * KBs, "5.00KB/s"},
+		{12, "12B/s"},
+	}
+	for _, c := range cases {
+		if got := c.b.String(); got != c.want {
+			t.Errorf("Bandwidth(%d).String() = %q, want %q", int64(c.b), got, c.want)
+		}
+	}
+}
+
+func TestFrequencyString(t *testing.T) {
+	cases := []struct {
+		f    Frequency
+		want string
+	}{
+		{66 * MHz, "66.00MHz"},
+		{2 * GHz, "2.00GHz"},
+		{5 * KHz, "5.00KHz"},
+		{12, "12Hz"},
+	}
+	for _, c := range cases {
+		if got := c.f.String(); got != c.want {
+			t.Errorf("Frequency(%d).String() = %q, want %q", int64(c.f), got, c.want)
+		}
+	}
+}
+
+// Property: TransferTime is monotone in n and additive within rounding.
+func TestTransferTimeMonotoneProperty(t *testing.T) {
+	f := func(a, b uint16, raw uint32) bool {
+		bw := Bandwidth(raw%1000000 + 1)
+		ta := TransferTime(int(a), bw)
+		tb := TransferTime(int(a)+int(b), bw)
+		return tb >= ta
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: splitting a transfer never makes the total shorter.
+func TestTransferTimeSubadditiveProperty(t *testing.T) {
+	f := func(a, b uint16, raw uint32) bool {
+		bw := Bandwidth(raw%1000000 + 1)
+		whole := TransferTime(int(a)+int(b), bw)
+		split := TransferTime(int(a), bw) + TransferTime(int(b), bw)
+		// Truncation can only lose time on each part, so the split sum
+		// is <= whole, and never differs by more than 2 (one per part).
+		return split <= whole && whole-split <= 2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
