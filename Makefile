@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build test vet bench fuzz experiments golden clean
+.PHONY: all build test test-race vet bench fuzz experiments golden clean
 
-all: build vet test
+all: build vet test test-race
 
 build:
 	$(GO) build ./...
@@ -12,6 +12,13 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Race-detector pass over the whole tree. The parallel experiment
+# runner shards simulation runs across goroutines; this certifies the
+# determinism suite (internal/core/parallel_test.go) and the runner
+# pool race-free.
+test-race:
+	$(GO) test -race ./...
 
 # One benchmark per table/figure of the paper's evaluation.
 bench:

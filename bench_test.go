@@ -19,6 +19,7 @@ import (
 	"repro/internal/mapper"
 	"repro/internal/mcp"
 	"repro/internal/routing"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/units"
@@ -326,6 +327,40 @@ func BenchmarkAppStudy(b *testing.B) {
 	b.ReportMetric(last.Speedup, "app-speedup")
 	b.ReportMetric(last.Rows[0].PerStep.Microseconds(), "us-step-UD")
 	b.ReportMetric(last.Rows[1].PerStep.Microseconds(), "us-step-ITB")
+}
+
+// speedupSweep is the workload for the serial-vs-parallel comparison:
+// a full offered-load sweep whose points dispatch through the runner.
+func speedupSweep(b *testing.B) {
+	b.Helper()
+	cfg := core.DefaultSweepConfig(routing.ITBRouting, 16, 5)
+	cfg.Window = 400 * units.Microsecond
+	cfg.Warmup = 50 * units.Microsecond
+	if _, err := core.RunSweep(cfg); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSweepSerial pins the experiment runner to one worker: the
+// pre-runner serial baseline.
+func BenchmarkSweepSerial(b *testing.B) {
+	runner.SetWorkers(1)
+	defer runner.SetWorkers(0)
+	for i := 0; i < b.N; i++ {
+		speedupSweep(b)
+	}
+}
+
+// BenchmarkSweepParallel shards the same sweep across all cores
+// (runtime.NumCPU workers). The output is byte-identical to the
+// serial run — see internal/core/parallel_test.go — only the wall
+// clock changes; compare ns/op against BenchmarkSweepSerial for the
+// speedup.
+func BenchmarkSweepParallel(b *testing.B) {
+	runner.SetWorkers(0) // runtime.NumCPU()
+	for i := 0; i < b.N; i++ {
+		speedupSweep(b)
+	}
 }
 
 // BenchmarkMapperDiscovery measures the mapping protocol: probes and

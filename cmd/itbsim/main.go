@@ -14,37 +14,67 @@
 //	itbsim -exp patterns             # by traffic pattern
 //	itbsim -exp chunks               # SDMA chunk-size ablation
 //	itbsim -exp all
+//
+// Independent simulation runs are sharded across -workers goroutines
+// (default: all cores); output is byte-identical at any worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/routing"
+	"repro/internal/runner"
 	"repro/internal/units"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig7, fig8, costs, throughput, latload, bufpool, itbcount, ablation, scaling, patterns, roots, schemes, chunks, app, fidelity, all")
+	exp := flag.String("exp", "all", "experiment: fig7, fig8, costs, throughput, latload, bufpool, itbcount, ablation, scaling, patterns, roots, schemes, chunks, app, fidelity, trace, all")
 	switches := flag.Int("switches", 16, "switches in the irregular network (throughput/latload)")
 	seed := flag.Int64("seed", 5, "random seed for topology and traffic")
 	iters := flag.Int("iters", 100, "gm_allsize iterations per message size")
 	windowUs := flag.Int("window", 1000, "measurement window in microseconds (throughput/latload)")
 	csvOut := flag.Bool("csv", false, "emit CSV data series instead of tables (fig7, fig8, itbcount)")
+	workers := flag.Int("workers", runtime.NumCPU(), "worker goroutines sharding independent simulation runs (output is identical at any value)")
 	flag.Parse()
+	runner.SetWorkers(*workers)
 
+	// Failed experiments are collected rather than aborting the whole
+	// invocation: with -exp all the remaining experiments still run,
+	// and runner-dispatched sweeps report every failed run (tagged
+	// with its index) instead of silently emitting partial results.
+	// Any failure makes the exit status non-zero.
+	type failure struct {
+		name string
+		err  error
+	}
+	var failures []failure
+	matched := false
 	run := func(name string, f func() error) {
 		if *exp != "all" && *exp != name {
 			return
 		}
+		matched = true
 		if err := f(); err != nil {
-			fmt.Fprintf(os.Stderr, "itbsim: %s: %v\n", name, err)
-			os.Exit(1)
+			failures = append(failures, failure{name, err})
+			fmt.Fprintf(os.Stderr, "itbsim: %s failed (continuing): %v\n", name, err)
+			return
 		}
 		fmt.Println()
 	}
+	defer func() {
+		if len(failures) == 0 {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "\nitbsim: %d experiment(s) failed:\n", len(failures))
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "  %s: %v\n", f.name, f.err)
+		}
+		os.Exit(1)
+	}()
 
 	run("fig7", func() error {
 		cfg := core.DefaultFig7Config()
@@ -254,4 +284,9 @@ func main() {
 		res.WriteTable(os.Stdout)
 		return nil
 	})
+
+	if *exp != "all" && !matched {
+		fmt.Fprintf(os.Stderr, "itbsim: unknown experiment %q (see -exp in -help)\n", *exp)
+		os.Exit(1)
+	}
 }

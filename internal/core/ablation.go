@@ -8,6 +8,7 @@ import (
 	"repro/internal/mcp"
 	"repro/internal/packet"
 	"repro/internal/routing"
+	"repro/internal/runner"
 	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/units"
@@ -37,16 +38,20 @@ func RunITBCount(maxITBs int, size int, iterations int) (ITBCountResult, error) 
 	}
 	chainLen := maxITBs + 2
 	res := ITBCountResult{Size: size}
-	var base units.Time
-	for n := 0; n <= maxITBs; n++ {
-		lat, err := chainLatency(chainLen, n, size, iterations)
-		if err != nil {
-			return res, err
-		}
+	counts := make([]int, maxITBs+1)
+	for n := range counts {
+		counts[n] = n
+	}
+	lats, err := runner.Map(counts, func(n int) (units.Time, error) {
+		return chainLatency(chainLen, n, size, iterations)
+	})
+	if err != nil {
+		return res, err
+	}
+	base := lats[0]
+	for n, lat := range lats {
 		row := ITBCountRow{ITBs: n, Latency: lat}
-		if n == 0 {
-			base = lat
-		} else {
+		if n > 0 {
 			row.ExtraPerITB = (lat - base) / units.Time(n)
 		}
 		res.Rows = append(res.Rows, row)
@@ -161,27 +166,36 @@ type AblationResult struct {
 	Rows []AblationRow
 }
 
-// RunAblations measures both ablations at the given sizes.
+// RunAblations measures both ablations at the given sizes. The three
+// firmware variants (paper design, store-and-forward, dispatch-cycle
+// re-injection) at every size are independent runs, dispatched
+// through the runner as one batch.
 func RunAblations(sizes []int, iterations int) (AblationResult, error) {
 	var res AblationResult
+	type variant struct {
+		size  int
+		tweak func(*mcp.Config)
+	}
+	var specs []variant
 	for _, size := range sizes {
-		fast, err := fig8ITBLatency(size, iterations, nil)
-		if err != nil {
-			return res, err
-		}
-		sf, err := fig8ITBLatency(size, iterations, func(c *mcp.Config) { c.DisableEarlyRecv = true })
-		if err != nil {
-			return res, err
-		}
+		specs = append(specs,
+			variant{size, nil},
+			variant{size, func(c *mcp.Config) { c.DisableEarlyRecv = true }},
+			variant{size, func(c *mcp.Config) { c.ReinjectViaDispatch = true }})
+	}
+	lats, err := runner.Map(specs, func(v variant) (units.Time, error) {
+		return fig8ITBLatency(v.size, iterations, v.tweak)
+	})
+	if err != nil {
+		return res, err
+	}
+	for i := 0; i < len(lats); i += 3 {
+		size := specs[i].size
+		fast, sf, dd := lats[i], lats[i+1], lats[i+2]
 		res.Rows = append(res.Rows, AblationRow{
 			Name: "early-recv vs store-and-forward", Size: size,
 			Fast: fast, Slow: sf, Penalty: sf - fast,
-		})
-		dd, err := fig8ITBLatency(size, iterations, func(c *mcp.Config) { c.ReinjectViaDispatch = true })
-		if err != nil {
-			return res, err
-		}
-		res.Rows = append(res.Rows, AblationRow{
+		}, AblationRow{
 			Name: "recv-side DMA vs dispatch cycle", Size: size,
 			Fast: fast, Slow: dd, Penalty: dd - fast,
 		})
@@ -256,26 +270,37 @@ type FidelityResult struct {
 // both release policies.
 func RunModelFidelity(switches int, seed int64, window units.Time) (FidelityResult, error) {
 	res := FidelityResult{Switches: switches}
-	thr := map[[2]bool]float64{}
+	type cell struct {
+		progressive bool
+		alg         routing.Algorithm
+	}
+	var specs []cell
 	for _, progressive := range []bool{false, true} {
 		for _, alg := range []routing.Algorithm{routing.UpDownRouting, routing.ITBRouting} {
-			cfg := DefaultSweepConfig(alg, switches, seed)
-			cfg.Loads = []float64{0.2, 0.5, 0.8}
-			cfg.Window = window
-			cfg.ProgressiveRelease = progressive
-			sr, err := RunSweep(cfg)
-			if err != nil {
-				return res, err
-			}
-			policy := "conservative"
-			if progressive {
-				policy = "progressive"
-			}
-			res.Rows = append(res.Rows, FidelityRow{
-				Policy: policy, Algorithm: alg, Throughput: sr.Throughput,
-			})
-			thr[[2]bool{progressive, alg == routing.ITBRouting}] = sr.Throughput
+			specs = append(specs, cell{progressive, alg})
 		}
+	}
+	sweeps, err := runner.Map(specs, func(c cell) (SweepResult, error) {
+		cfg := DefaultSweepConfig(c.alg, switches, seed)
+		cfg.Loads = []float64{0.2, 0.5, 0.8}
+		cfg.Window = window
+		cfg.ProgressiveRelease = c.progressive
+		return RunSweep(cfg)
+	})
+	if err != nil {
+		return res, err
+	}
+	thr := map[[2]bool]float64{}
+	for i, sr := range sweeps {
+		c := specs[i]
+		policy := "conservative"
+		if c.progressive {
+			policy = "progressive"
+		}
+		res.Rows = append(res.Rows, FidelityRow{
+			Policy: policy, Algorithm: c.alg, Throughput: sr.Throughput,
+		})
+		thr[[2]bool{c.progressive, c.alg == routing.ITBRouting}] = sr.Throughput
 	}
 	if ud := thr[[2]bool{false, false}]; ud > 0 {
 		res.RatioConservative = thr[[2]bool{false, true}] / ud

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/mcp"
 	"repro/internal/routing"
+	"repro/internal/runner"
 	"repro/internal/topology"
 	"repro/internal/units"
 )
@@ -52,15 +53,18 @@ func RunAppStudy(cfg AppStudyConfig) (AppStudyResult, error) {
 		return AppStudyResult{}, fmt.Errorf("core: app study needs positive supersteps and message size")
 	}
 	res := AppStudyResult{Config: cfg}
-	for _, alg := range []routing.Algorithm{routing.UpDownRouting, routing.ITBRouting} {
-		done, err := runApp(cfg, alg)
-		if err != nil {
-			return res, err
-		}
+	algs := []routing.Algorithm{routing.UpDownRouting, routing.ITBRouting}
+	times, err := runner.Map(algs, func(alg routing.Algorithm) (units.Time, error) {
+		return runApp(cfg, alg)
+	})
+	if err != nil {
+		return res, err
+	}
+	for i, alg := range algs {
 		res.Rows = append(res.Rows, AppStudyRow{
 			Algorithm:  alg,
-			Completion: done,
-			PerStep:    done / units.Time(cfg.Supersteps),
+			Completion: times[i],
+			PerStep:    times[i] / units.Time(cfg.Supersteps),
 		})
 	}
 	if res.Rows[1].Completion > 0 {

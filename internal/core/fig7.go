@@ -7,6 +7,7 @@ import (
 	"repro/internal/gm"
 	"repro/internal/mcp"
 	"repro/internal/routing"
+	"repro/internal/runner"
 	"repro/internal/topology"
 	"repro/internal/units"
 )
@@ -49,26 +50,25 @@ func DefaultFig7Config() Fig7Config {
 // ITB-modified one. Both packets types suffer the new code once per
 // packet, on the receive side.
 func RunFig7(cfg Fig7Config) (Fig7Result, error) {
-	run := func(v mcp.Variant) ([]gm.AllsizeResult, error) {
-		topo, nodes := topology.Testbed()
-		cl, err := NewCluster(DefaultConfig(topo, routing.UpDownRouting, v))
-		if err != nil {
-			return nil, err
-		}
-		return gm.Allsize(cl.Eng, cl.Host(nodes.Host1), cl.Host(nodes.Host2), gm.AllsizeConfig{
-			Sizes:      cfg.Sizes,
-			Iterations: cfg.Iterations,
-			Warmup:     cfg.Warmup,
+	// The two firmware variants are independent runs — each builds its
+	// own testbed and engine — so they dispatch through the runner.
+	runs, err := runner.Map([]mcp.Variant{mcp.Original, mcp.ITB},
+		func(v mcp.Variant) ([]gm.AllsizeResult, error) {
+			topo, nodes := topology.Testbed()
+			cl, err := NewCluster(DefaultConfig(topo, routing.UpDownRouting, v))
+			if err != nil {
+				return nil, err
+			}
+			return gm.Allsize(cl.Eng, cl.Host(nodes.Host1), cl.Host(nodes.Host2), gm.AllsizeConfig{
+				Sizes:      cfg.Sizes,
+				Iterations: cfg.Iterations,
+				Warmup:     cfg.Warmup,
+			})
 		})
-	}
-	orig, err := run(mcp.Original)
 	if err != nil {
 		return Fig7Result{}, err
 	}
-	mod, err := run(mcp.ITB)
-	if err != nil {
-		return Fig7Result{}, err
-	}
+	orig, mod := runs[0], runs[1]
 	var res Fig7Result
 	var sum units.Time
 	for i := range orig {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/mcp"
 	"repro/internal/packet"
 	"repro/internal/routing"
+	"repro/internal/runner"
 	"repro/internal/topology"
 	"repro/internal/units"
 )
@@ -88,7 +89,17 @@ type fig8Routes struct {
 // derives the per-ITB cost as twice the half-round-trip difference
 // because each round trip contains exactly one ITB.
 func RunFig8(cfg Fig8Config) (Fig8Result, error) {
-	run := func(forward []byte, typ packet.Type) ([]gm.AllsizeResult, error) {
+	// UD and UD-ITB are independent runs over private testbeds; the
+	// specs carry only the forward route choice.
+	type spec struct {
+		forward []byte
+		typ     packet.Type
+	}
+	_, _, routes := fig8Testbed()
+	runs, err := runner.Map([]spec{
+		{routes.udForward, packet.TypeGM},
+		{routes.itbForward, packet.TypeITB},
+	}, func(s spec) ([]gm.AllsizeResult, error) {
 		topo, nodes, routes := fig8Testbed()
 		cl, err := NewCluster(DefaultConfig(topo, routing.UpDownRouting, mcp.ITB))
 		if err != nil {
@@ -98,19 +109,14 @@ func RunFig8(cfg Fig8Config) (Fig8Result, error) {
 			Sizes:      cfg.Sizes,
 			Iterations: cfg.Iterations,
 			Warmup:     cfg.Warmup,
-			Forward:    &gm.PingRoute{Route: forward, Type: typ},
+			Forward:    &gm.PingRoute{Route: s.forward, Type: s.typ},
 			Back:       &gm.PingRoute{Route: routes.back, Type: packet.TypeGM},
 		})
-	}
-	_, _, routes := fig8Testbed()
-	ud, err := run(routes.udForward, packet.TypeGM)
+	})
 	if err != nil {
 		return Fig8Result{}, err
 	}
-	itb, err := run(routes.itbForward, packet.TypeITB)
-	if err != nil {
-		return Fig8Result{}, err
-	}
+	ud, itb := runs[0], runs[1]
 	var res Fig8Result
 	var sum units.Time
 	for i := range ud {

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/routing"
+	"repro/internal/runner"
+	"repro/internal/units"
+)
+
+// Determinism-under-concurrency suite: every driver that dispatches
+// through internal/runner must produce byte-identical rendered output
+// with workers=1 and workers=N. This is the certification that the
+// engine's byte-for-byte reproducibility contract — each run confined
+// to one goroutine with a private engine and seeded RNGs, results
+// merged in input order — survives the parallel conversion. The suite
+// runs in CI under -race (make test-race), so it also proves the runs
+// share no mutable state.
+
+// renderTwice renders the experiment once at workers=1 and once at
+// workers=4 and returns both outputs.
+func renderTwice(t *testing.T, render func() (string, error)) (serial, parallel string) {
+	t.Helper()
+	defer runner.SetWorkers(0)
+	runner.SetWorkers(1)
+	serial, err := render()
+	if err != nil {
+		t.Fatalf("workers=1: %v", err)
+	}
+	runner.SetWorkers(4)
+	parallel, err = render()
+	if err != nil {
+		t.Fatalf("workers=4: %v", err)
+	}
+	return serial, parallel
+}
+
+func assertDeterministic(t *testing.T, render func() (string, error)) {
+	t.Helper()
+	serial, parallel := renderTwice(t, render)
+	if serial == "" {
+		t.Fatal("experiment rendered nothing")
+	}
+	if serial != parallel {
+		t.Errorf("output differs between workers=1 and workers=4.\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s",
+			serial, parallel)
+	}
+}
+
+func TestFig7Deterministic(t *testing.T) {
+	assertDeterministic(t, func() (string, error) {
+		res, err := RunFig7(Fig7Config{Sizes: []int{1, 256, 2048}, Iterations: 8, Warmup: 1})
+		if err != nil {
+			return "", err
+		}
+		var sb strings.Builder
+		res.WriteTable(&sb)
+		if err := res.WriteCSV(&sb); err != nil {
+			return "", err
+		}
+		return sb.String(), nil
+	})
+}
+
+func TestFig8Deterministic(t *testing.T) {
+	assertDeterministic(t, func() (string, error) {
+		res, err := RunFig8(Fig8Config{Sizes: []int{1, 256, 2048}, Iterations: 8, Warmup: 1})
+		if err != nil {
+			return "", err
+		}
+		var sb strings.Builder
+		res.WriteTable(&sb)
+		if err := res.WriteCSV(&sb); err != nil {
+			return "", err
+		}
+		return sb.String(), nil
+	})
+}
+
+func TestSweepDeterministic(t *testing.T) {
+	assertDeterministic(t, func() (string, error) {
+		cfg := DefaultSweepConfig(routing.ITBRouting, 8, 5)
+		cfg.Loads = []float64{0.1, 0.3, 0.6}
+		cfg.Window = 200 * units.Microsecond
+		cfg.Warmup = 30 * units.Microsecond
+		res, err := RunSweep(cfg)
+		if err != nil {
+			return "", err
+		}
+		var sb strings.Builder
+		res.WriteTable(&sb)
+		if err := res.WriteCSV(&sb); err != nil {
+			return "", err
+		}
+		return sb.String(), nil
+	})
+}
+
+func TestITBCountDeterministic(t *testing.T) {
+	assertDeterministic(t, func() (string, error) {
+		res, err := RunITBCount(2, 64, 5)
+		if err != nil {
+			return "", err
+		}
+		var sb strings.Builder
+		res.WriteTable(&sb)
+		if err := res.WriteCSV(&sb); err != nil {
+			return "", err
+		}
+		return sb.String(), nil
+	})
+}
+
+func TestAblationsDeterministic(t *testing.T) {
+	assertDeterministic(t, func() (string, error) {
+		res, err := RunAblations([]int{256, 1024}, 5)
+		if err != nil {
+			return "", err
+		}
+		var sb strings.Builder
+		res.WriteTable(&sb)
+		return sb.String(), nil
+	})
+}
+
+func TestScalingDeterministic(t *testing.T) {
+	assertDeterministic(t, func() (string, error) {
+		res, err := RunScaling([]int{4, 8}, 5, 150*units.Microsecond)
+		if err != nil {
+			return "", err
+		}
+		var sb strings.Builder
+		res.WriteTable(&sb)
+		return sb.String(), nil
+	})
+}
+
+func TestPatternStudyDeterministic(t *testing.T) {
+	assertDeterministic(t, func() (string, error) {
+		res, err := RunPatternStudy(8, 7, 150*units.Microsecond)
+		if err != nil {
+			return "", err
+		}
+		var sb strings.Builder
+		res.WriteTable(&sb)
+		return sb.String(), nil
+	})
+}
+
+func TestChunkAblationDeterministic(t *testing.T) {
+	assertDeterministic(t, func() (string, error) {
+		res, err := RunChunkAblation(2048, []int{0, 256, 1024}, 4)
+		if err != nil {
+			return "", err
+		}
+		var sb strings.Builder
+		res.WriteTable(&sb)
+		return sb.String(), nil
+	})
+}
+
+func TestAppStudyDeterministicAcrossWorkers(t *testing.T) {
+	assertDeterministic(t, func() (string, error) {
+		res, err := RunAppStudy(AppStudyConfig{Switches: 8, Seed: 9, Supersteps: 3, MsgBytes: 1024})
+		if err != nil {
+			return "", err
+		}
+		var sb strings.Builder
+		res.WriteTable(&sb)
+		return sb.String(), nil
+	})
+}
+
+func TestRootStudyDeterministic(t *testing.T) {
+	assertDeterministic(t, func() (string, error) {
+		res, err := RunRootStudy(8, 13, 150*units.Microsecond)
+		if err != nil {
+			return "", err
+		}
+		var sb strings.Builder
+		res.WriteTable(&sb)
+		return sb.String(), nil
+	})
+}
+
+func TestSchemesDeterministic(t *testing.T) {
+	assertDeterministic(t, func() (string, error) {
+		res, err := RunSchemes(8, 5, 150*units.Microsecond)
+		if err != nil {
+			return "", err
+		}
+		var sb strings.Builder
+		res.WriteTable(&sb)
+		return sb.String(), nil
+	})
+}
+
+func TestModelFidelityDeterministic(t *testing.T) {
+	assertDeterministic(t, func() (string, error) {
+		res, err := RunModelFidelity(8, 5, 150*units.Microsecond)
+		if err != nil {
+			return "", err
+		}
+		var sb strings.Builder
+		res.WriteTable(&sb)
+		return sb.String(), nil
+	})
+}
+
+// TestSweepPanicIsolatedToOneRun certifies the per-run panic capture:
+// an impossible configuration must fail its own run with a captured
+// panic or error, identified by index, without tearing down the
+// process. (A sweep whose every point shares the bad config fails
+// them all — but through error returns, not a crash.)
+func TestSweepPanicIsolatedToOneRun(t *testing.T) {
+	specs := []int{0, 1, 2}
+	results := runner.Collect(3, specs, func(i, s int) (SweepResult, error) {
+		cfg := DefaultSweepConfig(routing.ITBRouting, 8, 5)
+		cfg.Loads = []float64{0.1}
+		cfg.Window = 100 * units.Microsecond
+		if s == 1 {
+			panic("diverging configuration")
+		}
+		return RunSweep(cfg)
+	})
+	if results[1].Err == nil || !strings.Contains(results[1].Err.Error(), "diverging configuration") {
+		t.Errorf("run 1: err = %v, want captured panic", results[1].Err)
+	}
+	for _, i := range []int{0, 2} {
+		if results[i].Err != nil {
+			t.Errorf("run %d failed alongside panicking sibling: %v", i, results[i].Err)
+		}
+		if len(results[i].Value.Points) != 1 {
+			t.Errorf("run %d lost its result", i)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Golden-file regression tests for the figure-reproducing drivers.
+// Unlike TestCalibrationGolden (which locks the headline calibration
+// numbers), these lock the complete rendered output — table and CSV —
+// of Figure 7 and Figure 8 at a fixed reduced configuration. They were
+// generated from the original serial drivers and must keep passing
+// after the parallel-runner conversion: the simulator's byte-for-byte
+// reproducibility contract is the repo's core invariant, and these
+// files prove the serial→parallel change preserved it. Regenerate
+// only after a deliberate calibration change:
+//
+//	REGEN_GOLDEN=1 go test ./internal/core/ -run 'TestFig[78]Golden'
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if os.Getenv("REGEN_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with REGEN_GOLDEN=1 to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output drifted from golden file %s.\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestFig7Golden(t *testing.T) {
+	res, err := RunFig7(Fig7Config{Sizes: []int{1, 64, 1024, 4096}, Iterations: 15, Warmup: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	res.WriteTable(&sb)
+	sb.WriteString("\n")
+	if err := res.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig7.golden", sb.String())
+}
+
+func TestFig8Golden(t *testing.T) {
+	res, err := RunFig8(Fig8Config{Sizes: []int{1, 64, 1024, 4096}, Iterations: 15, Warmup: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	res.WriteTable(&sb)
+	sb.WriteString("\n")
+	if err := res.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig8.golden", sb.String())
+}

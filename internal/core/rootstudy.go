@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/routing"
+	"repro/internal/runner"
 	"repro/internal/topology"
 	"repro/internal/units"
 )
@@ -47,26 +48,37 @@ func RunRootStudy(switches int, seed int64, window units.Time) (RootStudyResult,
 		{"best root", bestRoot},
 		{"worst root", worstRoot},
 	}
+	type cell struct {
+		label string
+		root  topology.NodeID
+		alg   routing.Algorithm
+	}
+	var specs []cell
 	for _, c := range cases {
 		for _, alg := range []routing.Algorithm{routing.UpDownRouting, routing.ITBRouting} {
-			cfg := DefaultSweepConfig(alg, switches, seed)
-			cfg.Loads = []float64{0.2, 0.5, 0.8}
-			cfg.Window = window
-			root := c.root
-			cfg.Root = &root
-			sr, err := RunSweep(cfg)
-			if err != nil {
-				return res, err
-			}
-			res.Rows = append(res.Rows, RootStudyRow{
-				Root:       c.root,
-				Label:      c.label,
-				Algorithm:  alg,
-				AvgHops:    sr.RouteStats.AvgLinkHops,
-				RootFrac:   sr.RouteStats.RootFraction,
-				Throughput: sr.Throughput,
-			})
+			specs = append(specs, cell{c.label, c.root, alg})
 		}
+	}
+	sweeps, err := runner.Map(specs, func(c cell) (SweepResult, error) {
+		cfg := DefaultSweepConfig(c.alg, switches, seed)
+		cfg.Loads = []float64{0.2, 0.5, 0.8}
+		cfg.Window = window
+		root := c.root
+		cfg.Root = &root
+		return RunSweep(cfg)
+	})
+	if err != nil {
+		return res, err
+	}
+	for i, sr := range sweeps {
+		res.Rows = append(res.Rows, RootStudyRow{
+			Root:       specs[i].root,
+			Label:      specs[i].label,
+			Algorithm:  specs[i].alg,
+			AvgHops:    sr.RouteStats.AvgLinkHops,
+			RootFrac:   sr.RouteStats.RootFraction,
+			Throughput: sr.Throughput,
+		})
 	}
 	return res, nil
 }

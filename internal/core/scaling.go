@@ -7,6 +7,7 @@ import (
 	"repro/internal/mcp"
 	"repro/internal/packet"
 	"repro/internal/routing"
+	"repro/internal/runner"
 	"repro/internal/topology"
 	"repro/internal/traffic"
 	"repro/internal/units"
@@ -28,26 +29,34 @@ type ScalingResult struct {
 	Rows []ScalingRow
 }
 
-// RunScaling sweeps network sizes.
+// RunScaling sweeps network sizes. Every (size, algorithm) cell is an
+// independent sweep, so all of them dispatch through the runner at
+// once and the rows assemble from the ordered results.
 func RunScaling(sizes []int, seed int64, window units.Time) (ScalingResult, error) {
 	var res ScalingResult
+	type cell struct {
+		switches int
+		alg      routing.Algorithm
+	}
+	var specs []cell
 	for _, n := range sizes {
-		mk := func(alg routing.Algorithm) (SweepResult, error) {
-			cfg := DefaultSweepConfig(alg, n, seed)
-			cfg.Loads = []float64{0.2, 0.4, 0.6, 0.8, 1.0}
-			cfg.Window = window
-			return RunSweep(cfg)
-		}
-		ud, err := mk(routing.UpDownRouting)
-		if err != nil {
-			return res, err
-		}
-		itb, err := mk(routing.ITBRouting)
-		if err != nil {
-			return res, err
-		}
+		specs = append(specs,
+			cell{n, routing.UpDownRouting},
+			cell{n, routing.ITBRouting})
+	}
+	sweeps, err := runner.Map(specs, func(c cell) (SweepResult, error) {
+		cfg := DefaultSweepConfig(c.alg, c.switches, seed)
+		cfg.Loads = []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+		cfg.Window = window
+		return RunSweep(cfg)
+	})
+	if err != nil {
+		return res, err
+	}
+	for i := 0; i < len(sweeps); i += 2 {
+		ud, itb := sweeps[i], sweeps[i+1]
 		row := ScalingRow{
-			Switches: n,
+			Switches: specs[i].switches,
 			UD:       ud.Throughput,
 			ITB:      itb.Throughput,
 			UDHops:   ud.RouteStats.AvgLinkHops,
@@ -92,26 +101,35 @@ type PatternResult struct {
 func RunPatternStudy(switches int, seed int64, window units.Time) (PatternResult, error) {
 	res := PatternResult{Switches: switches}
 	patterns := []traffic.Pattern{traffic.Uniform, traffic.HotSpot, traffic.BitReversal, traffic.Permutation}
+	type cell struct {
+		pattern traffic.Pattern
+		alg     routing.Algorithm
+	}
+	var specs []cell
 	for _, p := range patterns {
-		mk := func(alg routing.Algorithm) (SweepResult, error) {
-			cfg := DefaultSweepConfig(alg, switches, seed)
-			cfg.Pattern = p
-			if p == traffic.HotSpot {
-				cfg.HotFraction = 0.3
-			}
-			cfg.Loads = []float64{0.2, 0.5, 0.8}
-			cfg.Window = window
-			return RunSweep(cfg)
+		specs = append(specs,
+			cell{p, routing.UpDownRouting},
+			cell{p, routing.ITBRouting})
+	}
+	sweeps, err := runner.Map(specs, func(c cell) (SweepResult, error) {
+		cfg := DefaultSweepConfig(c.alg, switches, seed)
+		cfg.Pattern = c.pattern
+		if c.pattern == traffic.HotSpot {
+			cfg.HotFraction = 0.3
 		}
-		ud, err := mk(routing.UpDownRouting)
-		if err != nil {
-			return res, err
+		cfg.Loads = []float64{0.2, 0.5, 0.8}
+		cfg.Window = window
+		return RunSweep(cfg)
+	})
+	if err != nil {
+		return res, err
+	}
+	for i := 0; i < len(sweeps); i += 2 {
+		row := PatternRow{
+			Pattern: specs[i].pattern,
+			UD:      sweeps[i].Throughput,
+			ITB:     sweeps[i+1].Throughput,
 		}
-		itb, err := mk(routing.ITBRouting)
-		if err != nil {
-			return res, err
-		}
-		row := PatternRow{Pattern: p, UD: ud.Throughput, ITB: itb.Throughput}
 		if row.UD > 0 {
 			row.Ratio = row.ITB / row.UD
 		}
@@ -146,13 +164,13 @@ type ChunkResult struct {
 // testbed across SDMA chunk sizes.
 func RunChunkAblation(size int, chunks []int, iterations int) (ChunkResult, error) {
 	res := ChunkResult{Size: size}
-	for _, cb := range chunks {
+	rows, err := runner.Map(chunks, func(cb int) (ChunkRow, error) {
 		topo, nodes := topology.Testbed()
 		cfg := DefaultConfig(topo, routing.UpDownRouting, mcp.ITB)
 		cfg.MCP.SendChunkBytes = cb
 		cl, err := NewCluster(cfg)
 		if err != nil {
-			return res, err
+			return ChunkRow{}, err
 		}
 		var sum units.Time
 		done := 0
@@ -167,11 +185,11 @@ func RunChunkAblation(size int, chunks []int, iterations int) (ChunkResult, erro
 		}
 		route, ok := cl.Table.Lookup(nodes.Host1, nodes.Host2)
 		if !ok {
-			return res, fmt.Errorf("core: no testbed route")
+			return ChunkRow{}, fmt.Errorf("core: no testbed route")
 		}
 		hdr, err := route.EncodeHeader()
 		if err != nil {
-			return res, err
+			return ChunkRow{}, err
 		}
 		kick = func() {
 			start = cl.Eng.Now()
@@ -180,10 +198,14 @@ func RunChunkAblation(size int, chunks []int, iterations int) (ChunkResult, erro
 		kick()
 		cl.Eng.Run()
 		if done != iterations {
-			return res, fmt.Errorf("core: chunk run finished %d of %d", done, iterations)
+			return ChunkRow{}, fmt.Errorf("core: chunk run finished %d of %d", done, iterations)
 		}
-		res.Rows = append(res.Rows, ChunkRow{ChunkBytes: cb, Latency: sum / units.Time(iterations)})
+		return ChunkRow{ChunkBytes: cb, Latency: sum / units.Time(iterations)}, nil
+	})
+	if err != nil {
+		return res, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/routing"
+	"repro/internal/runner"
 	"repro/internal/units"
 )
 
@@ -29,27 +30,37 @@ type SchemesResult struct {
 // RunSchemes evaluates the 2x2 of {BFS, DFS} x {UD, ITB}.
 func RunSchemes(switches int, seed int64, window units.Time) (SchemesResult, error) {
 	res := SchemesResult{Switches: switches}
+	type cell struct {
+		dfs bool
+		alg routing.Algorithm
+	}
+	var specs []cell
 	for _, dfs := range []bool{false, true} {
 		for _, alg := range []routing.Algorithm{routing.UpDownRouting, routing.ITBRouting} {
-			cfg := DefaultSweepConfig(alg, switches, seed)
-			cfg.Loads = []float64{0.2, 0.5, 0.8}
-			cfg.Window = window
-			cfg.DFSOrder = dfs
-			sr, err := RunSweep(cfg)
-			if err != nil {
-				return res, err
-			}
-			orient := "BFS"
-			if dfs {
-				orient = "DFS"
-			}
-			res.Rows = append(res.Rows, SchemeRow{
-				Orientation: orient,
-				Algorithm:   alg,
-				AvgHops:     sr.RouteStats.AvgLinkHops,
-				Throughput:  sr.Throughput,
-			})
+			specs = append(specs, cell{dfs, alg})
 		}
+	}
+	sweeps, err := runner.Map(specs, func(c cell) (SweepResult, error) {
+		cfg := DefaultSweepConfig(c.alg, switches, seed)
+		cfg.Loads = []float64{0.2, 0.5, 0.8}
+		cfg.Window = window
+		cfg.DFSOrder = c.dfs
+		return RunSweep(cfg)
+	})
+	if err != nil {
+		return res, err
+	}
+	for i, sr := range sweeps {
+		orient := "BFS"
+		if specs[i].dfs {
+			orient = "DFS"
+		}
+		res.Rows = append(res.Rows, SchemeRow{
+			Orientation: orient,
+			Algorithm:   specs[i].alg,
+			AvgHops:     sr.RouteStats.AvgLinkHops,
+			Throughput:  sr.Throughput,
+		})
 	}
 	return res, nil
 }

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 
 	"repro/internal/mcp"
 	"repro/internal/routing"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/topology"
 	"repro/internal/traffic"
@@ -107,20 +109,53 @@ func decodeStamp(payload []byte) units.Time {
 	return units.Time(v)
 }
 
+// loadPointSpec is one runner spec of a sweep: the offered load plus
+// the topology in serialized (topology.Write) form, so every worker
+// deserializes its own private copy and shares no structure with its
+// siblings.
+type loadPointSpec struct {
+	load     float64
+	topoText []byte
+}
+
+// loadPointOutcome is what one load-point run returns through the
+// runner.
+type loadPointOutcome struct {
+	point LoadPoint
+	rs    routing.Analysis
+}
+
 // RunSweep executes the sweep: one fresh cluster per load point, so
-// points are independent and reproducible.
+// points are independent and reproducible. The points dispatch
+// through the parallel runner; results merge in Loads order, so the
+// curve is byte-identical at any worker count.
 func RunSweep(cfg SweepConfig) (SweepResult, error) {
 	if cfg.MessageSize < 8 || cfg.Window <= 0 {
 		return SweepResult{}, fmt.Errorf("core: sweep needs a message size of at least 8 bytes and a positive window")
 	}
 	res := SweepResult{Algorithm: cfg.Algorithm, Switches: cfg.Switches}
-	for _, load := range cfg.Loads {
-		p, rs, err := runLoadPoint(cfg, load)
-		if err != nil {
-			return res, err
-		}
-		res.Points = append(res.Points, p)
-		res.RouteStats = rs
+	topo, err := topology.Generate(topology.DefaultGenConfig(cfg.Switches, cfg.Seed))
+	if err != nil {
+		return res, err
+	}
+	var topoText bytes.Buffer
+	if err := topology.Write(&topoText, topo); err != nil {
+		return res, err
+	}
+	specs := make([]loadPointSpec, len(cfg.Loads))
+	for i, load := range cfg.Loads {
+		specs[i] = loadPointSpec{load: load, topoText: topoText.Bytes()}
+	}
+	outcomes, err := runner.Map(specs, func(s loadPointSpec) (loadPointOutcome, error) {
+		p, rs, err := runLoadPoint(cfg, s)
+		return loadPointOutcome{point: p, rs: rs}, err
+	})
+	if err != nil {
+		return res, err
+	}
+	for _, o := range outcomes {
+		res.Points = append(res.Points, o.point)
+		res.RouteStats = o.rs
 	}
 	var pts []stats.Point
 	for _, p := range res.Points {
@@ -130,8 +165,9 @@ func RunSweep(cfg SweepConfig) (SweepResult, error) {
 	return res, nil
 }
 
-func runLoadPoint(cfg SweepConfig, load float64) (LoadPoint, routing.Analysis, error) {
-	topo, err := topology.Generate(topology.DefaultGenConfig(cfg.Switches, cfg.Seed))
+func runLoadPoint(cfg SweepConfig, spec loadPointSpec) (LoadPoint, routing.Analysis, error) {
+	load := spec.load
+	topo, err := topology.Read(bytes.NewReader(spec.topoText))
 	if err != nil {
 		return LoadPoint{}, routing.Analysis{}, err
 	}

@@ -1,0 +1,136 @@
+// Package runner is the parallel experiment runner: a worker pool
+// that shards independent simulation runs across cores.
+//
+// Every experiment in internal/core decomposes into runs that own
+// their complete world — a private sim.Engine, topology, route table
+// and seeded RNGs — and share nothing. The runner exploits that: it
+// executes each spec on a pool of worker goroutines and merges the
+// results in input order, so the assembled output is byte-identical
+// regardless of GOMAXPROCS, the worker count, or which worker happens
+// to pick up which run. That determinism guarantee is the repo's core
+// invariant (the discrete-event engine is reproducible byte for
+// byte); the test suite certifies that it survives concurrency.
+//
+// A run that panics fails only itself: the panic is captured as a
+// *PanicError on that run's Result, and every other run completes
+// normally. Drivers therefore lose a single diverging configuration
+// from a sweep instead of the whole sweep.
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWorkers is the pool size used when a caller passes workers
+// <= 0. Zero means "use runtime.NumCPU() at dispatch time".
+var defaultWorkers atomic.Int64
+
+// Workers returns the current default pool size.
+func Workers() int {
+	if n := defaultWorkers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.NumCPU()
+}
+
+// SetWorkers sets the default pool size used by Map and by Collect
+// when called with workers <= 0. n <= 0 restores the runtime.NumCPU()
+// default. The cmd/itbsim -workers flag and the determinism tests are
+// the intended callers.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int64(n))
+}
+
+// PanicError wraps a panic recovered from a run.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("run panicked: %v\n%s", e.Value, e.Stack)
+}
+
+// Result is the outcome of one run.
+type Result[R any] struct {
+	// Index is the run's position in the input spec slice.
+	Index int
+	// Value is fn's return value; meaningful only when Err is nil.
+	Value R
+	// Err is fn's error, or a *PanicError if the run panicked.
+	Err error
+}
+
+// Collect executes fn(i, specs[i]) for every spec on a pool of
+// workers goroutines (workers <= 0 uses the Workers default) and
+// returns one Result per spec, in input order. Each invocation of fn
+// runs entirely on one worker goroutine, so any state fn creates — an
+// engine, RNGs, result buffers — is goroutine-confined as long as fn
+// does not capture shared mutables. Panics are captured per run.
+func Collect[S, R any](workers int, specs []S, fn func(i int, spec S) (R, error)) []Result[R] {
+	if workers <= 0 {
+		workers = Workers()
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	results := make([]Result[R], len(specs))
+	if len(specs) == 0 {
+		return results
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(specs) {
+					return
+				}
+				results[i] = runOne(i, specs[i], fn)
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// runOne executes one spec with panic capture.
+func runOne[S, R any](i int, spec S, fn func(int, S) (R, error)) (res Result[R]) {
+	res.Index = i
+	defer func() {
+		if r := recover(); r != nil {
+			res.Err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	res.Value, res.Err = fn(i, spec)
+	return res
+}
+
+// Map executes fn over specs with the default worker count and
+// returns the values in input order. If any runs failed, the returned
+// error joins one error per failed run, each tagged with the run's
+// index; the values of the successful runs are still returned, so
+// callers can render partial results alongside the failure summary.
+func Map[S, R any](specs []S, fn func(spec S) (R, error)) ([]R, error) {
+	results := Collect(0, specs, func(_ int, s S) (R, error) { return fn(s) })
+	out := make([]R, len(results))
+	var errs []error
+	for _, r := range results {
+		out[r.Index] = r.Value
+		if r.Err != nil {
+			errs = append(errs, fmt.Errorf("run %d: %w", r.Index, r.Err))
+		}
+	}
+	return out, errors.Join(errs...)
+}

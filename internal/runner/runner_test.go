@@ -1,0 +1,145 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCollectPreservesInputOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		specs := make([]int, 100)
+		for i := range specs {
+			specs[i] = i * 3
+		}
+		results := Collect(workers, specs, func(i, s int) (int, error) {
+			return s + 1, nil
+		})
+		if len(results) != len(specs) {
+			t.Fatalf("workers=%d: %d results for %d specs", workers, len(results), len(specs))
+		}
+		for i, r := range results {
+			if r.Index != i {
+				t.Fatalf("workers=%d: result %d has index %d", workers, i, r.Index)
+			}
+			if r.Err != nil || r.Value != specs[i]+1 {
+				t.Fatalf("workers=%d: result %d = (%d, %v), want (%d, nil)",
+					workers, i, r.Value, r.Err, specs[i]+1)
+			}
+		}
+	}
+}
+
+func TestCollectEmptyAndOversizedPool(t *testing.T) {
+	if got := Collect(8, nil, func(i, s int) (int, error) { return 0, nil }); len(got) != 0 {
+		t.Errorf("empty specs produced %d results", len(got))
+	}
+	// More workers than specs must not deadlock or duplicate work.
+	var calls sync.Map
+	results := Collect(64, []int{10, 20}, func(i, s int) (int, error) {
+		if _, dup := calls.LoadOrStore(i, true); dup {
+			t.Errorf("spec %d ran twice", i)
+		}
+		return s, nil
+	})
+	if results[0].Value != 10 || results[1].Value != 20 {
+		t.Errorf("results = %+v", results)
+	}
+}
+
+func TestPanicFailsOnlyItsRun(t *testing.T) {
+	specs := []int{0, 1, 2, 3, 4}
+	results := Collect(4, specs, func(i, s int) (string, error) {
+		if s == 2 {
+			panic("diverging configuration")
+		}
+		return fmt.Sprintf("ok-%d", s), nil
+	})
+	for i, r := range results {
+		if i == 2 {
+			var pe *PanicError
+			if !errors.As(r.Err, &pe) {
+				t.Fatalf("run 2: err = %v, want *PanicError", r.Err)
+			}
+			if !strings.Contains(pe.Error(), "diverging configuration") {
+				t.Errorf("panic message lost: %v", pe)
+			}
+			continue
+		}
+		if r.Err != nil || r.Value != fmt.Sprintf("ok-%d", i) {
+			t.Errorf("run %d affected by sibling panic: (%q, %v)", i, r.Value, r.Err)
+		}
+	}
+}
+
+func TestMapJoinsErrorsAndKeepsPartialResults(t *testing.T) {
+	out, err := Map([]int{1, 2, 3, 4}, func(s int) (int, error) {
+		if s%2 == 0 {
+			return 0, fmt.Errorf("spec %d refused", s)
+		}
+		return s * 10, nil
+	})
+	if err == nil {
+		t.Fatal("expected joined error")
+	}
+	for _, want := range []string{"run 1:", "spec 2 refused", "run 3:", "spec 4 refused"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error summary missing %q: %v", want, err)
+		}
+	}
+	if out[0] != 10 || out[2] != 30 {
+		t.Errorf("successful runs lost: %v", out)
+	}
+}
+
+func TestSetWorkers(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(3)
+	if Workers() != 3 {
+		t.Errorf("Workers() = %d after SetWorkers(3)", Workers())
+	}
+	SetWorkers(-5)
+	if Workers() != runtime.NumCPU() {
+		t.Errorf("Workers() = %d after reset, want NumCPU", Workers())
+	}
+}
+
+// TestOrderPropertyQuick is the testing/quick property test: for
+// random spec slices, random worker counts and a randomly shuffled
+// completion order (simulated by data-dependent work), the merged
+// output must equal the serial map in input order.
+func TestOrderPropertyQuick(t *testing.T) {
+	prop := func(specs []int64, workerSeed uint8) bool {
+		workers := int(workerSeed)%8 + 1
+		// Shuffle a copy to vary which goroutine sees which value
+		// first; results must still follow the original slice.
+		shuffled := append([]int64(nil), specs...)
+		rand.New(rand.NewSource(int64(workerSeed))).Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		results := Collect(workers, shuffled, func(i int, s int64) (int64, error) {
+			// Data-dependent spin to perturb completion order.
+			spin := int(uint64(s) % 512)
+			x := s
+			for k := 0; k < spin; k++ {
+				x = x*31 + 7
+			}
+			_ = x
+			return s ^ 0x5a5a, nil
+		})
+		for i, r := range results {
+			if r.Err != nil || r.Index != i || r.Value != shuffled[i]^0x5a5a {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,66 @@
+package topology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzSerializeRoundTrip hardens the text topology codec the parallel
+// runner depends on: sweep specs carry topologies in serialized form
+// so each worker deserializes a private copy, which makes Write/Read
+// fidelity part of the determinism contract. The parser must never
+// panic on arbitrary input, and anything it accepts must round-trip
+// to a fixed point: Read -> Write -> Read -> Write yields identical
+// bytes and an equivalent topology.
+func FuzzSerializeRoundTrip(f *testing.F) {
+	// Seed with real serialized topologies.
+	seed := func(t *Topology) {
+		var buf bytes.Buffer
+		if err := Write(&buf, t); err == nil {
+			f.Add(buf.String())
+		}
+	}
+	testbed, _ := Testbed()
+	seed(testbed)
+	if gen, err := Generate(DefaultGenConfig(8, 5)); err == nil {
+		seed(gen)
+	}
+	f.Add("switch 4\nhost a\nlink 0 0 1 0 SAN\n")
+	f.Add("# comment\nhost\nhost\n")
+	f.Add("switch -1\n")
+	f.Add("link 0 0 0 0 SAN\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		topo, err := Read(strings.NewReader(text))
+		if err != nil {
+			return // rejected input is fine; panicking is not
+		}
+		var first bytes.Buffer
+		if err := Write(&first, topo); err != nil {
+			t.Fatalf("write of parsed topology failed: %v", err)
+		}
+		again, err := Read(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read of written topology failed: %v\n%s", err, first.String())
+		}
+		var second bytes.Buffer
+		if err := Write(&second, again); err != nil {
+			t.Fatalf("re-write failed: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("serialization not a fixed point:\n--- first ---\n%s\n--- second ---\n%s",
+				first.String(), second.String())
+		}
+		// Structural equivalence of the round-tripped topology.
+		if again.NumNodes() != topo.NumNodes() || len(again.Links()) != len(topo.Links()) {
+			t.Fatalf("round trip changed shape: %d/%d nodes, %d/%d links",
+				topo.NumNodes(), again.NumNodes(), len(topo.Links()), len(again.Links()))
+		}
+		for i := 0; i < topo.NumNodes(); i++ {
+			a, b := topo.Node(NodeID(i)), again.Node(NodeID(i))
+			if a.Kind != b.Kind || a.Ports != b.Ports || a.Name != b.Name {
+				t.Fatalf("node %d changed: %+v vs %+v", i, a, b)
+			}
+		}
+	})
+}
