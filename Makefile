@@ -29,6 +29,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/packet/
 	$(GO) test -fuzz=FuzzDecodeMapping -fuzztime=10s ./internal/packet/
 	$(GO) test -fuzz=FuzzSplitITBRoute -fuzztime=10s ./internal/packet/
+	$(GO) test -fuzz=FuzzSerializeRoundTrip -fuzztime=10s ./internal/topology/
 
 # Regenerate every experiment table at full size.
 experiments:

@@ -13,6 +13,7 @@
 //	itbsim -exp scaling              # ITB/UD ratio vs network size
 //	itbsim -exp patterns             # by traffic pattern
 //	itbsim -exp chunks               # SDMA chunk-size ablation
+//	itbsim -exp faults               # fault campaigns: delivery + recovery
 //	itbsim -exp all
 //
 // Independent simulation runs are sharded across -workers goroutines
@@ -24,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/routing"
@@ -32,7 +34,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig7, fig8, costs, throughput, latload, bufpool, itbcount, ablation, scaling, patterns, roots, schemes, chunks, app, fidelity, trace, all")
+	exp := flag.String("exp", "all", "experiment: fig7, fig8, costs, throughput, latload, bufpool, itbcount, ablation, scaling, patterns, roots, schemes, chunks, app, fidelity, trace, faults, all")
 	switches := flag.Int("switches", 16, "switches in the irregular network (throughput/latload)")
 	seed := flag.Int64("seed", 5, "random seed for topology and traffic")
 	iters := flag.Int("iters", 100, "gm_allsize iterations per message size")
@@ -53,7 +55,9 @@ func main() {
 	}
 	var failures []failure
 	matched := false
+	var known []string
 	run := func(name string, f func() error) {
+		known = append(known, name)
 		if *exp != "all" && *exp != name {
 			return
 		}
@@ -285,8 +289,19 @@ func main() {
 		return nil
 	})
 
+	run("faults", func() error {
+		cfg := core.DefaultFaultStudyConfig(routing.ITBRouting, *switches, *seed)
+		res, err := core.RunFaultStudy(cfg)
+		if err != nil {
+			return err
+		}
+		res.WriteTable(os.Stdout)
+		return nil
+	})
+
 	if *exp != "all" && !matched {
-		fmt.Fprintf(os.Stderr, "itbsim: unknown experiment %q (see -exp in -help)\n", *exp)
+		fmt.Fprintf(os.Stderr, "itbsim: unknown experiment %q; valid experiments: all %s\n",
+			*exp, strings.Join(known, " "))
 		os.Exit(1)
 	}
 }

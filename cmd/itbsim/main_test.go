@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildItbsim compiles the command into a temp dir and returns the
+// binary path.
+func buildItbsim(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "itbsim")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building itbsim: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestUnknownExperimentRejected locks the -exp validation: a name that
+// matches no experiment must exit non-zero and tell the user what the
+// valid names are (silently running nothing looked like success).
+func TestUnknownExperimentRejected(t *testing.T) {
+	bin := buildItbsim(t)
+	out, err := exec.Command(bin, "-exp", "no-such-experiment").CombinedOutput()
+	if err == nil {
+		t.Fatalf("unknown -exp exited 0; output:\n%s", out)
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("running itbsim: %v\n%s", err, out)
+	}
+	if code := ee.ExitCode(); code != 1 {
+		t.Errorf("exit code = %d, want 1", code)
+	}
+	text := string(out)
+	if !strings.Contains(text, `unknown experiment "no-such-experiment"`) {
+		t.Errorf("error does not name the bad experiment:\n%s", text)
+	}
+	for _, name := range []string{"fig7", "fig8", "costs", "throughput", "faults", "all"} {
+		if !strings.Contains(text, name) {
+			t.Errorf("error does not list valid experiment %q:\n%s", name, text)
+		}
+	}
+}
+
+// TestKnownExperimentRuns keeps the happy path honest with the
+// cheapest experiment: a valid -exp must exit 0 and produce output.
+func TestKnownExperimentRuns(t *testing.T) {
+	bin := buildItbsim(t)
+	out, err := exec.Command(bin, "-exp", "costs").CombinedOutput()
+	if err != nil {
+		t.Fatalf("itbsim -exp costs: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "cost breakdown") {
+		t.Errorf("costs output missing table header:\n%s", out)
+	}
+}

@@ -1,0 +1,343 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"repro/internal/faults"
+	"repro/internal/gm"
+	"repro/internal/mcp"
+	"repro/internal/routing"
+	"repro/internal/runner"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+	"repro/internal/units"
+)
+
+// FaultStudyConfig drives a fault-injection study: the same cluster
+// and traffic run once fault-free (the baseline) and once per
+// generated campaign, and the report compares delivery counts and
+// latency degradation. Every campaign is materialised up-front from
+// its seed, so the whole study is deterministic and runs byte-identical
+// at any worker count under the parallel runner.
+type FaultStudyConfig struct {
+	// Switches sizes the random irregular topology.
+	Switches int
+	// Seed makes topology, traffic and campaigns reproducible.
+	Seed int64
+	// Campaigns is how many generated fault campaigns to run (the
+	// fault-free baseline always runs in addition).
+	Campaigns int
+	// FaultEvents is the number of fault episodes per campaign.
+	FaultEvents int
+	// Load is the offered load during the run, as a fraction of
+	// per-host link bandwidth.
+	Load float64
+	// MessageSize is the payload per message (at least 16 bytes: the
+	// measurement rides a timestamp and a message id in the payload).
+	MessageSize int
+	// Horizon is the injection window; faults land inside it and the
+	// run then drains to completion (dead-peer verdicts bound the
+	// drain under permanent faults).
+	Horizon units.Time
+	// Algorithm selects the routing.
+	Algorithm routing.Algorithm
+	// Recompute rebuilds route tables around detected faults (link
+	// events and dead-peer verdicts); without it only the GM
+	// reliability layer copes.
+	Recompute bool
+	// GM recovery knobs (zero values take the study defaults:
+	// AckTimeout 150us, backoff 2x capped at 2ms, verdict after 6
+	// barren timeouts).
+	AckTimeout       units.Time
+	BackoffFactor    float64
+	MaxAckTimeout    units.Time
+	DeadPeerTimeouts int
+}
+
+// DefaultFaultStudyConfig returns a moderate study on a medium
+// irregular network.
+func DefaultFaultStudyConfig(alg routing.Algorithm, switches int, seed int64) FaultStudyConfig {
+	return FaultStudyConfig{
+		Switches:    switches,
+		Seed:        seed,
+		Campaigns:   4,
+		FaultEvents: 5,
+		Load:        0.15,
+		MessageSize: 512,
+		Horizon:     2 * units.Millisecond,
+		Algorithm:   alg,
+		Recompute:   true,
+	}
+}
+
+// CampaignOutcome is the accounting of one campaign run. The
+// conservation invariant the fault suite checks is visible here:
+// Sent == Delivered + Failed + the sender-failed-but-delivered overlap
+// (Overlap), and Duplicated stays zero.
+type CampaignOutcome struct {
+	Name   string
+	Events int
+
+	Sent      uint64 // messages handed to GM (tracked)
+	Delivered uint64 // distinct messages seen by a receiver
+	Failed    uint64 // messages whose sender reported failure
+	// Overlap counts messages both delivered and reported failed: the
+	// data got through but every ack was lost until the dead-peer
+	// verdict. The sender's view is pessimistic, never silent.
+	Overlap uint64
+	// Duplicated counts repeat deliveries of one message (must be 0).
+	Duplicated uint64
+
+	Retransmits uint64
+	PeersDead   uint64
+	FaultKilled uint64 // packets killed on downed links
+	PoolDrops   uint64
+	Recomputes  int
+
+	AvgLatency units.Time
+	P99Latency units.Time
+}
+
+// FaultReport is the study result: the baseline plus each campaign.
+type FaultReport struct {
+	Algorithm routing.Algorithm
+	Switches  int
+	Baseline  CampaignOutcome
+	Campaigns []CampaignOutcome
+}
+
+// faultSpec is one runner spec: the campaign index (0 = baseline) and
+// the serialized topology, private per worker.
+type faultSpec struct {
+	idx      int
+	topoText []byte
+}
+
+// RunFaultStudy executes the study: one fresh cluster per campaign,
+// dispatched through the parallel runner and merged in campaign order.
+func RunFaultStudy(cfg FaultStudyConfig) (FaultReport, error) {
+	if cfg.MessageSize < 16 {
+		return FaultReport{}, fmt.Errorf("core: fault study needs a message size of at least 16 bytes")
+	}
+	if cfg.Horizon <= 0 || cfg.Load <= 0 {
+		return FaultReport{}, fmt.Errorf("core: fault study needs a positive horizon and load")
+	}
+	rep := FaultReport{Algorithm: cfg.Algorithm, Switches: cfg.Switches}
+	topo, err := topology.Generate(topology.DefaultGenConfig(cfg.Switches, cfg.Seed))
+	if err != nil {
+		return rep, err
+	}
+	var topoText bytes.Buffer
+	if err := topology.Write(&topoText, topo); err != nil {
+		return rep, err
+	}
+	specs := make([]faultSpec, cfg.Campaigns+1)
+	for i := range specs {
+		specs[i] = faultSpec{idx: i, topoText: topoText.Bytes()}
+	}
+	outcomes, err := runner.Map(specs, func(s faultSpec) (CampaignOutcome, error) {
+		return runFaultCampaign(cfg, s)
+	})
+	if err != nil {
+		return rep, err
+	}
+	rep.Baseline = outcomes[0]
+	rep.Campaigns = outcomes[1:]
+	return rep, nil
+}
+
+// studyGM returns the GM parameters of the study with the recovery
+// knobs resolved.
+func studyGM(cfg FaultStudyConfig) (ack units.Time, backoff float64, maxAck units.Time, deadAfter int) {
+	ack = cfg.AckTimeout
+	if ack <= 0 {
+		ack = 150 * units.Microsecond
+	}
+	backoff = cfg.BackoffFactor
+	if backoff == 0 {
+		backoff = 2
+	}
+	maxAck = cfg.MaxAckTimeout
+	if maxAck <= 0 {
+		maxAck = 2 * units.Millisecond
+	}
+	deadAfter = cfg.DeadPeerTimeouts
+	if deadAfter == 0 {
+		deadAfter = 6
+	}
+	return
+}
+
+func runFaultCampaign(cfg FaultStudyConfig, spec faultSpec) (CampaignOutcome, error) {
+	topo, err := topology.Read(bytes.NewReader(spec.topoText))
+	if err != nil {
+		return CampaignOutcome{}, err
+	}
+	ccfg := DefaultConfig(topo, cfg.Algorithm, variantFor(cfg.Algorithm))
+	ccfg.MCP.BufferPool = true
+	ccfg.MCP.RecvBuffers = 16
+	ccfg.GM.AckTimeout, ccfg.GM.BackoffFactor, ccfg.GM.MaxAckTimeout, ccfg.GM.DeadPeerTimeouts = studyGM(cfg)
+	cl, err := NewCluster(ccfg)
+	if err != nil {
+		return CampaignOutcome{}, err
+	}
+	out := CampaignOutcome{Name: "baseline"}
+	var ctl *faults.Controller
+	if spec.idx > 0 {
+		camp := faults.Generate(cfg.Seed+int64(spec.idx), topo, faults.GenConfig{
+			Horizon: cfg.Horizon,
+			Events:  cfg.FaultEvents,
+		})
+		out.Name = camp.Name
+		out.Events = len(camp.Events)
+		ctl, err = faults.Attach(faults.Target{
+			Eng:       cl.Eng,
+			Net:       cl.Net,
+			Topo:      topo,
+			Hosts:     hostSlice(cl),
+			UD:        cl.UD,
+			Alg:       cfg.Algorithm,
+			Recompute: cfg.Recompute,
+		}, camp)
+		if err != nil {
+			return CampaignOutcome{}, err
+		}
+	}
+
+	gen, err := traffic.NewGenerator(topo, traffic.Config{
+		Pattern:     traffic.Uniform,
+		MessageSize: cfg.MessageSize,
+		Seed:        cfg.Seed + 1,
+	})
+	if err != nil {
+		return CampaignOutcome{}, err
+	}
+	mean := traffic.MeanInterarrival(cfg.Load, cfg.MessageSize, cl.Net.Params().LinkBandwidth)
+
+	// Per-message accounting: the payload carries the send time and a
+	// global message id; the receiver marks delivery, the sender's
+	// tracked callbacks mark the outcome.
+	var lat stats.Summary
+	var msgID uint64
+	delivered := make(map[uint64]int)
+	failed := make(map[uint64]bool)
+	for _, h := range topo.Hosts() {
+		host := cl.Host(h)
+		hid := h
+		host.OnMessage = func(_ topology.NodeID, payload []byte, t units.Time) {
+			if len(payload) < 16 {
+				return
+			}
+			id := decodeID(payload)
+			delivered[id]++
+			if delivered[id] > 1 {
+				out.Duplicated++
+				return
+			}
+			lat.Add(float64(t - decodeStamp(payload)))
+		}
+		var tick func()
+		tick = func() {
+			if cl.Eng.Now() >= cfg.Horizon {
+				return
+			}
+			msg := gen.NextFrom(hid)
+			payload := make([]byte, msg.Size)
+			encodeStamp(payload, cl.Eng.Now())
+			id := msgID
+			msgID++
+			encodeID(payload, id)
+			out.Sent++
+			if err := host.SendTracked(msg.Dst, payload, nil, func() { failed[id] = true }); err != nil {
+				// Rejected up-front: dead peer or no surviving route.
+				failed[id] = true
+			}
+			cl.Eng.Schedule(gen.ExpInterarrival(mean), tick)
+		}
+		cl.Eng.Schedule(gen.ExpInterarrival(mean), tick)
+	}
+	// Drain fully: the dead-peer verdict guarantees termination even
+	// under permanent faults.
+	cl.Eng.Run()
+
+	for id := range delivered {
+		if failed[id] {
+			out.Overlap++
+		}
+	}
+	out.Delivered = uint64(len(delivered))
+	out.Failed = uint64(len(failed))
+	for _, h := range topo.Hosts() {
+		s := cl.Host(h).Stats()
+		out.Retransmits += s.Retransmits
+		out.PeersDead += s.PeersDeclaredDead
+		out.PoolDrops += cl.Host(h).MCP().Stats().PoolDrops
+	}
+	out.FaultKilled = cl.Net.Stats().FaultKilled
+	if ctl != nil {
+		out.Recomputes = ctl.Stats().Recomputes
+	}
+	if lat.N() > 0 {
+		out.AvgLatency = units.Time(lat.Mean())
+		out.P99Latency = units.Time(lat.Percentile(99))
+	}
+	return out, nil
+}
+
+// variantFor returns the firmware variant a routing algorithm needs.
+func variantFor(alg routing.Algorithm) mcp.Variant {
+	if alg == routing.ITBRouting {
+		return mcp.ITB
+	}
+	return mcp.Original
+}
+
+// hostSlice lists the cluster's GM hosts in deterministic topology
+// order.
+func hostSlice(cl *Cluster) []*gm.Host {
+	hosts := cl.Topo.Hosts()
+	out := make([]*gm.Host, 0, len(hosts))
+	for _, h := range hosts {
+		out = append(out, cl.Host(h))
+	}
+	return out
+}
+
+// encodeID/decodeID carry the study-wide message id in payload bytes
+// 8..15 (the timestamp occupies 0..7).
+func encodeID(payload []byte, id uint64) {
+	for i := 0; i < 8; i++ {
+		payload[8+i] = byte(id >> (8 * i))
+	}
+}
+
+func decodeID(payload []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(payload[8+i]) << (8 * i)
+	}
+	return v
+}
+
+// WriteTable renders the study.
+func (r FaultReport) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "Fault campaigns: %s, %d switches\n", r.Algorithm, r.Switches)
+	fmt.Fprintf(w, "%-12s %6s %6s %6s %6s %5s %7s %6s %6s %12s %9s\n",
+		"campaign", "events", "sent", "delivd", "failed", "dup", "retrans", "killed", "dead", "avg-latency", "degrade")
+	row := func(o CampaignOutcome) {
+		degrade := "-"
+		if r.Baseline.AvgLatency > 0 && o.AvgLatency > 0 {
+			degrade = fmt.Sprintf("%.2fx", float64(o.AvgLatency)/float64(r.Baseline.AvgLatency))
+		}
+		fmt.Fprintf(w, "%-12s %6d %6d %6d %6d %5d %7d %6d %6d %12s %9s\n",
+			o.Name, o.Events, o.Sent, o.Delivered, o.Failed, o.Duplicated,
+			o.Retransmits, o.FaultKilled, o.PeersDead, o.AvgLatency, degrade)
+	}
+	row(r.Baseline)
+	for _, o := range r.Campaigns {
+		row(o)
+	}
+}

@@ -55,6 +55,19 @@ func TestFig7Golden(t *testing.T) {
 	checkGolden(t, "fig7.golden", sb.String())
 }
 
+// TestCostsGolden locks the complete `itbsim -exp costs` table: the
+// Section 5 cost breakdown is parameter-free, so any drift means a
+// calibration or model change that must be deliberate.
+func TestCostsGolden(t *testing.T) {
+	res, err := RunCostReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	res.WriteTable(&sb)
+	checkGolden(t, "costs.golden", sb.String())
+}
+
 func TestFig8Golden(t *testing.T) {
 	res, err := RunFig8(Fig8Config{Sizes: []int{1, 64, 1024, 4096}, Iterations: 15, Warmup: 2})
 	if err != nil {

@@ -124,6 +124,15 @@ func (f *Flight) atNode(node topology.NodeID, via *topology.Link) {
 		return
 	}
 	out := n.topo.LinkAt(node, port)
+	if n.crossFault(f, out.ID) {
+		// The selected output cable is down: the switch kills the
+		// stream (CRC-kill on a dead cable), releasing held channels as
+		// the body drains.
+		n.stats.FaultKilled++
+		n.emit(trace.Dropped, node, f.pkt.ID, "link-down")
+		f.drainAndFinish(true)
+		return
+	}
 	cross := n.par.FallThrough + n.portExtra(via.Type) + n.portExtra(out.Type)
 	f.prop += cross + n.par.WireLatency
 	f.state = flightInFlight

@@ -51,6 +51,13 @@ type Counters struct {
 	Misrouted  uint64
 	Corrupted  uint64
 	BytesMoved uint64
+	// FaultKilled counts packets killed by a downed link (included in
+	// Dropped).
+	FaultKilled uint64
+	// ScoutsDropped/ScoutsDuplicated count mapping packets hit by the
+	// scout fault process.
+	ScoutsDropped    uint64
+	ScoutsDuplicated uint64
 }
 
 // Network is the wormhole fabric: all switches and links of a
@@ -65,6 +72,11 @@ type Network struct {
 	stats  Counters
 	tracer *trace.Recorder
 	faults *rand.Rand
+
+	// Campaign fault state (see faults.go).
+	linkFaults    map[int]*linkFault
+	linkFaultRand *rand.Rand
+	scout         scoutFault
 }
 
 // New builds the fabric for a topology.
@@ -320,6 +332,25 @@ func (n *Network) Inject(pkt *packet.Packet, src topology.NodeID, opts InjectOpt
 	hostLink := n.topo.LinkAt(src, 0)
 	if hostLink == nil {
 		panic(fmt.Sprintf("fabric: host %d is not cabled", src))
+	}
+	if dup := n.scoutInject(pkt); dup != nil {
+		// The duplicate leaves once the original's tail has vacated the
+		// NIC, as a spurious retransmission would.
+		n.eng.Schedule(units.Time(f.wireLen)*opts.SourceByteTime, func() {
+			n.scout.suppress = true
+			n.Inject(dup, src, InjectOpts{})
+			n.scout.suppress = false
+		})
+	}
+	if n.crossFault(f, hostLink.ID) {
+		// The host cable is down: the stream dies on the wire and the
+		// send DMA completes into nothing (OnTailOut/OnDropped fire as
+		// usual, so the NIC's send engine is freed normally).
+		n.stats.FaultKilled++
+		f.headerOutAt = n.eng.Now()
+		n.emit(trace.Dropped, src, pkt.ID, "link-down")
+		f.drainAndFinish(true)
+		return f
 	}
 	f.waitStart = n.eng.Now()
 	fromA := hostLink.FromA(src, 0)

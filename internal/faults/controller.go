@@ -1,0 +1,191 @@
+package faults
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/gm"
+	"repro/internal/mcp"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// Target is the cluster a campaign attaches to. Net/Topo/Eng are
+// required; Hosts enables the recovery wiring (dead-peer tracking and
+// NIC-level faults); UD+Recompute enables route recomputation.
+type Target struct {
+	Eng  *sim.Engine
+	Net  *fabric.Network
+	Topo *topology.Topology
+
+	// Hosts are the GM endpoints, used to resolve NIC fault events and
+	// to observe dead-peer verdicts.
+	Hosts []*gm.Host
+
+	// UD and Alg configure route recomputation (Recompute).
+	UD  *topology.UpDown
+	Alg routing.Algorithm
+	// Recompute rebuilds every host's route table around the failed
+	// set whenever a link fails/recovers or a peer is declared dead —
+	// the mapper's reaction, compressed to an instantaneous event (the
+	// remapping cost itself is not modelled here).
+	Recompute bool
+
+	// Tracer (optional) records fault and recovery events.
+	Tracer *trace.Recorder
+}
+
+// Stats counts controller activity.
+type Stats struct {
+	EventsApplied int
+	Recomputes    int
+	PeersLost     int // hosts excluded after a dead-peer verdict
+}
+
+// Controller executes one campaign against one cluster. All work
+// happens in simulation events, so attaching a campaign never breaks
+// determinism.
+type Controller struct {
+	tgt  Target
+	camp Campaign
+
+	mcps      map[topology.NodeID]*mcp.MCP
+	downLinks map[int]bool
+	deadHosts map[topology.NodeID]bool
+	stats     Stats
+}
+
+// Attach schedules every campaign event on the target's engine and
+// wires the dead-peer observer. Call before Engine.Run.
+func Attach(tgt Target, c Campaign) (*Controller, error) {
+	if tgt.Eng == nil || tgt.Net == nil || tgt.Topo == nil {
+		return nil, fmt.Errorf("faults: target needs Eng, Net and Topo")
+	}
+	ctl := &Controller{
+		tgt:       tgt,
+		camp:      c,
+		mcps:      make(map[topology.NodeID]*mcp.MCP),
+		downLinks: make(map[int]bool),
+		deadHosts: make(map[topology.NodeID]bool),
+	}
+	for _, h := range tgt.Hosts {
+		ctl.mcps[h.Node()] = h.MCP()
+		h := h
+		prev := h.OnPeerDead
+		h.OnPeerDead = func(peer topology.NodeID, t units.Time) {
+			ctl.peerDead(peer)
+			if prev != nil {
+				prev(peer, t)
+			}
+		}
+	}
+	for _, ev := range c.sorted() {
+		ev := ev
+		if err := ctl.check(ev); err != nil {
+			return nil, err
+		}
+		tgt.Eng.ScheduleAt(ev.At, func() { ctl.apply(ev) })
+	}
+	return ctl, nil
+}
+
+// Stats returns a snapshot of the counters.
+func (ctl *Controller) Stats() Stats { return ctl.stats }
+
+// DeadHosts returns how many hosts were excluded by dead-peer
+// verdicts.
+func (ctl *Controller) DeadHosts() int { return len(ctl.deadHosts) }
+
+// check validates an event against the target before scheduling.
+func (ctl *Controller) check(ev Event) error {
+	switch ev.Kind {
+	case LinkDown, LinkUp, BitErrorBurst:
+		if ev.Link < 0 || ev.Link >= len(ctl.tgt.Topo.Links()) {
+			return fmt.Errorf("faults: event %v names unknown link %d", ev, ev.Link)
+		}
+	case NICStall, NICResume, PoolExhaust, PoolRestore:
+		if ctl.mcps[ev.Host] == nil {
+			return fmt.Errorf("faults: event %v names host %d with no attached GM endpoint", ev, ev.Host)
+		}
+	}
+	return nil
+}
+
+func (ctl *Controller) apply(ev Event) {
+	ctl.stats.EventsApplied++
+	switch ev.Kind {
+	case LinkDown:
+		ctl.tgt.Net.SetLinkDown(ev.Link, true)
+		ctl.downLinks[ev.Link] = true
+		ctl.recompute("link-down")
+	case LinkUp:
+		ctl.tgt.Net.SetLinkDown(ev.Link, false)
+		delete(ctl.downLinks, ev.Link)
+		ctl.recompute("link-up")
+	case BitErrorBurst:
+		ctl.tgt.Net.SetLinkBER(ev.Link, ev.BER)
+		link := ev.Link
+		ctl.tgt.Eng.Schedule(ev.Duration, func() {
+			ctl.tgt.Net.SetLinkBER(link, 0)
+		})
+	case NICStall:
+		ctl.mcps[ev.Host].SetStalled(true)
+	case NICResume:
+		ctl.mcps[ev.Host].SetStalled(false)
+	case PoolExhaust:
+		ctl.mcps[ev.Host].SetPoolExhausted(true)
+	case PoolRestore:
+		ctl.mcps[ev.Host].SetPoolExhausted(false)
+	case ScoutLoss:
+		ctl.tgt.Net.SetScoutFault(ev.DropEvery, ev.DupEvery)
+	}
+}
+
+// peerDead reacts to a GM dead-peer verdict: the lost host is excluded
+// from future routes (both as endpoint and as in-transit buffer) and
+// every table is rebuilt. Verdicts are sticky — a resumed NIC's
+// sequence state is gone, so the host stays excluded until remap.
+func (ctl *Controller) peerDead(peer topology.NodeID) {
+	if ctl.deadHosts[peer] {
+		return
+	}
+	ctl.deadHosts[peer] = true
+	ctl.stats.PeersLost++
+	ctl.recompute("peer-dead")
+}
+
+// recompute rebuilds every host's route table around the current
+// failed set. With Recompute unset (or no up*/down* orientation) it
+// is a no-op: packets keep following stale routes and only the GM
+// reliability layer copes, which is what stock GM without remapping
+// would do.
+func (ctl *Controller) recompute(why string) {
+	if !ctl.tgt.Recompute || ctl.tgt.UD == nil {
+		return
+	}
+	avoid := &routing.Avoid{Links: make(map[int]bool), Hosts: make(map[topology.NodeID]bool)}
+	for l := range ctl.downLinks {
+		avoid.Links[l] = true
+	}
+	for h := range ctl.deadHosts {
+		avoid.Hosts[h] = true
+	}
+	tbl, err := routing.BuildTableAvoiding(ctl.tgt.Topo, ctl.tgt.UD, ctl.tgt.Alg, avoid)
+	if err != nil {
+		return // keep the stale table rather than tear routing down
+	}
+	for _, h := range ctl.tgt.Hosts {
+		h.SetTable(tbl)
+	}
+	ctl.stats.Recomputes++
+	if ctl.tgt.Tracer != nil {
+		ctl.tgt.Tracer.Record(trace.Event{
+			At:     ctl.tgt.Eng.Now(),
+			Kind:   trace.RouteRecompute,
+			Detail: fmt.Sprintf("%s links=%d hosts=%d", why, len(avoid.Links), len(avoid.Hosts)),
+		})
+	}
+}

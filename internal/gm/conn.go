@@ -27,6 +27,15 @@ type conn struct {
 	timer     *sim.Event
 	submitted map[uint32]bool   // seqs handed to the MCP and not yet re-sendable
 	acked     map[uint32]func() // per-seq acknowledgement callbacks (send tokens)
+	failed    map[uint32]func() // per-seq failure callbacks (dead-peer verdict)
+
+	// Recovery state (Params.BackoffFactor / DeadPeerTimeouts).
+	curTimeout units.Time // current retransmit timeout (backed off)
+	strikes    int        // consecutive timeouts without ack progress
+	// dead is permanent: reviving a failed peer would desynchronise the
+	// go-back-N sequence state between sender and receiver, so after the
+	// verdict every send to this peer fails fast until remap/restart.
+	dead bool
 
 	// Receiver state.
 	expected uint32
@@ -37,16 +46,36 @@ type conn struct {
 }
 
 func newConn(h *Host, peer topology.NodeID) *conn {
-	return &conn{h: h, peer: peer, submitted: make(map[uint32]bool), acked: make(map[uint32]func())}
+	return &conn{
+		h: h, peer: peer,
+		submitted: make(map[uint32]bool),
+		acked:     make(map[uint32]func()),
+		failed:    make(map[uint32]func()),
+	}
 }
 
 // enqueue assigns a sequence number and transmits when the window
-// allows. onAcked (optional) fires when this packet is acknowledged.
-func (c *conn) enqueue(pkt *packet.Packet, onAcked func()) {
+// allows. onAcked (optional) fires when this packet is acknowledged;
+// onFailed (optional) fires instead if the dead-peer verdict abandons
+// it. Enqueueing to an already-dead conn fails at once (from a fresh
+// event, so the caller's stack has unwound).
+func (c *conn) enqueue(pkt *packet.Packet, onAcked, onFailed func()) {
+	if c.dead {
+		if pkt.LastFrag {
+			c.h.stats.MessagesFailed++
+		}
+		if onFailed != nil {
+			c.h.eng.Schedule(0, onFailed)
+		}
+		return
+	}
 	pkt.Seq = c.nextSeq
 	c.nextSeq++
 	if onAcked != nil {
 		c.acked[pkt.Seq] = onAcked
+	}
+	if onFailed != nil {
+		c.failed[pkt.Seq] = onFailed
 	}
 	c.backlog = append(c.backlog, pkt)
 	c.pump()
@@ -86,6 +115,7 @@ func (c *conn) transmit(pkt *packet.Packet) {
 
 // fireAcked runs and clears the acknowledgement callback of one seq.
 func (c *conn) fireAcked(seq uint32) {
+	delete(c.failed, seq)
 	if cb, ok := c.acked[seq]; ok {
 		delete(c.acked, seq)
 		cb()
@@ -93,10 +123,13 @@ func (c *conn) fireAcked(seq uint32) {
 }
 
 func (c *conn) armTimer() {
-	if c.h.par.DisableAcks || c.timer != nil {
+	if c.h.par.DisableAcks || c.timer != nil || c.dead {
 		return
 	}
-	c.timer = c.h.eng.Schedule(c.h.par.AckTimeout, c.timeout)
+	if c.curTimeout <= 0 {
+		c.curTimeout = c.h.par.AckTimeout
+	}
+	c.timer = c.h.eng.Schedule(c.curTimeout, c.timeout)
 }
 
 func (c *conn) disarmTimer() {
@@ -106,33 +139,107 @@ func (c *conn) disarmTimer() {
 	}
 }
 
-// timeout retransmits every unacknowledged packet (go-back-N).
+// timeout retransmits every unacknowledged packet (go-back-N). Each
+// barren timeout is a strike against the peer and backs the timeout
+// off; enough strikes (Params.DeadPeerTimeouts) and the peer is
+// declared dead, which is what bounds the retransmission process — and
+// hence the simulation — under a permanent fault.
 func (c *conn) timeout() {
 	c.timer = nil
 	if len(c.inflight) == 0 {
 		return
 	}
+	c.strikes++
+	if n := c.h.par.DeadPeerTimeouts; n > 0 && c.strikes >= n {
+		c.declareDead()
+		return
+	}
+	if f := c.h.par.BackoffFactor; f > 1 {
+		c.curTimeout = units.Time(float64(c.curTimeout) * f)
+		if lim := c.h.par.MaxAckTimeout; lim > 0 && c.curTimeout > lim {
+			c.curTimeout = lim
+		}
+	}
+	// Head-of-line probe: resend only the first unacknowledged packet.
+	// Re-bursting the whole window on timeout can phase-lock against a
+	// one-buffer receiver — every burst arrives while the buffer holds
+	// the previous burst's survivor, so the head is never the packet
+	// that lands, the receiver keeps re-acking the same position, and
+	// the exchange livelocks (the simulation replays the lock exactly,
+	// having no physical jitter to break it). A lone probe claims the
+	// buffer, advances the window, and the rest of the window resumes
+	// on the ack (handleAck).
 	for _, pkt := range c.inflight {
 		if c.submitted[pkt.Seq] {
 			// Still sitting in the NIC's send queue; re-sending would
 			// duplicate it.
-			continue
+			break
 		}
 		c.h.stats.Retransmits++
 		c.h.emit(trace.Retransmit, pkt.ID, fmt.Sprintf("seq=%d", pkt.Seq))
 		c.transmit(pkt)
+		break
 	}
 	c.armTimer()
+}
+
+// declareDead issues the dead-peer verdict: every pending message is
+// reported failed (in send order), all timers stop, and the conn
+// rejects future sends. The per-host OnPeerDead hook lets the layer
+// above (the fault-campaign controller, or a future remapper trigger)
+// react.
+func (c *conn) declareDead() {
+	c.dead = true
+	c.disarmTimer()
+	c.h.stats.PeersDeclaredDead++
+	c.h.emit(trace.PeerDead, 0, fmt.Sprintf("peer=%d strikes=%d", c.peer, c.strikes))
+	// Count abandoned messages: one per last-fragment still unacked
+	// (its ack is what would have completed the message).
+	for _, pkt := range c.inflight {
+		if pkt.LastFrag {
+			c.h.stats.MessagesFailed++
+		}
+	}
+	for _, pkt := range c.backlog {
+		if pkt.LastFrag {
+			c.h.stats.MessagesFailed++
+		}
+	}
+	// Fire failure callbacks in ascending-seq (send) order so the
+	// outcome order is deterministic.
+	pending := len(c.failed)
+	for seq := c.ackedTo; seq < c.nextSeq && pending > 0; seq++ {
+		if cb, ok := c.failed[seq]; ok {
+			delete(c.failed, seq)
+			delete(c.acked, seq)
+			pending--
+			cb()
+		}
+	}
+	c.inflight = nil
+	c.backlog = nil
+	if c.h.OnPeerDead != nil {
+		c.h.OnPeerDead(c.peer, c.h.eng.Now())
+	}
 }
 
 // handleAck processes a cumulative acknowledgement: everything below
 // nextExpected has arrived.
 func (c *conn) handleAck(nextExpected uint32) {
+	if c.dead {
+		return // verdict issued; outcomes already reported
+	}
 	if nextExpected <= c.ackedTo {
 		return // stale
 	}
 	old := c.ackedTo
 	c.ackedTo = nextExpected
+	// Acknowledgement progress clears the strike count and resets the
+	// backed-off timeout. Progress after a timeout means the receiver
+	// dropped the rest of the window: resume streaming it below.
+	recovering := c.strikes > 0
+	c.strikes = 0
+	c.curTimeout = c.h.par.AckTimeout
 	keep := c.inflight[:0]
 	for _, pkt := range c.inflight {
 		if pkt.Seq >= nextExpected {
@@ -144,6 +251,18 @@ func (c *conn) handleAck(nextExpected uint32) {
 		c.fireAcked(seq)
 	}
 	c.disarmTimer()
+	if recovering {
+		// Go-back-N resume: re-stream the unacknowledged remainder of
+		// the window from the position the receiver just confirmed.
+		for _, pkt := range c.inflight {
+			if c.submitted[pkt.Seq] {
+				continue
+			}
+			c.h.stats.Retransmits++
+			c.h.emit(trace.Retransmit, pkt.ID, fmt.Sprintf("seq=%d", pkt.Seq))
+			c.transmit(pkt)
+		}
+	}
 	if len(c.inflight) > 0 {
 		c.armTimer()
 	}

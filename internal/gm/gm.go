@@ -45,6 +45,20 @@ type Params struct {
 	// latest after this many unacknowledged packets (default 4 when
 	// AckDelay is set).
 	AckEvery int
+	// BackoffFactor multiplies the retransmit timeout after every
+	// barren timeout (exponential backoff); acknowledgement progress
+	// resets it to AckTimeout. Values <= 1 keep the timeout fixed
+	// (the original GM behaviour).
+	BackoffFactor float64
+	// MaxAckTimeout caps the backed-off timeout. Zero leaves the
+	// backoff uncapped.
+	MaxAckTimeout units.Time
+	// DeadPeerTimeouts is the per-peer dead verdict: after this many
+	// consecutive timeouts without acknowledgement progress the peer is
+	// declared dead, every pending message to it is reported failed,
+	// and later sends to it fail immediately. Zero (the default)
+	// disables the verdict and GM retries forever, as stock GM does.
+	DeadPeerTimeouts int
 }
 
 // DefaultParams returns constants calibrated to a 450 MHz Pentium III
@@ -69,6 +83,11 @@ type Stats struct {
 	Retransmits      uint64
 	OutOfOrderDrops  uint64
 	DuplicateDrops   uint64
+	// PeersDeclaredDead counts dead-peer verdicts issued.
+	PeersDeclaredDead uint64
+	// MessagesFailed counts messages reported failed (dead peer or no
+	// route at send time).
+	MessagesFailed uint64
 }
 
 // Host is one workstation's GM endpoint: it owns the MCP beneath it
@@ -87,6 +106,9 @@ type Host struct {
 	// OnMessage delivers a complete, in-order message to the
 	// application.
 	OnMessage func(src topology.NodeID, payload []byte, t units.Time)
+	// OnPeerDead fires when the dead-peer verdict is issued for a peer
+	// (Params.DeadPeerTimeouts).
+	OnPeerDead func(peer topology.NodeID, t units.Time)
 
 	tracer *trace.Recorder
 	stats  Stats
@@ -126,6 +148,19 @@ func NewHost(eng *sim.Engine, m *mcp.MCP, tbl *routing.Table, par Params) *Host 
 // Node returns the host's topology node.
 func (h *Host) Node() topology.NodeID { return h.node }
 
+// SetTable installs a new route table, as the mapper does after
+// remapping a changed network. Packets already segmented keep the
+// route bytes they were stamped with (retransmissions re-clone that
+// header); new Sends use the new table — matching real GM, where the
+// NIC's route SRAM is rewritten between sends.
+func (h *Host) SetTable(tbl *routing.Table) { h.tbl = tbl }
+
+// PeerDead reports whether the dead-peer verdict was issued for dst.
+func (h *Host) PeerDead(dst topology.NodeID) bool {
+	c := h.conns[dst]
+	return c != nil && c.dead
+}
+
 // MCP returns the firmware under this host.
 func (h *Host) MCP() *mcp.MCP { return h.m }
 
@@ -142,8 +177,21 @@ func packetTypeFor(r *routing.Route) packet.Type {
 
 // Send transmits payload to dst using the route table.
 func (h *Host) Send(dst topology.NodeID, payload []byte) error {
+	return h.SendTracked(dst, payload, nil, nil)
+}
+
+// SendTracked is Send with message-outcome callbacks: onAcked fires
+// when GM has acknowledged the whole message, onFailed when the
+// message is abandoned by the dead-peer verdict. Exactly one of the
+// two eventually fires (when a non-nil error is returned, neither
+// does: the message was never accepted). Fault campaigns use this to
+// account for every message as delivered or reported dropped.
+func (h *Host) SendTracked(dst topology.NodeID, payload []byte, onAcked, onFailed func()) error {
 	if h.tbl == nil {
 		return fmt.Errorf("gm: host %d has no route table", h.node)
+	}
+	if h.PeerDead(dst) {
+		return fmt.Errorf("gm: peer %d was declared dead", dst)
 	}
 	r, ok := h.tbl.Lookup(h.node, dst)
 	if !ok {
@@ -153,20 +201,21 @@ func (h *Host) Send(dst topology.NodeID, payload []byte) error {
 	if err != nil {
 		return err
 	}
-	h.sendPort(dst, payload, hdr, packetTypeFor(r), 0, 0, nil)
+	h.sendPort(dst, payload, hdr, packetTypeFor(r), 0, 0, onAcked, onFailed)
 	return nil
 }
 
 // SendVia transmits payload to dst over an explicit wire route (used
 // by the evaluation harness to pin the exact paths of Figures 7/8).
 func (h *Host) SendVia(dst topology.NodeID, payload []byte, route []byte, typ packet.Type) {
-	h.sendPort(dst, payload, append([]byte(nil), route...), typ, 0, 0, nil)
+	h.sendPort(dst, payload, append([]byte(nil), route...), typ, 0, 0, nil, nil)
 }
 
 // sendPort segments and enqueues one message; onAcked (optional)
 // fires when GM has acknowledged the whole message (or when its tail
-// leaves the NIC, with acks disabled).
-func (h *Host) sendPort(dst topology.NodeID, payload []byte, route []byte, typ packet.Type, srcPort, dstPort uint8, onAcked func()) {
+// leaves the NIC, with acks disabled); onFailed (optional) fires
+// instead if the message is abandoned by the dead-peer verdict.
+func (h *Host) sendPort(dst topology.NodeID, payload []byte, route []byte, typ packet.Type, srcPort, dstPort uint8, onAcked, onFailed func()) {
 	c := h.connTo(dst)
 	h.msgID++
 	id := h.msgID
@@ -198,11 +247,11 @@ func (h *Host) sendPort(dst topology.NodeID, payload []byte, route []byte, typ p
 				FragIndex: i,
 				LastFrag:  i == len(frags)-1,
 			}
-			var cb func()
+			var ackCb, failCb func()
 			if pkt.LastFrag {
-				cb = onAcked
+				ackCb, failCb = onAcked, onFailed
 			}
-			c.enqueue(pkt, cb)
+			c.enqueue(pkt, ackCb, failCb)
 		}
 	})
 }

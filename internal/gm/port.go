@@ -102,6 +102,9 @@ func (p *Port) Send(dst topology.NodeID, dstPort uint8, payload []byte) error {
 	if h.tbl == nil {
 		return fmt.Errorf("gm: host %d has no route table", h.node)
 	}
+	if h.PeerDead(dst) {
+		return fmt.Errorf("gm: peer %d was declared dead", dst)
+	}
 	r, ok := h.tbl.Lookup(h.node, dst)
 	if !ok {
 		return fmt.Errorf("gm: no route %d->%d", h.node, dst)
@@ -112,7 +115,12 @@ func (p *Port) Send(dst topology.NodeID, dstPort uint8, payload []byte) error {
 	}
 	typ := packetTypeFor(r)
 	p.sendTokens--
+	// The send token comes back on either outcome: acknowledgement or
+	// dead-peer failure — otherwise a failed peer would strand the
+	// port's tokens forever.
 	h.sendPort(dst, payload, hdr, typ, p.id, dstPort, func() {
+		p.sendTokens++
+	}, func() {
 		p.sendTokens++
 	})
 	return nil

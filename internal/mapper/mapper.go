@@ -29,6 +29,12 @@ type Config struct {
 	MaxPorts int
 	// Timeout is how long to wait for each probe's echo or reply.
 	Timeout units.Time
+	// Retries re-sends a probe (with a fresh nonce) after each
+	// timeout, up to this many times. Zero keeps the historical
+	// single-shot behaviour; mapping under scout loss needs a few
+	// retries or lost scouts read as dead ports and the map comes out
+	// missing cables.
+	Retries int
 }
 
 // DefaultConfig returns the usual exploration parameters.
@@ -60,6 +66,8 @@ type Map struct {
 	Cables  []Cable
 	// Probes counts scout packets sent.
 	Probes int
+	// Retried counts probes re-sent after a timeout (Config.Retries).
+	Retried int
 }
 
 type endpoint struct{ sw, port int }
@@ -113,40 +121,50 @@ type probeResult struct {
 }
 
 // probe sends one scout and runs the engine until its echo, a reply,
-// or the timeout. Discovery owns the engine while it runs, so this
-// synchronous style is sound.
+// or the timeout; lost scouts are retried Config.Retries times with a
+// fresh nonce each attempt (stale replies to an earlier attempt fail
+// the nonce check and are ignored). Discovery owns the engine while it
+// runs, so this synchronous style is sound.
 func (mp *Mapper) probe(route, returnRoute []byte) probeResult {
-	mp.nonce++
-	nonce := mp.nonce
-	mp.result.Probes++
 	res := probeResult{outcome: probeTimeout}
-	done := false
-	mp.m.OnMapping = func(pm packet.Mapping, _ units.Time) {
-		if done || pm.Nonce != nonce {
-			return
+	for attempt := 0; attempt <= mp.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			mp.result.Retried++
 		}
-		done = true
-		if pm.Kind == packet.MappingReply {
-			res = probeResult{outcome: probeReply, host: topology.NodeID(pm.Origin)}
-		} else {
-			res = probeResult{outcome: probeSelfReturn}
+		mp.nonce++
+		nonce := mp.nonce
+		mp.result.Probes++
+		done := false
+		mp.m.OnMapping = func(pm packet.Mapping, _ units.Time) {
+			if done || pm.Nonce != nonce {
+				return
+			}
+			done = true
+			if pm.Kind == packet.MappingReply {
+				res = probeResult{outcome: probeReply, host: topology.NodeID(pm.Origin)}
+			} else {
+				res = probeResult{outcome: probeSelfReturn}
+			}
+			mp.eng.Stop()
 		}
-		mp.eng.Stop()
+		scout := &packet.Packet{
+			Route: append([]byte(nil), route...),
+			Type:  packet.TypeMapping,
+			Src:   int(mp.home),
+			Payload: packet.EncodeMapping(packet.Mapping{
+				Kind:        packet.MappingProbe,
+				Nonce:       nonce,
+				Origin:      int32(mp.home),
+				ReturnRoute: returnRoute,
+			}),
+		}
+		mp.m.SubmitSend(scout, nil)
+		mp.eng.RunUntil(mp.eng.Now() + mp.cfg.Timeout)
+		mp.m.OnMapping = nil
+		if done {
+			break
+		}
 	}
-	scout := &packet.Packet{
-		Route: append([]byte(nil), route...),
-		Type:  packet.TypeMapping,
-		Src:   int(mp.home),
-		Payload: packet.EncodeMapping(packet.Mapping{
-			Kind:        packet.MappingProbe,
-			Nonce:       nonce,
-			Origin:      int32(mp.home),
-			ReturnRoute: returnRoute,
-		}),
-	}
-	mp.m.SubmitSend(scout, nil)
-	mp.eng.RunUntil(mp.eng.Now() + mp.cfg.Timeout)
-	mp.m.OnMapping = nil
 	return res
 }
 

@@ -1,0 +1,64 @@
+package mapper
+
+import (
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/mcp"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// TestDiscoverUnderScoutLoss maps the testbed while the fabric's
+// scout-fault process drops (and duplicates) mapping packets. With
+// retries configured the mapper must still recover the exact
+// topology — lost scouts surface as timeouts and are re-probed with
+// fresh nonces, and duplicated replies are discarded by the nonce
+// guard instead of pinning phantom cables.
+func TestDiscoverUnderScoutLoss(t *testing.T) {
+	cases := []struct {
+		name      string
+		dropEvery int
+		dupEvery  int
+	}{
+		{"drops", 4, 0},
+		{"dups", 0, 3},
+		{"drops-and-dups", 5, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			topo, _ := topology.Testbed()
+			eng := sim.NewEngine()
+			net := fabric.New(eng, topo, fabric.DefaultParams())
+			var mine *mcp.MCP
+			for _, h := range topo.Hosts() {
+				m := mcp.New(net, h, mcp.DefaultConfig(mcp.ITB))
+				if h == topo.Hosts()[0] {
+					mine = m
+				}
+			}
+			net.SetScoutFault(tc.dropEvery, tc.dupEvery)
+			cfg := DefaultConfig()
+			cfg.Retries = 3
+			mp := New(mine, cfg)
+			res, err := mp.Discover()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := res.Matches(topo); err != nil {
+				t.Errorf("map diverged under scout faults: %v", err)
+			}
+			if tc.dropEvery > 0 {
+				if res.Retried == 0 {
+					t.Error("scouts were dropped but no probe was retried")
+				}
+				if net.Stats().ScoutsDropped == 0 {
+					t.Error("fault armed but fabric dropped no scouts")
+				}
+			}
+			if tc.dupEvery > 0 && net.Stats().ScoutsDuplicated == 0 {
+				t.Error("fault armed but fabric duplicated no scouts")
+			}
+		})
+	}
+}

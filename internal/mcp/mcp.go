@@ -81,6 +81,7 @@ type Stats struct {
 	PoolDrops       uint64 // packets flushed by the buffer pool
 	BlockedArrivals uint64 // arrivals that waited for a receive buffer
 	CRCDrops        uint64 // packets flushed for failing the payload CRC
+	StallDrops      uint64 // arrivals flushed while the NIC was stalled
 }
 
 // sendJob is a packet staged for transmission.
@@ -120,6 +121,15 @@ type MCP struct {
 	recvBufsFree int
 	waiting      []*fabric.Flight // blocked arrivals (no buffer pool)
 	inTransit    map[*packet.Packet]bool
+
+	// Injected fault state (campaign-driven). A stalled NIC flushes
+	// every arrival and stops feeding the wire; an exhausted pool
+	// behaves as if every receive buffer were busy. Both are
+	// survivable: GM's reliability layer retransmits the flushed
+	// packets once the fault clears (or gives the dead-peer verdict if
+	// it never does).
+	stalled   bool
+	exhausted bool
 
 	// OnDeliver is called when a packet has been RDMA-ed to the host.
 	OnDeliver func(pkt *packet.Packet, t units.Time)
@@ -228,11 +238,58 @@ func (m *MCP) startSDMA(job sendJob) {
 	})
 }
 
+// SetStalled wedges (or revives) the NIC: while stalled it flushes
+// every arriving packet and stops feeding the wire. Intended for fault
+// campaigns; resuming re-pumps the send path.
+func (m *MCP) SetStalled(stalled bool) {
+	if m.stalled == stalled {
+		return
+	}
+	m.stalled = stalled
+	detail := "resume"
+	if stalled {
+		detail = "stall"
+	}
+	m.emit(trace.NICFault, 0, detail)
+	if !stalled {
+		m.tryWire()
+	}
+}
+
+// SetPoolExhausted makes the receive side behave as if every buffer
+// were busy: arrivals are flushed (buffer pool) or blocked (faithful
+// two-buffer config) until the exhaustion clears.
+func (m *MCP) SetPoolExhausted(exhausted bool) {
+	if m.exhausted == exhausted {
+		return
+	}
+	m.exhausted = exhausted
+	detail := "pool-restore"
+	if exhausted {
+		detail = "pool-exhaust"
+	}
+	m.emit(trace.NICFault, 0, detail)
+	if !exhausted {
+		m.admitWaiting()
+	}
+}
+
+// admitWaiting drains blocked arrivals into freed buffers after an
+// exhaustion clears.
+func (m *MCP) admitWaiting() {
+	for m.recvBufsFree > 0 && len(m.waiting) > 0 {
+		f := m.waiting[0]
+		m.waiting = m.waiting[1:]
+		m.recvBufsFree--
+		m.acceptFlight(f)
+	}
+}
+
 // tryWire starts the next transmission if the wire engine is free.
 // ITB re-injections always win over normal sends (the high-priority
 // "ITB packet pending" path of Figure 5).
 func (m *MCP) tryWire() {
-	if m.wireBusy {
+	if m.wireBusy || m.stalled {
 		return
 	}
 	if len(m.itbQ) > 0 {
@@ -276,7 +333,15 @@ func (m *MCP) tryWire() {
 
 // HeaderArrived implements fabric.Endpoint.
 func (m *MCP) HeaderArrived(f *fabric.Flight) {
-	if m.recvBufsFree == 0 {
+	if m.stalled {
+		// A wedged NIC drains arriving packets into nothing; GM
+		// retransmits them after the stall.
+		m.stats.StallDrops++
+		m.emit(trace.Dropped, f.Packet().ID, "stall")
+		f.Drop()
+		return
+	}
+	if m.recvBufsFree == 0 || m.exhausted {
 		if m.cfg.BufferPool {
 			// The circular queue is full: flush the packet; GM's
 			// reliability layer will retransmit it.
@@ -482,7 +547,7 @@ func (m *MCP) handleMapping(pkt *packet.Packet) {
 // if one is waiting.
 func (m *MCP) releaseRecvBuffer() {
 	m.nic.CPU.Post(lanai.PrioRecv, m.cfg.Costs.ProgramRecvCycles, func() {
-		if len(m.waiting) > 0 {
+		if !m.exhausted && len(m.waiting) > 0 {
 			f := m.waiting[0]
 			m.waiting = m.waiting[1:]
 			m.acceptFlight(f)

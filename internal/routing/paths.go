@@ -35,7 +35,7 @@ type swStep struct {
 // guarantees a legal path exists between every pair in a connected
 // network, so failure panics (it would mean a broken orientation).
 func UpDownSwitchPath(t *topology.Topology, ud *topology.UpDown, src, dst topology.NodeID) []Traversal {
-	trav, _, err := searchPath(t, ud, src, dst, false)
+	trav, _, err := searchPath(t, ud, src, dst, nil)
 	if err != nil {
 		panic(err)
 	}
@@ -46,7 +46,7 @@ func UpDownSwitchPath(t *topology.Topology, ud *topology.UpDown, src, dst topolo
 // restrictions (pure BFS). Used as the lower bound the ITB mechanism
 // tries to reach, and by tests.
 func MinimalSwitchPath(t *topology.Topology, src, dst topology.NodeID) []Traversal {
-	trav, _, err := searchPath(t, nil, src, dst, false)
+	trav, _, err := searchPath(t, nil, src, dst, nil)
 	if err != nil {
 		panic(err)
 	}
@@ -62,12 +62,13 @@ func MinimalSwitchPath(t *topology.Topology, src, dst topology.NodeID) []Travers
 // itbAt[k] ... precisely: before taking traversal itbAt[k], the packet
 // resets at the switch it is currently on).
 func ITBSwitchPath(t *topology.Topology, ud *topology.UpDown, src, dst topology.NodeID) (trav []Traversal, itbBefore []int, err error) {
-	return searchPathITB(t, ud, src, dst)
+	return searchPathITB(t, ud, src, dst, nil)
 }
 
 // searchPath is a BFS over (switch, phase) states. With ud == nil the
-// phase is ignored and the search is a plain shortest path.
-func searchPath(t *topology.Topology, ud *topology.UpDown, src, dst topology.NodeID, _ bool) ([]Traversal, int, error) {
+// phase is ignored and the search is a plain shortest path. avoid
+// (optional) excludes failed links from the graph.
+func searchPath(t *topology.Topology, ud *topology.UpDown, src, dst topology.NodeID, avoid *Avoid) ([]Traversal, int, error) {
 	if t.Node(src).Kind != topology.KindSwitch || t.Node(dst).Kind != topology.KindSwitch {
 		return nil, 0, fmt.Errorf("routing: path endpoints must be switches")
 	}
@@ -82,6 +83,9 @@ func searchPath(t *topology.Topology, ud *topology.UpDown, src, dst topology.Nod
 		st := queue[0]
 		queue = queue[1:]
 		for _, nb := range sortedSwitchNeighbors(t, st.sw) {
+			if avoid.avoidsLink(nb.Link.ID) {
+				continue
+			}
 			next := searchState{sw: nb.Node, ph: st.ph}
 			if ud != nil {
 				dir := ud.DirectionOf(nb.Link, st.sw)
@@ -145,8 +149,9 @@ func hopCost(hops, itbs int64) int64 { return hops<<20 | itbs }
 // zero-hop "reset" edge (phaseDowned -> phaseUpOK) at every switch
 // that has at least one attached host, costing one ITB. The cost is
 // lexicographic (hops, itbs), so the result is a minimal-hop path
-// using the fewest resets.
-func searchPathITB(t *topology.Topology, ud *topology.UpDown, src, dst topology.NodeID) ([]Traversal, []int, error) {
+// using the fewest resets. avoid (optional) excludes failed links from
+// the graph and dead hosts from serving as in-transit buffers.
+func searchPathITB(t *topology.Topology, ud *topology.UpDown, src, dst topology.NodeID, avoid *Avoid) ([]Traversal, []int, error) {
 	if t.Node(src).Kind != topology.KindSwitch || t.Node(dst).Kind != topology.KindSwitch {
 		return nil, nil, fmt.Errorf("routing: path endpoints must be switches")
 	}
@@ -179,12 +184,15 @@ func searchPathITB(t *topology.Topology, ud *topology.UpDown, src, dst topology.
 			parent[next] = step
 			heap.Push(h, &itbNode{st: next, cost: cost})
 		}
-		// Reset edge: eject/re-inject at a host of this switch.
-		if st.ph == phaseDowned && len(t.HostsAt(st.sw)) > 0 {
+		// Reset edge: eject/re-inject at a live host of this switch.
+		if st.ph == phaseDowned && len(liveHostsAt(t, st.sw, avoid)) > 0 {
 			relax(searchState{sw: st.sw, ph: phaseUpOK}, base+hopCost(0, 1),
 				swStep{prev: st, itb: true})
 		}
 		for _, nb := range sortedSwitchNeighbors(t, st.sw) {
+			if avoid.avoidsLink(nb.Link.ID) {
+				continue
+			}
 			dir := ud.DirectionOf(nb.Link, st.sw)
 			if st.ph == phaseDowned && dir == topology.Up {
 				continue

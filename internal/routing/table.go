@@ -37,6 +37,9 @@ type Table struct {
 	// same switch pair share one search (ITB host choice still varies
 	// per route for balance).
 	pathCache map[[2]topology.NodeID]cachedPath
+	// avoid is the exclusion set the table was built around (nil when
+	// built fault-free by BuildTable).
+	avoid *Avoid
 }
 
 type cachedPath struct {
@@ -102,12 +105,23 @@ func (tbl *Table) buildRoute(t *topology.Topology, ud *topology.UpDown, src, dst
 	if !cached {
 		switch tbl.Algorithm {
 		case UpDownRouting:
-			cp.trav = UpDownSwitchPath(t, ud, srcSw, dstSw)
-		case ITBRouting:
 			var err error
-			cp.trav, cp.itbBefore, err = ITBSwitchPath(t, ud, srcSw, dstSw)
+			cp.trav, _, err = searchPath(t, ud, srcSw, dstSw, tbl.avoid)
 			if err != nil {
 				return nil, err
+			}
+		case ITBRouting:
+			var err error
+			cp.trav, cp.itbBefore, err = searchPathITB(t, ud, srcSw, dstSw, tbl.avoid)
+			if err != nil {
+				// No minimal path is ITB-repairable under the exclusion
+				// set (every candidate in-transit host is dead): fall
+				// back to a pure up*/down* route over the live links.
+				cp.trav, _, err = searchPath(t, ud, srcSw, dstSw, tbl.avoid)
+				cp.itbBefore = nil
+				if err != nil {
+					return nil, err
+				}
 			}
 		default:
 			return nil, fmt.Errorf("routing: unknown algorithm %d", tbl.Algorithm)
@@ -132,11 +146,11 @@ func (tbl *Table) assemble(t *topology.Topology, src, dst, srcSw topology.NodeID
 	curSw := srcSw
 	r.SwitchPath = append(r.SwitchPath, curSw)
 	flushSegment := func(itbSwitch topology.NodeID) error {
-		// Eject into a host of itbSwitch: pick the least-loaded host
-		// (deterministic tie-break by id).
-		hosts := t.HostsAt(itbSwitch)
+		// Eject into a live host of itbSwitch: pick the least-loaded
+		// host (deterministic tie-break by id).
+		hosts := liveHostsAt(t, itbSwitch, tbl.avoid)
 		if len(hosts) == 0 {
-			return fmt.Errorf("routing: ITB needed at switch %d which has no hosts", itbSwitch)
+			return fmt.Errorf("routing: ITB needed at switch %d which has no live hosts", itbSwitch)
 		}
 		best := hosts[0]
 		for _, h := range hosts[1:] {

@@ -28,6 +28,10 @@ const (
 	SendQueued               // GM handed a packet to the MCP
 	RecvToHost               // RDMA to host memory complete
 	Retransmit               // GM go-back-N retransmission
+	LinkFault                // a link failed or recovered (detail: down/up/ber)
+	NICFault                 // a NIC fault event (detail: stall/resume/pool-exhaust/pool-restore)
+	RouteRecompute           // route table rebuilt around the failed set
+	PeerDead                 // GM declared a peer dead after repeated timeouts
 )
 
 // String names the kind.
@@ -55,6 +59,14 @@ func (k Kind) String() string {
 		return "recv-to-host"
 	case Retransmit:
 		return "retransmit"
+	case LinkFault:
+		return "link-fault"
+	case NICFault:
+		return "nic-fault"
+	case RouteRecompute:
+		return "route-recompute"
+	case PeerDead:
+		return "peer-dead"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
