@@ -1,14 +1,23 @@
 GO ?= go
 
-.PHONY: all build test test-race vet bench fuzz experiments golden clean
+.PHONY: all build test test-race vet lint bench fuzz experiments golden clean
 
-all: build vet test test-race
+all: build lint test test-race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis: go vet always; staticcheck when installed (CI
+# installs it, local trees may not have it).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go vet ran)"; \
+	fi
 
 test:
 	$(GO) test ./...

@@ -18,6 +18,7 @@ import (
 	"repro/internal/gm"
 	"repro/internal/mapper"
 	"repro/internal/mcp"
+	"repro/internal/metrics"
 	"repro/internal/routing"
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -423,6 +424,32 @@ func BenchmarkRouteTableBuild(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := routing.BuildTable(topo, ud, routing.ITBRouting); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7MetricsOff / BenchmarkFig7MetricsOn certify the
+// zero-cost-when-disabled contract of internal/metrics: the hot paths
+// (fabric delivery, MCP queueing) call their instruments
+// unconditionally, so the disabled case must cost only nil checks.
+// Compare the two to see the full price of enabling collection.
+func BenchmarkFig7MetricsOff(b *testing.B) {
+	benchFig7Metrics(b, false)
+}
+
+func BenchmarkFig7MetricsOn(b *testing.B) {
+	benchFig7Metrics(b, true)
+}
+
+func benchFig7Metrics(b *testing.B, enabled bool) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		cfg := core.Fig7Config{Sizes: []int{1, 64, 1024, 4096}, Iterations: 30, Warmup: 3}
+		if enabled {
+			cfg.Metrics = metrics.NewRegistry()
+		}
+		if _, err := core.RunFig7(cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

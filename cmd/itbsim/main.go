@@ -18,6 +18,11 @@
 //
 // Independent simulation runs are sharded across -workers goroutines
 // (default: all cores); output is byte-identical at any worker count.
+//
+// Observability flags: -metrics <file> writes the merged metrics
+// snapshot (counters, queue high-water gauges, latency histograms) as
+// deterministic JSON; -trace <file> writes the packet-lifecycle trace
+// as JSON Lines; -pprof <file> writes a CPU profile.
 package main
 
 import (
@@ -25,11 +30,14 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/routing"
 	"repro/internal/runner"
+	"repro/internal/trace"
 	"repro/internal/units"
 )
 
@@ -41,8 +49,24 @@ func main() {
 	windowUs := flag.Int("window", 1000, "measurement window in microseconds (throughput/latload)")
 	csvOut := flag.Bool("csv", false, "emit CSV data series instead of tables (fig7, fig8, itbcount)")
 	workers := flag.Int("workers", runtime.NumCPU(), "worker goroutines sharding independent simulation runs (output is identical at any value)")
+	metricsOut := flag.String("metrics", "", "write the merged metrics snapshot of the instrumented experiments as JSON to this file (byte-identical at any -workers value)")
+	traceOut := flag.String("trace", "", "write the packet-lifecycle trace of the instrumented experiments as JSON Lines to this file")
+	pprofOut := flag.String("pprof", "", "write a CPU profile of the whole invocation to this file")
 	flag.Parse()
 	runner.SetWorkers(*workers)
+
+	// -metrics and -trace arm shared collectors; the instrumented
+	// experiments (fig7, fig8, throughput, latload, itbcount, ablation,
+	// faults, trace) merge their per-run state into them in run order,
+	// so the exported files are byte-identical at any worker count.
+	var reg *metrics.Registry
+	if *metricsOut != "" {
+		reg = metrics.NewRegistry()
+	}
+	var rec *trace.Recorder
+	if *traceOut != "" {
+		rec = trace.NewRecorder(0)
+	}
 
 	// Failed experiments are collected rather than aborting the whole
 	// invocation: with -exp all the remaining experiments still run,
@@ -80,9 +104,31 @@ func main() {
 		os.Exit(1)
 	}()
 
+	// The profile-stop defer registers after the failure handler so it
+	// runs first (LIFO) and the profile survives a failing exit.
+	if *pprofOut != "" {
+		f, err := os.Create(*pprofOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "itbsim: -pprof: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "itbsim: -pprof: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "itbsim: -pprof: %v\n", err)
+			}
+		}()
+	}
+
 	run("fig7", func() error {
 		cfg := core.DefaultFig7Config()
 		cfg.Iterations = *iters
+		cfg.Metrics = reg
+		cfg.Trace = rec
 		res, err := core.RunFig7(cfg)
 		if err != nil {
 			return err
@@ -97,6 +143,8 @@ func main() {
 	run("fig8", func() error {
 		cfg := core.DefaultFig8Config()
 		cfg.Iterations = *iters
+		cfg.Metrics = reg
+		cfg.Trace = rec
 		res, err := core.RunFig8(cfg)
 		if err != nil {
 			return err
@@ -120,7 +168,22 @@ func main() {
 	sweep := func(alg routing.Algorithm) (core.SweepResult, error) {
 		cfg := core.DefaultSweepConfig(alg, *switches, *seed)
 		cfg.Window = units.Time(*windowUs) * units.Microsecond
-		return core.RunSweep(cfg)
+		// Each sweep merges into the shared registry under its routing
+		// prefix, so UD and ITB load points stay distinguishable.
+		var sub *metrics.Registry
+		if reg != nil {
+			sub = metrics.NewRegistry()
+			cfg.Metrics = sub
+		}
+		res, err := core.RunSweep(cfg)
+		if reg != nil && err == nil {
+			prefix := "ud."
+			if alg == routing.ITBRouting {
+				prefix = "itb."
+			}
+			reg.MergePrefixed(prefix, sub)
+		}
+		return res, err
 	}
 
 	run("throughput", func() error {
@@ -186,7 +249,7 @@ func main() {
 	})
 
 	run("itbcount", func() error {
-		res, err := core.RunITBCount(4, 64, 30)
+		res, err := core.RunITBCount(4, 64, 30, reg)
 		if err != nil {
 			return err
 		}
@@ -198,7 +261,7 @@ func main() {
 	})
 
 	run("ablation", func() error {
-		res, err := core.RunAblations([]int{64, 1024, 4096}, 20)
+		res, err := core.RunAblations([]int{64, 1024, 4096}, 20, reg)
 		if err != nil {
 			return err
 		}
@@ -233,6 +296,11 @@ func main() {
 		res, err := core.RunTraceDemo()
 		if err != nil {
 			return err
+		}
+		if rec != nil {
+			for _, e := range res.Events() {
+				rec.Record(e)
+			}
 		}
 		fmt.Println("Packet lifecycle of one in-transit message (host1 -> ITB host -> host2):")
 		return res.WriteText(os.Stdout)
@@ -291,6 +359,7 @@ func main() {
 
 	run("faults", func() error {
 		cfg := core.DefaultFaultStudyConfig(routing.ITBRouting, *switches, *seed)
+		cfg.Metrics = reg
 		res, err := core.RunFaultStudy(cfg)
 		if err != nil {
 			return err
@@ -303,5 +372,29 @@ func main() {
 		fmt.Fprintf(os.Stderr, "itbsim: unknown experiment %q; valid experiments: all %s\n",
 			*exp, strings.Join(known, " "))
 		os.Exit(1)
+	}
+
+	writeFile := func(flagName, path string, write func(f *os.File) error) {
+		f, err := os.Create(path)
+		if err == nil {
+			err = write(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			failures = append(failures, failure{flagName, err})
+			fmt.Fprintf(os.Stderr, "itbsim: %s: %v\n", flagName, err)
+		}
+	}
+	if reg != nil {
+		writeFile("-metrics", *metricsOut, func(f *os.File) error {
+			return reg.Snapshot().WriteJSON(f)
+		})
+	}
+	if rec != nil {
+		writeFile("-trace", *traceOut, func(f *os.File) error {
+			return rec.WriteJSONL(f)
+		})
 	}
 }

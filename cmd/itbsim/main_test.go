@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -55,5 +58,83 @@ func TestKnownExperimentRuns(t *testing.T) {
 	}
 	if !strings.Contains(string(out), "cost breakdown") {
 		t.Errorf("costs output missing table header:\n%s", out)
+	}
+}
+
+// TestMetricsAndTraceExportDeterministic is the CLI acceptance check
+// for the observability flags: `itbsim -exp fig7 -metrics -trace`
+// must write byte-identical files at -workers 1 and -workers 4, the
+// metrics file must be a JSON snapshot covering both firmware runs,
+// and the trace file must be one JSON object per line.
+func TestMetricsAndTraceExportDeterministic(t *testing.T) {
+	bin := buildItbsim(t)
+	dir := t.TempDir()
+	export := func(workers string) (metricsJSON, traceJSONL []byte) {
+		t.Helper()
+		m := filepath.Join(dir, "m"+workers+".json")
+		tr := filepath.Join(dir, "t"+workers+".jsonl")
+		out, err := exec.Command(bin, "-exp", "fig7", "-iters", "10",
+			"-workers", workers, "-metrics", m, "-trace", tr).CombinedOutput()
+		if err != nil {
+			t.Fatalf("itbsim -workers %s: %v\n%s", workers, err, out)
+		}
+		mb, err := os.ReadFile(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb, err := os.ReadFile(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mb, tb
+	}
+	m1, t1 := export("1")
+	m4, t4 := export("4")
+	if !bytes.Equal(m1, m4) {
+		t.Error("-metrics output differs between -workers 1 and -workers 4")
+	}
+	if !bytes.Equal(t1, t4) {
+		t.Error("-trace output differs between -workers 1 and -workers 4")
+	}
+
+	var snap struct {
+		Counters map[string]uint64 `json:"counters"`
+	}
+	if err := json.Unmarshal(m1, &snap); err != nil {
+		t.Fatalf("-metrics file is not JSON: %v", err)
+	}
+	for _, key := range []string{"original.fabric.delivered", "modified.fabric.delivered"} {
+		if snap.Counters[key] == 0 {
+			t.Errorf("metrics snapshot missing counter %q", key)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(string(t1)), "\n")
+	if len(lines) == 0 {
+		t.Fatal("-trace file is empty")
+	}
+	var ev map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("-trace line 0 is not JSON: %v", err)
+	}
+	if _, ok := ev["kind"]; !ok {
+		t.Errorf("trace event missing kind: %v", ev)
+	}
+}
+
+// TestPprofFlagWritesProfile keeps -pprof honest: the file must exist
+// and be non-empty after a run.
+func TestPprofFlagWritesProfile(t *testing.T) {
+	bin := buildItbsim(t)
+	prof := filepath.Join(t.TempDir(), "cpu.pprof")
+	out, err := exec.Command(bin, "-exp", "costs", "-pprof", prof).CombinedOutput()
+	if err != nil {
+		t.Fatalf("itbsim -pprof: %v\n%s", err, out)
+	}
+	st, err := os.Stat(prof)
+	if err != nil {
+		t.Fatalf("profile not written: %v", err)
+	}
+	if st.Size() == 0 {
+		t.Error("profile file is empty")
 	}
 }

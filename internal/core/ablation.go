@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/gm"
 	"repro/internal/mcp"
+	"repro/internal/metrics"
 	"repro/internal/packet"
 	"repro/internal/routing"
 	"repro/internal/runner"
@@ -31,40 +32,61 @@ type ITBCountResult struct {
 }
 
 // RunITBCount measures one-way latency over a chain of switches with
-// 0..maxITBs gratuitous ejections at intermediate hosts.
-func RunITBCount(maxITBs int, size int, iterations int) (ITBCountResult, error) {
+// 0..maxITBs gratuitous ejections at intermediate hosts. An optional
+// trailing registry receives the merged per-run metrics, prefixed
+// "itb<N>." per ITB count.
+func RunITBCount(maxITBs int, size int, iterations int, mx ...*metrics.Registry) (ITBCountResult, error) {
 	if maxITBs < 1 || iterations < 1 {
 		return ITBCountResult{}, fmt.Errorf("core: need positive maxITBs and iterations")
 	}
+	reg := optRegistry(mx)
 	chainLen := maxITBs + 2
 	res := ITBCountResult{Size: size}
 	counts := make([]int, maxITBs+1)
 	for n := range counts {
 		counts[n] = n
 	}
-	lats, err := runner.Map(counts, func(n int) (units.Time, error) {
-		return chainLatency(chainLen, n, size, iterations)
+	type outcome struct {
+		lat units.Time
+		obs runObs
+	}
+	outs, err := runner.Map(counts, func(n int) (outcome, error) {
+		obs := newRunObs(reg != nil, false)
+		lat, err := chainLatency(chainLen, n, size, iterations, obs)
+		return outcome{lat: lat, obs: obs}, err
 	})
 	if err != nil {
 		return res, err
 	}
-	base := lats[0]
-	for n, lat := range lats {
-		row := ITBCountRow{ITBs: n, Latency: lat}
+	base := outs[0].lat
+	for n, o := range outs {
+		o.obs.mergeInto(fmt.Sprintf("itb%d.", n), reg, nil)
+		row := ITBCountRow{ITBs: n, Latency: o.lat}
 		if n > 0 {
-			row.ExtraPerITB = (lat - base) / units.Time(n)
+			row.ExtraPerITB = (o.lat - base) / units.Time(n)
 		}
 		res.Rows = append(res.Rows, row)
 	}
 	return res, nil
 }
 
+// optRegistry resolves the optional trailing registry argument of the
+// positional-signature drivers.
+func optRegistry(mx []*metrics.Registry) *metrics.Registry {
+	if len(mx) > 0 {
+		return mx[0]
+	}
+	return nil
+}
+
 // chainLatency builds a linear chain, hand-builds a route from the
 // first to the last host with n ITB splits spread over the
 // intermediate switches, and measures the mean one-way latency.
-func chainLatency(switches, nITBs, size, iterations int) (units.Time, error) {
+func chainLatency(switches, nITBs, size, iterations int, obs runObs) (units.Time, error) {
 	topo := topology.Linear(switches, 1)
-	cl, err := NewCluster(DefaultConfig(topo, routing.UpDownRouting, mcp.ITB))
+	ccfg := DefaultConfig(topo, routing.UpDownRouting, mcp.ITB)
+	obs.install(&ccfg)
+	cl, err := NewCluster(ccfg)
 	if err != nil {
 		return 0, err
 	}
@@ -94,6 +116,7 @@ func chainLatency(switches, nITBs, size, iterations int) (units.Time, error) {
 	if done != iterations {
 		return 0, fmt.Errorf("core: chain run finished %d of %d iterations", done, iterations)
 	}
+	obs.finish(cl)
 	return sum / units.Time(iterations), nil
 }
 
@@ -170,28 +193,39 @@ type AblationResult struct {
 // firmware variants (paper design, store-and-forward, dispatch-cycle
 // re-injection) at every size are independent runs, dispatched
 // through the runner as one batch.
-func RunAblations(sizes []int, iterations int) (AblationResult, error) {
+func RunAblations(sizes []int, iterations int, mx ...*metrics.Registry) (AblationResult, error) {
 	var res AblationResult
+	reg := optRegistry(mx)
 	type variant struct {
 		size  int
+		name  string
 		tweak func(*mcp.Config)
 	}
 	var specs []variant
 	for _, size := range sizes {
 		specs = append(specs,
-			variant{size, nil},
-			variant{size, func(c *mcp.Config) { c.DisableEarlyRecv = true }},
-			variant{size, func(c *mcp.Config) { c.ReinjectViaDispatch = true }})
+			variant{size, "paper", nil},
+			variant{size, "store_forward", func(c *mcp.Config) { c.DisableEarlyRecv = true }},
+			variant{size, "dispatch", func(c *mcp.Config) { c.ReinjectViaDispatch = true }})
 	}
-	lats, err := runner.Map(specs, func(v variant) (units.Time, error) {
-		return fig8ITBLatency(v.size, iterations, v.tweak)
+	type outcome struct {
+		lat units.Time
+		obs runObs
+	}
+	outs, err := runner.Map(specs, func(v variant) (outcome, error) {
+		obs := newRunObs(reg != nil, false)
+		lat, err := fig8ITBLatency(v.size, iterations, v.tweak, obs)
+		return outcome{lat: lat, obs: obs}, err
 	})
 	if err != nil {
 		return res, err
 	}
-	for i := 0; i < len(lats); i += 3 {
+	for i, o := range outs {
+		o.obs.mergeInto(fmt.Sprintf("size%d.%s.", specs[i].size, specs[i].name), reg, nil)
+	}
+	for i := 0; i < len(outs); i += 3 {
 		size := specs[i].size
-		fast, sf, dd := lats[i], lats[i+1], lats[i+2]
+		fast, sf, dd := outs[i].lat, outs[i+1].lat, outs[i+2].lat
 		res.Rows = append(res.Rows, AblationRow{
 			Name: "early-recv vs store-and-forward", Size: size,
 			Fast: fast, Slow: sf, Penalty: sf - fast,
@@ -222,12 +256,13 @@ func RunTraceDemo() (*trace.Recorder, error) {
 
 // fig8ITBLatency measures the ITB-path half round trip at one size
 // under an optionally ablated firmware.
-func fig8ITBLatency(size, iterations int, tweak func(*mcp.Config)) (units.Time, error) {
+func fig8ITBLatency(size, iterations int, tweak func(*mcp.Config), obs runObs) (units.Time, error) {
 	topo, nodes, routes := fig8Testbed()
 	cfg := DefaultConfig(topo, routing.UpDownRouting, mcp.ITB)
 	if tweak != nil {
 		tweak(&cfg.MCP)
 	}
+	obs.install(&cfg)
 	cl, err := NewCluster(cfg)
 	if err != nil {
 		return 0, err
@@ -242,6 +277,7 @@ func fig8ITBLatency(size, iterations int, tweak func(*mcp.Config)) (units.Time, 
 	if err != nil {
 		return 0, err
 	}
+	obs.finish(cl)
 	return res[0].HalfRoundTrip, nil
 }
 

@@ -13,6 +13,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/gm"
 	"repro/internal/mcp"
+	"repro/internal/metrics"
 	"repro/internal/routing"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -41,6 +42,11 @@ type Config struct {
 	// Trace, when non-nil, records packet-lifecycle events from the
 	// fabric, every MCP and every GM host.
 	Trace *trace.Recorder
+	// Metrics, when non-nil, receives live instrumentation (latency
+	// histograms, queue-depth high-water gauges) while the cluster
+	// runs; call Cluster.PublishMetrics at end of run to add the
+	// counter snapshot. Nil costs the hot paths only a nil check.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns a cluster configuration modelling the paper's
@@ -100,14 +106,38 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		Hosts: make(map[topology.NodeID]*gm.Host),
 	}
 	net.SetTracer(cfg.Trace)
+	if cfg.Metrics != nil {
+		net.SetMetrics(cfg.Metrics)
+	}
 	for _, h := range cfg.Topo.Hosts() {
 		m := mcp.New(net, h, cfg.MCP)
 		m.SetTracer(cfg.Trace)
+		if cfg.Metrics != nil {
+			m.SetMetrics(cfg.Metrics)
+		}
 		host := gm.NewHost(eng, m, tbl, cfg.GM)
 		host.SetTracer(cfg.Trace)
 		c.Hosts[h] = host
 	}
 	return c, nil
+}
+
+// PublishMetrics dumps the end-of-run counters of every layer — the
+// fabric, each NIC's firmware, each GM host — plus the route-table
+// analysis into r, in deterministic (topology) order. Nil registries
+// are ignored, so callers can pass their config's registry through
+// unconditionally.
+func (c *Cluster) PublishMetrics(r *metrics.Registry) {
+	if r == nil {
+		return
+	}
+	c.Net.PublishMetrics(r)
+	for _, h := range c.Topo.Hosts() {
+		host := c.Hosts[h]
+		host.MCP().PublishMetrics(r)
+		host.PublishMetrics(r)
+	}
+	routing.Analyze(c.Topo, c.UD, c.Table).Publish(r)
 }
 
 // Host returns the GM endpoint of a host node.

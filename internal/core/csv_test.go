@@ -2,6 +2,8 @@ package core
 
 import (
 	"encoding/csv"
+	"errors"
+	"io"
 	"strconv"
 	"strings"
 	"testing"
@@ -79,6 +81,30 @@ func TestSweepCSV(t *testing.T) {
 	recs := parseCSV(t, sb.String())
 	if len(recs) != 2 || recs[0][0] != "offered" {
 		t.Errorf("records = %v", recs)
+	}
+}
+
+// failingWriter errors on every Write. csv.Writer buffers through
+// bufio, so for small outputs the write error only surfaces at Flush —
+// each WriteCSV must end with `cw.Flush(); return cw.Error()` or the
+// caller sees a nil error and a truncated (empty) file.
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) {
+	return 0, errors.New("disk full")
+}
+
+func TestWriteCSVPropagatesFlushError(t *testing.T) {
+	cases := map[string]func(io.Writer) error{
+		"fig7":     Fig7Result{Rows: []Fig7Row{{Size: 8}}}.WriteCSV,
+		"fig8":     Fig8Result{Rows: []Fig8Row{{Size: 8}}}.WriteCSV,
+		"sweep":    SweepResult{Points: []LoadPoint{{Offered: 0.1}}}.WriteCSV,
+		"itbcount": ITBCountResult{Rows: []ITBCountRow{{ITBs: 1}}}.WriteCSV,
+	}
+	for name, write := range cases {
+		if err := write(failingWriter{}); err == nil {
+			t.Errorf("%s WriteCSV swallowed the writer error", name)
+		}
 	}
 }
 

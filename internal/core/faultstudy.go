@@ -8,6 +8,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/gm"
 	"repro/internal/mcp"
+	"repro/internal/metrics"
 	"repro/internal/routing"
 	"repro/internal/runner"
 	"repro/internal/stats"
@@ -55,6 +56,11 @@ type FaultStudyConfig struct {
 	BackoffFactor    float64
 	MaxAckTimeout    units.Time
 	DeadPeerTimeouts int
+	// Metrics, when non-nil, receives the merged end-of-run metrics of
+	// the baseline and every campaign, prefixed "baseline." and
+	// "campaign<NN>." (merged in campaign order; byte-identical at any
+	// worker count).
+	Metrics *metrics.Registry
 }
 
 // DefaultFaultStudyConfig returns a moderate study on a medium
@@ -138,15 +144,31 @@ func RunFaultStudy(cfg FaultStudyConfig) (FaultReport, error) {
 	for i := range specs {
 		specs[i] = faultSpec{idx: i, topoText: topoText.Bytes()}
 	}
-	outcomes, err := runner.Map(specs, func(s faultSpec) (CampaignOutcome, error) {
+	outcomes, err := runner.Map(specs, func(s faultSpec) (campaignOutcome, error) {
 		return runFaultCampaign(cfg, s)
 	})
 	if err != nil {
 		return rep, err
 	}
-	rep.Baseline = outcomes[0]
-	rep.Campaigns = outcomes[1:]
+	for i, o := range outcomes {
+		prefix := "baseline."
+		if i > 0 {
+			prefix = fmt.Sprintf("campaign%02d.", i)
+		}
+		o.obs.mergeInto(prefix, cfg.Metrics, nil)
+	}
+	rep.Baseline = outcomes[0].out
+	for _, o := range outcomes[1:] {
+		rep.Campaigns = append(rep.Campaigns, o.out)
+	}
 	return rep, nil
+}
+
+// campaignOutcome threads a campaign's accounting and its per-run
+// observability state through the runner.
+type campaignOutcome struct {
+	out CampaignOutcome
+	obs runObs
 }
 
 // studyGM returns the GM parameters of the study with the recovery
@@ -171,18 +193,20 @@ func studyGM(cfg FaultStudyConfig) (ack units.Time, backoff float64, maxAck unit
 	return
 }
 
-func runFaultCampaign(cfg FaultStudyConfig, spec faultSpec) (CampaignOutcome, error) {
+func runFaultCampaign(cfg FaultStudyConfig, spec faultSpec) (campaignOutcome, error) {
 	topo, err := topology.Read(bytes.NewReader(spec.topoText))
 	if err != nil {
-		return CampaignOutcome{}, err
+		return campaignOutcome{}, err
 	}
 	ccfg := DefaultConfig(topo, cfg.Algorithm, variantFor(cfg.Algorithm))
 	ccfg.MCP.BufferPool = true
 	ccfg.MCP.RecvBuffers = 16
 	ccfg.GM.AckTimeout, ccfg.GM.BackoffFactor, ccfg.GM.MaxAckTimeout, ccfg.GM.DeadPeerTimeouts = studyGM(cfg)
+	obs := newRunObs(cfg.Metrics != nil, false)
+	obs.install(&ccfg)
 	cl, err := NewCluster(ccfg)
 	if err != nil {
-		return CampaignOutcome{}, err
+		return campaignOutcome{}, err
 	}
 	out := CampaignOutcome{Name: "baseline"}
 	var ctl *faults.Controller
@@ -203,7 +227,7 @@ func runFaultCampaign(cfg FaultStudyConfig, spec faultSpec) (CampaignOutcome, er
 			Recompute: cfg.Recompute,
 		}, camp)
 		if err != nil {
-			return CampaignOutcome{}, err
+			return campaignOutcome{}, err
 		}
 	}
 
@@ -213,7 +237,7 @@ func runFaultCampaign(cfg FaultStudyConfig, spec faultSpec) (CampaignOutcome, er
 		Seed:        cfg.Seed + 1,
 	})
 	if err != nil {
-		return CampaignOutcome{}, err
+		return campaignOutcome{}, err
 	}
 	mean := traffic.MeanInterarrival(cfg.Load, cfg.MessageSize, cl.Net.Params().LinkBandwidth)
 
@@ -284,7 +308,8 @@ func runFaultCampaign(cfg FaultStudyConfig, spec faultSpec) (CampaignOutcome, er
 		out.AvgLatency = units.Time(lat.Mean())
 		out.P99Latency = units.Time(lat.Percentile(99))
 	}
-	return out, nil
+	obs.finish(cl)
+	return campaignOutcome{out: out, obs: obs}, nil
 }
 
 // variantFor returns the firmware variant a routing algorithm needs.

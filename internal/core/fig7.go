@@ -6,9 +6,11 @@ import (
 
 	"repro/internal/gm"
 	"repro/internal/mcp"
+	"repro/internal/metrics"
 	"repro/internal/routing"
 	"repro/internal/runner"
 	"repro/internal/topology"
+	"repro/internal/trace"
 	"repro/internal/units"
 )
 
@@ -36,6 +38,14 @@ type Fig7Config struct {
 	Sizes      []int
 	Iterations int
 	Warmup     int
+	// Metrics, when non-nil, receives the merged end-of-run metrics of
+	// both firmware runs, prefixed "original." and "modified.". Each
+	// run collects into a private registry; the merge happens here in
+	// run order, so the snapshot is byte-identical at any worker count.
+	Metrics *metrics.Registry
+	// Trace, when non-nil, receives both runs' packet-lifecycle
+	// events, replayed in run order.
+	Trace *trace.Recorder
 }
 
 // DefaultFig7Config mirrors the paper: gm_allsize sizes, 100
@@ -52,23 +62,40 @@ func DefaultFig7Config() Fig7Config {
 func RunFig7(cfg Fig7Config) (Fig7Result, error) {
 	// The two firmware variants are independent runs — each builds its
 	// own testbed and engine — so they dispatch through the runner.
+	// Observability state is per-run too: each run collects into a
+	// private registry/recorder, merged below in input order.
+	type outcome struct {
+		rows []gm.AllsizeResult
+		obs  runObs
+	}
 	runs, err := runner.Map([]mcp.Variant{mcp.Original, mcp.ITB},
-		func(v mcp.Variant) ([]gm.AllsizeResult, error) {
+		func(v mcp.Variant) (outcome, error) {
 			topo, nodes := topology.Testbed()
-			cl, err := NewCluster(DefaultConfig(topo, routing.UpDownRouting, v))
+			ccfg := DefaultConfig(topo, routing.UpDownRouting, v)
+			obs := newRunObs(cfg.Metrics != nil, cfg.Trace != nil)
+			obs.install(&ccfg)
+			cl, err := NewCluster(ccfg)
 			if err != nil {
-				return nil, err
+				return outcome{}, err
 			}
-			return gm.Allsize(cl.Eng, cl.Host(nodes.Host1), cl.Host(nodes.Host2), gm.AllsizeConfig{
+			rows, err := gm.Allsize(cl.Eng, cl.Host(nodes.Host1), cl.Host(nodes.Host2), gm.AllsizeConfig{
 				Sizes:      cfg.Sizes,
 				Iterations: cfg.Iterations,
 				Warmup:     cfg.Warmup,
 			})
+			if err != nil {
+				return outcome{}, err
+			}
+			obs.finish(cl)
+			return outcome{rows: rows, obs: obs}, nil
 		})
 	if err != nil {
 		return Fig7Result{}, err
 	}
-	orig, mod := runs[0], runs[1]
+	for i, prefix := range []string{"original.", "modified."} {
+		runs[i].obs.mergeInto(prefix, cfg.Metrics, cfg.Trace)
+	}
+	orig, mod := runs[0].rows, runs[1].rows
 	var res Fig7Result
 	var sum units.Time
 	for i := range orig {

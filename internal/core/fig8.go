@@ -6,10 +6,12 @@ import (
 
 	"repro/internal/gm"
 	"repro/internal/mcp"
+	"repro/internal/metrics"
 	"repro/internal/packet"
 	"repro/internal/routing"
 	"repro/internal/runner"
 	"repro/internal/topology"
+	"repro/internal/trace"
 	"repro/internal/units"
 )
 
@@ -37,6 +39,13 @@ type Fig8Config struct {
 	Sizes      []int
 	Iterations int
 	Warmup     int
+	// Metrics, when non-nil, receives the merged end-of-run metrics of
+	// both path runs, prefixed "ud." and "ud_itb." (merged in run
+	// order; byte-identical at any worker count).
+	Metrics *metrics.Registry
+	// Trace, when non-nil, receives both runs' packet-lifecycle
+	// events, replayed in run order.
+	Trace *trace.Recorder
 }
 
 // DefaultFig8Config mirrors the paper: 100 iterations per size.
@@ -95,28 +104,43 @@ func RunFig8(cfg Fig8Config) (Fig8Result, error) {
 		forward []byte
 		typ     packet.Type
 	}
+	type outcome struct {
+		rows []gm.AllsizeResult
+		obs  runObs
+	}
 	_, _, routes := fig8Testbed()
 	runs, err := runner.Map([]spec{
 		{routes.udForward, packet.TypeGM},
 		{routes.itbForward, packet.TypeITB},
-	}, func(s spec) ([]gm.AllsizeResult, error) {
+	}, func(s spec) (outcome, error) {
 		topo, nodes, routes := fig8Testbed()
-		cl, err := NewCluster(DefaultConfig(topo, routing.UpDownRouting, mcp.ITB))
+		ccfg := DefaultConfig(topo, routing.UpDownRouting, mcp.ITB)
+		obs := newRunObs(cfg.Metrics != nil, cfg.Trace != nil)
+		obs.install(&ccfg)
+		cl, err := NewCluster(ccfg)
 		if err != nil {
-			return nil, err
+			return outcome{}, err
 		}
-		return gm.Allsize(cl.Eng, cl.Host(nodes.Host1), cl.Host(nodes.Host2), gm.AllsizeConfig{
+		rows, err := gm.Allsize(cl.Eng, cl.Host(nodes.Host1), cl.Host(nodes.Host2), gm.AllsizeConfig{
 			Sizes:      cfg.Sizes,
 			Iterations: cfg.Iterations,
 			Warmup:     cfg.Warmup,
 			Forward:    &gm.PingRoute{Route: s.forward, Type: s.typ},
 			Back:       &gm.PingRoute{Route: routes.back, Type: packet.TypeGM},
 		})
+		if err != nil {
+			return outcome{}, err
+		}
+		obs.finish(cl)
+		return outcome{rows: rows, obs: obs}, nil
 	})
 	if err != nil {
 		return Fig8Result{}, err
 	}
-	ud, itb := runs[0], runs[1]
+	for i, prefix := range []string{"ud.", "ud_itb."} {
+		runs[i].obs.mergeInto(prefix, cfg.Metrics, cfg.Trace)
+	}
+	ud, itb := runs[0].rows, runs[1].rows
 	var res Fig8Result
 	var sum units.Time
 	for i := range ud {

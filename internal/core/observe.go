@@ -1,0 +1,57 @@
+package core
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// runObs is the per-run observability bundle the experiment drivers
+// thread through the parallel runner: a private registry and recorder
+// per run (owned like the run owns its engine and RNGs), merged into
+// the caller's in run input order, so merged snapshots and traces are
+// byte-identical at any worker count.
+type runObs struct {
+	reg *metrics.Registry
+	rec *trace.Recorder
+}
+
+// newRunObs allocates collectors for the enabled dimensions; disabled
+// ones stay nil and cost the run nothing.
+func newRunObs(withMetrics, withTrace bool) runObs {
+	var o runObs
+	if withMetrics {
+		o.reg = metrics.NewRegistry()
+	}
+	if withTrace {
+		o.rec = trace.NewRecorder(0)
+	}
+	return o
+}
+
+// install points a cluster config at the per-run collectors.
+func (o runObs) install(cfg *Config) {
+	cfg.Metrics = o.reg
+	if o.rec != nil {
+		cfg.Trace = o.rec
+	}
+}
+
+// finish publishes the cluster's end-of-run counters into the per-run
+// registry (no-op when metrics are disabled).
+func (o runObs) finish(cl *Cluster) {
+	cl.PublishMetrics(o.reg)
+}
+
+// mergeInto folds the per-run state into the caller's registry and
+// recorder: metric names gain the run's prefix, trace events replay in
+// recording order.
+func (o runObs) mergeInto(prefix string, reg *metrics.Registry, rec *trace.Recorder) {
+	if reg != nil && o.reg != nil {
+		reg.MergePrefixed(prefix, o.reg)
+	}
+	if rec != nil && o.rec != nil {
+		for _, e := range o.rec.Events() {
+			rec.Record(e)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"repro/internal/mcp"
+	"repro/internal/metrics"
 	"repro/internal/routing"
 	"repro/internal/runner"
 	"repro/internal/stats"
@@ -48,6 +49,10 @@ type SweepConfig struct {
 	// ProgressiveRelease switches the fabric to tail-passing channel
 	// release (model-fidelity ablation).
 	ProgressiveRelease bool
+	// Metrics, when non-nil, receives the merged end-of-run metrics of
+	// every load point, prefixed "point<NN>." in Loads order (merged in
+	// run order; byte-identical at any worker count).
+	Metrics *metrics.Registry
 }
 
 // DefaultSweepConfig returns a medium irregular network sweep.
@@ -123,6 +128,7 @@ type loadPointSpec struct {
 type loadPointOutcome struct {
 	point LoadPoint
 	rs    routing.Analysis
+	obs   runObs
 }
 
 // RunSweep executes the sweep: one fresh cluster per load point, so
@@ -147,15 +153,15 @@ func RunSweep(cfg SweepConfig) (SweepResult, error) {
 		specs[i] = loadPointSpec{load: load, topoText: topoText.Bytes()}
 	}
 	outcomes, err := runner.Map(specs, func(s loadPointSpec) (loadPointOutcome, error) {
-		p, rs, err := runLoadPoint(cfg, s)
-		return loadPointOutcome{point: p, rs: rs}, err
+		return runLoadPoint(cfg, s)
 	})
 	if err != nil {
 		return res, err
 	}
-	for _, o := range outcomes {
+	for i, o := range outcomes {
 		res.Points = append(res.Points, o.point)
 		res.RouteStats = o.rs
+		o.obs.mergeInto(fmt.Sprintf("point%02d.", i), cfg.Metrics, nil)
 	}
 	var pts []stats.Point
 	for _, p := range res.Points {
@@ -165,11 +171,11 @@ func RunSweep(cfg SweepConfig) (SweepResult, error) {
 	return res, nil
 }
 
-func runLoadPoint(cfg SweepConfig, spec loadPointSpec) (LoadPoint, routing.Analysis, error) {
+func runLoadPoint(cfg SweepConfig, spec loadPointSpec) (loadPointOutcome, error) {
 	load := spec.load
 	topo, err := topology.Read(bytes.NewReader(spec.topoText))
 	if err != nil {
-		return LoadPoint{}, routing.Analysis{}, err
+		return loadPointOutcome{}, err
 	}
 	variant := mcp.Original
 	if cfg.Algorithm == routing.ITBRouting {
@@ -191,9 +197,11 @@ func runLoadPoint(cfg SweepConfig, spec loadPointSpec) (LoadPoint, routing.Analy
 	ccfg.Root = cfg.Root
 	ccfg.DFSOrder = cfg.DFSOrder
 	ccfg.Fabric.ProgressiveRelease = cfg.ProgressiveRelease
+	obs := newRunObs(cfg.Metrics != nil, false)
+	obs.install(&ccfg)
 	cl, err := NewCluster(ccfg)
 	if err != nil {
-		return LoadPoint{}, routing.Analysis{}, err
+		return loadPointOutcome{}, err
 	}
 	gen, err := traffic.NewGenerator(topo, traffic.Config{
 		Pattern:     cfg.Pattern,
@@ -202,7 +210,7 @@ func runLoadPoint(cfg SweepConfig, spec loadPointSpec) (LoadPoint, routing.Analy
 		Seed:        cfg.Seed + 1,
 	})
 	if err != nil {
-		return LoadPoint{}, routing.Analysis{}, err
+		return loadPointOutcome{}, err
 	}
 	mean := traffic.MeanInterarrival(load, cfg.MessageSize, cl.Net.Params().LinkBandwidth)
 	endAt := cfg.Warmup + cfg.Window
@@ -259,7 +267,8 @@ func runLoadPoint(cfg SweepConfig, spec loadPointSpec) (LoadPoint, routing.Analy
 		point.P99Latency = units.Time(lat.Percentile(99))
 	}
 	point.Latencies = &lat
-	return point, routing.Analyze(topo, cl.UD, cl.Table), nil
+	obs.finish(cl)
+	return loadPointOutcome{point: point, rs: routing.Analyze(topo, cl.UD, cl.Table), obs: obs}, nil
 }
 
 // WriteTable renders the sweep.

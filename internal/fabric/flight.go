@@ -236,6 +236,12 @@ func (f *Flight) drainAndFinish(dropped bool) {
 		}
 		n.stats.Delivered++
 		n.stats.BytesMoved += uint64(f.wireLen)
+		// Per-segment (per-hop, across ITB hops) latency distribution:
+		// each Flight is one up*/down* segment, so with ITB routing the
+		// re-injected remainder shows up as its own sample. No-ops when
+		// metrics are disabled (nil histograms).
+		n.hSegLat.Observe(float64(done-f.headerOutAt) / 1e3)
+		n.hSegStall.Observe(float64(f.stall) / 1e3)
 		if !f.pkt.Corrupt && n.corrupts(f.wireLen) {
 			f.pkt.Corrupt = true
 			n.stats.Corrupted++

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/metrics"
 	"repro/internal/packet"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -40,6 +41,7 @@ type channel struct {
 	fromA     bool
 	busy      units.Time // accumulated holding time
 	waited    units.Time // accumulated blocking time of requesters
+	grants    uint64     // packets that crossed this channel
 	lastGrant units.Time
 }
 
@@ -72,6 +74,13 @@ type Network struct {
 	stats  Counters
 	tracer *trace.Recorder
 	faults *rand.Rand
+
+	// Live metrics instruments (nil when metrics are disabled; the
+	// instruments no-op on nil receivers, so the hot paths call them
+	// unconditionally and pay only a nil check).
+	mx        *metrics.Registry
+	hSegLat   *metrics.Histogram
+	hSegStall *metrics.Histogram
 
 	// Campaign fault state (see faults.go).
 	linkFaults    map[int]*linkFault
@@ -145,6 +154,53 @@ func (n *Network) Stats() Counters { return n.stats }
 
 // SetTracer attaches an event recorder (nil to detach).
 func (n *Network) SetTracer(r *trace.Recorder) { n.tracer = r }
+
+// SetMetrics attaches a metrics registry (nil to detach). The network
+// records per-segment latency and stall histograms live; counter and
+// per-link totals are published at end of run via PublishMetrics.
+func (n *Network) SetMetrics(r *metrics.Registry) {
+	n.mx = r
+	n.hSegLat = r.Histogram("fabric.segment_latency_ns", metrics.DefaultLatencyBucketsNs())
+	n.hSegStall = r.Histogram("fabric.segment_stall_ns", metrics.DefaultLatencyBucketsNs())
+}
+
+// PublishMetrics dumps the network's end-of-run totals into r: the
+// global Counters plus per-directed-channel utilisation (busy and
+// waited time in nanoseconds, packets crossed), keyed
+// "fabric.link<ID>.<a2b|b2a>.<what>". Links are walked in topology
+// order, so the publication is deterministic.
+func (n *Network) PublishMetrics(r *metrics.Registry) {
+	if r == nil {
+		return
+	}
+	s := n.stats
+	r.Counter("fabric.injected").Add(s.Injected)
+	r.Counter("fabric.delivered").Add(s.Delivered)
+	r.Counter("fabric.dropped").Add(s.Dropped)
+	r.Counter("fabric.misrouted").Add(s.Misrouted)
+	r.Counter("fabric.corrupted").Add(s.Corrupted)
+	r.Counter("fabric.bytes_moved").Add(s.BytesMoved)
+	r.Counter("fabric.fault_killed").Add(s.FaultKilled)
+	r.Counter("fabric.scouts_dropped").Add(s.ScoutsDropped)
+	r.Counter("fabric.scouts_duplicated").Add(s.ScoutsDuplicated)
+	for i := range n.topo.Links() {
+		l := n.topo.Link(i)
+		for _, fromA := range []bool{true, false} {
+			c := n.chans[chanKey{link: l.ID, fromA: fromA}]
+			if c == nil || c.grants == 0 && c.busy == 0 && c.waited == 0 {
+				continue
+			}
+			dir := "a2b"
+			if !fromA {
+				dir = "b2a"
+			}
+			prefix := fmt.Sprintf("fabric.link%d.%s.", l.ID, dir)
+			r.Counter(prefix + "busy_ns").Add(uint64(c.busy.Nanoseconds()))
+			r.Counter(prefix + "waited_ns").Add(uint64(c.waited.Nanoseconds()))
+			r.Counter(prefix + "grants").Add(c.grants)
+		}
+	}
+}
 
 // TagPacket assigns the packet a stable trace id if it has none yet.
 // Inject does this implicitly; upper layers call it earlier so their
@@ -390,6 +446,7 @@ func (c *channel) acquire(eng *sim.Engine, f *Flight, class int, fn func()) {
 
 func (c *channel) release(eng *sim.Engine, f *Flight) {
 	c.busy += eng.Now() - c.lastGrant
+	c.grants++
 	c.res.Release(f)
 }
 

@@ -155,6 +155,7 @@ func (c *conn) timeout() {
 		return
 	}
 	if f := c.h.par.BackoffFactor; f > 1 {
+		c.h.stats.BackoffExpansions++
 		c.curTimeout = units.Time(float64(c.curTimeout) * f)
 		if lim := c.h.par.MaxAckTimeout; lim > 0 && c.curTimeout > lim {
 			c.curTimeout = lim

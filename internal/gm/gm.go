@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"repro/internal/mcp"
+	"repro/internal/metrics"
 	"repro/internal/packet"
 	"repro/internal/routing"
 	"repro/internal/sim"
@@ -83,6 +84,9 @@ type Stats struct {
 	Retransmits      uint64
 	OutOfOrderDrops  uint64
 	DuplicateDrops   uint64
+	// BackoffExpansions counts barren timeouts that expanded the
+	// retransmit timeout (Params.BackoffFactor).
+	BackoffExpansions uint64
 	// PeersDeclaredDead counts dead-peer verdicts issued.
 	PeersDeclaredDead uint64
 	// MessagesFailed counts messages reported failed (dead peer or no
@@ -166,6 +170,34 @@ func (h *Host) MCP() *mcp.MCP { return h.m }
 
 // Stats returns a snapshot of the counters.
 func (h *Host) Stats() Stats { return h.stats }
+
+// PublishMetrics dumps the GM counters into r under gm.host<N>.*.
+// Zero counters are skipped to keep snapshots compact.
+func (h *Host) PublishMetrics(r *metrics.Registry) {
+	if r == nil {
+		return
+	}
+	pfx := fmt.Sprintf("gm.host%d.", h.node)
+	for _, c := range []struct {
+		name string
+		v    uint64
+	}{
+		{"messages_sent", h.stats.MessagesSent},
+		{"messages_received", h.stats.MessagesReceived},
+		{"packets_sent", h.stats.PacketsSent},
+		{"acks_sent", h.stats.AcksSent},
+		{"retransmits", h.stats.Retransmits},
+		{"out_of_order_drops", h.stats.OutOfOrderDrops},
+		{"duplicate_drops", h.stats.DuplicateDrops},
+		{"backoff_expansions", h.stats.BackoffExpansions},
+		{"peers_declared_dead", h.stats.PeersDeclaredDead},
+		{"messages_failed", h.stats.MessagesFailed},
+	} {
+		if c.v != 0 {
+			r.Counter(pfx + c.name).Add(c.v)
+		}
+	}
+}
 
 // packetTypeFor returns the wire type a route requires.
 func packetTypeFor(r *routing.Route) packet.Type {

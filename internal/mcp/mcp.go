@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/fabric"
 	"repro/internal/lanai"
+	"repro/internal/metrics"
 	"repro/internal/packet"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -76,6 +77,7 @@ func DefaultConfig(v Variant) Config {
 type Stats struct {
 	PacketsSent     uint64
 	PacketsReceived uint64 // delivered up to the host
+	ITBDetects      uint64 // in-transit markers recognised
 	ITBForwarded    uint64 // in-transit packets re-injected
 	ITBPendingHits  uint64 // re-injections that found the send DMA busy
 	PoolDrops       uint64 // packets flushed by the buffer pool
@@ -141,6 +143,14 @@ type MCP struct {
 
 	tracer *trace.Recorder
 	stats  Stats
+
+	// Queue-depth high-water gauges (nil when metrics are disabled;
+	// SetMax no-ops on nil receivers, so the queueing paths update them
+	// unconditionally at the cost of a nil check).
+	gHostQ  *metrics.Gauge
+	gReadyQ *metrics.Gauge
+	gITBQ   *metrics.Gauge
+	gWaitQ  *metrics.Gauge
 }
 
 // New builds the firmware for one host NIC and attaches it to the
@@ -189,6 +199,44 @@ func (m *MCP) Config() Config { return m.cfg }
 // SetTracer attaches an event recorder (nil to detach).
 func (m *MCP) SetTracer(r *trace.Recorder) { m.tracer = r }
 
+// SetMetrics attaches a registry (nil to detach): the firmware keeps
+// per-queue high-water gauges live as it runs; the counter snapshot is
+// published by PublishMetrics at end of run.
+func (m *MCP) SetMetrics(r *metrics.Registry) {
+	pfx := fmt.Sprintf("mcp.host%d.", m.host)
+	m.gHostQ = r.Gauge(pfx + "peak_hostq")
+	m.gReadyQ = r.Gauge(pfx + "peak_readyq")
+	m.gITBQ = r.Gauge(pfx + "peak_itbq")
+	m.gWaitQ = r.Gauge(pfx + "peak_waitq")
+}
+
+// PublishMetrics dumps the firmware counters into r under
+// mcp.host<N>.*. Zero counters are skipped to keep snapshots compact.
+func (m *MCP) PublishMetrics(r *metrics.Registry) {
+	if r == nil {
+		return
+	}
+	pfx := fmt.Sprintf("mcp.host%d.", m.host)
+	for _, c := range []struct {
+		name string
+		v    uint64
+	}{
+		{"packets_sent", m.stats.PacketsSent},
+		{"packets_received", m.stats.PacketsReceived},
+		{"itb_detects", m.stats.ITBDetects},
+		{"itb_forwarded", m.stats.ITBForwarded},
+		{"itb_pending_hits", m.stats.ITBPendingHits},
+		{"pool_drops", m.stats.PoolDrops},
+		{"blocked_arrivals", m.stats.BlockedArrivals},
+		{"crc_drops", m.stats.CRCDrops},
+		{"stall_drops", m.stats.StallDrops},
+	} {
+		if c.v != 0 {
+			r.Counter(pfx + c.name).Add(c.v)
+		}
+	}
+}
+
 func (m *MCP) emit(k trace.Kind, pktID uint64, detail string) {
 	if m.tracer == nil {
 		return
@@ -209,6 +257,7 @@ func (m *MCP) SubmitSend(pkt *packet.Packet, onSent func(t units.Time)) {
 	job := sendJob{pkt: pkt, onSent: onSent}
 	if m.sendBufsFree == 0 {
 		m.hostQ = append(m.hostQ, job)
+		m.gHostQ.SetMax(float64(len(m.hostQ)))
 		return
 	}
 	m.sendBufsFree--
@@ -226,6 +275,7 @@ func (m *MCP) startSDMA(job sendJob) {
 					job.tailReady = doneAt
 					m.eng.ScheduleAt(firstAt, func() {
 						m.readyQ = append(m.readyQ, job)
+						m.gReadyQ.SetMax(float64(len(m.readyQ)))
 						m.tryWire()
 					})
 				})
@@ -233,6 +283,7 @@ func (m *MCP) startSDMA(job sendJob) {
 		}
 		m.nic.HostDMA(job.pkt.WireLen(), func(units.Time) {
 			m.readyQ = append(m.readyQ, job)
+			m.gReadyQ.SetMax(float64(len(m.readyQ)))
 			m.tryWire()
 		})
 	})
@@ -351,6 +402,7 @@ func (m *MCP) HeaderArrived(f *fabric.Flight) {
 		}
 		m.stats.BlockedArrivals++
 		m.waiting = append(m.waiting, f)
+		m.gWaitQ.SetMax(float64(len(m.waiting)))
 		return
 	}
 	m.recvBufsFree--
@@ -392,6 +444,7 @@ func (m *MCP) earlyRecv(f *fabric.Flight) {
 // NIC memory — the re-injection may start earlier (cut-through) but
 // cannot stream faster than that.
 func (m *MCP) detectAndForward(pkt *packet.Packet, tailReady units.Time) {
+	m.stats.ITBDetects++
 	m.emit(trace.ITBDetect, pkt.ID, "")
 	m.inTransit[pkt] = true
 	prio := lanai.PrioITB
@@ -416,6 +469,7 @@ func (m *MCP) detectAndForward(pkt *packet.Packet, tailReady units.Time) {
 			m.stats.ITBPendingHits++
 			m.emit(trace.ITBPending, pkt.ID, "")
 			m.itbQ = append(m.itbQ, job)
+			m.gITBQ.SetMax(float64(len(m.itbQ)))
 			return
 		}
 		m.wireBusy = true

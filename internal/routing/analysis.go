@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/metrics"
 	"repro/internal/topology"
 )
 
@@ -158,4 +159,21 @@ func ChannelLoads(t *topology.Topology, tbl *Table) []ChannelLoad {
 type ChannelLoad struct {
 	Channel Channel
 	Routes  int
+}
+
+// Publish exports the analysis into a metrics registry under
+// routing.*. Nil registries are ignored.
+func (a Analysis) Publish(r *metrics.Registry) {
+	if r == nil {
+		return
+	}
+	r.Gauge("routing.routes").Set(float64(a.Routes))
+	r.Gauge("routing.avg_link_hops").Set(a.AvgLinkHops)
+	r.Gauge("routing.max_link_hops").Set(float64(a.MaxLinkHops))
+	r.Gauge("routing.minimal_fraction").Set(a.MinimalFraction)
+	r.Gauge("routing.avg_itbs").Set(a.AvgITBs)
+	r.Gauge("routing.max_itbs").Set(float64(a.MaxITBs))
+	r.Gauge("routing.link_load_cv").Set(a.LinkLoadCV)
+	r.Gauge("routing.max_channel_load").Set(float64(a.MaxChannelLoad))
+	r.Gauge("routing.root_fraction").Set(a.RootFraction)
 }

@@ -72,14 +72,18 @@ func (s *Summary) Max() float64 {
 	return s.vals[len(s.vals)-1]
 }
 
-// Percentile returns the p-th percentile (0 <= p <= 100) using linear
-// interpolation between order statistics.
+// Percentile returns the p-th percentile using linear interpolation
+// between order statistics. p is clamped to [0, 100] (a NaN clamps to
+// 0): one out-of-range report call must degrade to the nearest extreme
+// instead of panicking an entire sweep.
 func (s *Summary) Percentile(p float64) float64 {
 	if len(s.vals) == 0 {
 		return 0
 	}
-	if p < 0 || p > 100 {
-		panic(fmt.Sprintf("stats: percentile %v out of range", p))
+	if p < 0 || math.IsNaN(p) {
+		p = 0
+	} else if p > 100 {
+		p = 100
 	}
 	s.ensureSorted()
 	if len(s.vals) == 1 {

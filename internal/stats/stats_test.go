@@ -55,15 +55,32 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
-func TestPercentilePanics(t *testing.T) {
+// TestPercentileClampsOutOfRange is the regression test for the sweep
+// killer: Percentile used to panic on p outside [0, 100], so one bad
+// report call took down an entire experiment. Out-of-range p now
+// clamps to the nearest extreme and NaN degrades to the minimum.
+func TestPercentileClampsOutOfRange(t *testing.T) {
 	var s Summary
-	s.Add(1)
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic")
+	for _, v := range []float64{10, 20, 30} {
+		s.Add(v)
+	}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{-5, 10},
+		{-0.0001, 10},
+		{100.0001, 30},
+		{150, 30},
+		{math.Inf(-1), 10},
+		{math.Inf(1), 30},
+		{math.NaN(), 10},
+	}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
 		}
-	}()
-	s.Percentile(101)
+	}
 }
 
 func TestAddAfterSortedQuery(t *testing.T) {

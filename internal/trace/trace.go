@@ -5,6 +5,7 @@
 package trace
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 
@@ -17,21 +18,21 @@ type Kind int
 
 // Event kinds, in rough lifecycle order.
 const (
-	Inject       Kind = iota // packet header offered to the network
-	HeaderOut                // header left the source NIC
-	HeaderArrive             // header reached a host port
-	Delivered                // tail fully received at a host
-	Dropped                  // flushed (misroute or pool overflow)
-	ITBDetect                // in-transit marker recognised
-	ITBPending               // send engine busy; pending flag raised
-	ITBReinject              // re-injection programmed
-	SendQueued               // GM handed a packet to the MCP
-	RecvToHost               // RDMA to host memory complete
-	Retransmit               // GM go-back-N retransmission
-	LinkFault                // a link failed or recovered (detail: down/up/ber)
-	NICFault                 // a NIC fault event (detail: stall/resume/pool-exhaust/pool-restore)
-	RouteRecompute           // route table rebuilt around the failed set
-	PeerDead                 // GM declared a peer dead after repeated timeouts
+	Inject         Kind = iota // packet header offered to the network
+	HeaderOut                  // header left the source NIC
+	HeaderArrive               // header reached a host port
+	Delivered                  // tail fully received at a host
+	Dropped                    // flushed (misroute or pool overflow)
+	ITBDetect                  // in-transit marker recognised
+	ITBPending                 // send engine busy; pending flag raised
+	ITBReinject                // re-injection programmed
+	SendQueued                 // GM handed a packet to the MCP
+	RecvToHost                 // RDMA to host memory complete
+	Retransmit                 // GM go-back-N retransmission
+	LinkFault                  // a link failed or recovered (detail: down/up/ber)
+	NICFault                   // a NIC fault event (detail: stall/resume/pool-exhaust/pool-restore)
+	RouteRecompute             // route table rebuilt around the failed set
+	PeerDead                   // GM declared a peer dead after repeated timeouts
 )
 
 // String names the kind.
@@ -90,13 +91,20 @@ func (e Event) String() string {
 	return s
 }
 
-// Recorder collects events in a bounded ring. The zero value is
-// unusable; use NewRecorder. Recorders are not goroutine safe — the
+// Recorder collects events in a bounded circular ring. The zero value
+// is unusable; use NewRecorder. Recorders are not goroutine safe — the
 // simulation is single-threaded by design.
+//
+// Record is O(1): once the ring is full, the newest event overwrites
+// the oldest in place (the previous implementation shifted the whole
+// slice on every overflow, an O(max) cost on the tracing hot path).
 type Recorder struct {
-	events []Event
-	max    int
-	total  uint64
+	buf []Event
+	// head is the index of the oldest retained event; non-zero only
+	// after the ring has wrapped.
+	head  int
+	max   int
+	total uint64
 }
 
 // NewRecorder keeps at most max events (older ones are discarded).
@@ -105,27 +113,50 @@ func NewRecorder(max int) *Recorder {
 	return &Recorder{max: max}
 }
 
-// Record appends an event.
+// Record appends an event, overwriting the oldest retained one when
+// the ring is full.
 func (r *Recorder) Record(e Event) {
 	r.total++
-	if r.max > 0 && len(r.events) == r.max {
-		copy(r.events, r.events[1:])
-		r.events = r.events[:r.max-1]
+	if r.max > 0 && len(r.buf) == r.max {
+		r.buf[r.head] = e
+		r.head++
+		if r.head == len(r.buf) {
+			r.head = 0
+		}
+		return
 	}
-	r.events = append(r.events, e)
+	r.buf = append(r.buf, e)
 }
 
-// Events returns the retained events in order. The slice is shared;
-// do not modify.
-func (r *Recorder) Events() []Event { return r.events }
+// Events returns the retained events in oldest-to-newest recording
+// order, unrolling the ring across the wraparound point. Before any
+// wraparound the internal slice is returned as-is (shared; do not
+// modify); after wraparound a fresh ordered copy is returned.
+func (r *Recorder) Events() []Event {
+	if r.head == 0 {
+		return r.buf
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.head:]...)
+	out = append(out, r.buf[:r.head]...)
+	return out
+}
 
-// Total returns how many events were recorded (including discarded).
+// Total returns how many events were ever recorded, including those
+// the bounded ring has since discarded.
 func (r *Recorder) Total() uint64 { return r.total }
+
+// Retained returns how many events the ring currently holds.
+func (r *Recorder) Retained() int { return len(r.buf) }
+
+// Discarded returns how many recorded events the bounded ring has
+// overwritten: Total() minus the retained count.
+func (r *Recorder) Discarded() uint64 { return r.total - uint64(len(r.buf)) }
 
 // Packet returns the retained events of one packet, in order.
 func (r *Recorder) Packet(id uint64) []Event {
 	var out []Event
-	for _, e := range r.events {
+	for _, e := range r.Events() {
 		if e.Packet == id {
 			out = append(out, e)
 		}
@@ -136,7 +167,7 @@ func (r *Recorder) Packet(id uint64) []Event {
 // OfKind returns the retained events of one kind, in order.
 func (r *Recorder) OfKind(k Kind) []Event {
 	var out []Event
-	for _, e := range r.events {
+	for _, e := range r.Events() {
 		if e.Kind == k {
 			out = append(out, e)
 		}
@@ -144,10 +175,39 @@ func (r *Recorder) OfKind(k Kind) []Event {
 	return out
 }
 
-// WriteText dumps the retained events, one per line.
+// WriteText dumps the retained events in order, one per line.
 func (r *Recorder) WriteText(w io.Writer) error {
-	for _, e := range r.events {
+	for _, e := range r.Events() {
 		if _, err := fmt.Fprintln(w, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonlEvent is the structured export schema of one event.
+type jsonlEvent struct {
+	AtPs   int64  `json:"at_ps"`
+	Kind   string `json:"kind"`
+	Node   int    `json:"node"`
+	Packet uint64 `json:"packet,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// WriteJSONL exports the retained events in order as JSON Lines, one
+// object per event: {"at_ps":..., "kind":"...", "node":..., "packet":...,
+// "detail":"..."}. Timestamps are simulated picoseconds. The encoding
+// is deterministic, so exports diff cleanly across runs.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range r.Events() {
+		if err := enc.Encode(jsonlEvent{
+			AtPs:   int64(e.At),
+			Kind:   e.Kind.String(),
+			Node:   int(e.Node),
+			Packet: e.Packet,
+			Detail: e.Detail,
+		}); err != nil {
 			return err
 		}
 	}

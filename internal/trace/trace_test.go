@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -73,9 +74,13 @@ func TestEventStringAndWriteText(t *testing.T) {
 }
 
 // Property: a ring recorder always retains the most recent min(n, max)
-// events in order.
-func TestRingProperty(t *testing.T) {
-	f := func(maxRaw uint8, n uint8) bool {
+// events in strict oldest-to-newest order across any number of
+// wraparounds, and its accounting always satisfies
+// Total = Retained + Discarded. This is the regression net for the
+// circular-buffer rewrite: an off-by-one in the head index would
+// surface here as a mis-ordered or mis-counted window.
+func TestRingWraparoundProperty(t *testing.T) {
+	f := func(maxRaw uint8, n uint16) bool {
 		max := int(maxRaw%20) + 1
 		r := NewRecorder(max)
 		for i := 0; i < int(n); i++ {
@@ -86,7 +91,7 @@ func TestRingProperty(t *testing.T) {
 		if want > max {
 			want = max
 		}
-		if len(evs) != want {
+		if len(evs) != want || r.Retained() != want {
 			return false
 		}
 		for i, e := range evs {
@@ -94,9 +99,97 @@ func TestRingProperty(t *testing.T) {
 				return false
 			}
 		}
-		return true
+		if r.Total() != uint64(n) {
+			return false
+		}
+		return r.Discarded() == r.Total()-uint64(r.Retained())
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestRingOrderAfterExactWraparound pins the sharpest edge cases by
+// hand: the ring exactly full, one past full, and one full lap.
+func TestRingOrderAfterExactWraparound(t *testing.T) {
+	for _, n := range []int{3, 4, 6, 7} {
+		r := NewRecorder(3)
+		for i := 0; i < n; i++ {
+			r.Record(Event{At: units.Time(i)})
+		}
+		evs := r.Events()
+		if len(evs) != 3 {
+			t.Fatalf("n=%d: retained %d", n, len(evs))
+		}
+		for i, e := range evs {
+			if want := units.Time(n - 3 + i); e.At != want {
+				t.Errorf("n=%d: evs[%d].At = %v, want %v", n, i, e.At, want)
+			}
+		}
+		if got := r.Discarded(); got != uint64(n-3) {
+			t.Errorf("n=%d: Discarded = %d, want %d", n, got, n-3)
+		}
+	}
+}
+
+// TestFilteredViewsOrderedAfterWraparound: Packet, OfKind and
+// WriteText must all see the unrolled order, not the raw buffer
+// layout.
+func TestFilteredViewsOrderedAfterWraparound(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Record(Event{At: units.Time(i), Kind: Inject, Packet: uint64(i % 2)})
+	}
+	got := r.Packet(0)
+	if len(got) != 2 || got[0].At != 6 || got[1].At != 8 {
+		t.Errorf("Packet(0) after wraparound = %v", got)
+	}
+	byKind := r.OfKind(Inject)
+	for i := 1; i < len(byKind); i++ {
+		if byKind[i].At <= byKind[i-1].At {
+			t.Errorf("OfKind out of order: %v", byKind)
+		}
+	}
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 4 || !strings.Contains(lines[0], "6") {
+		t.Errorf("WriteText after wraparound:\n%s", sb.String())
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record(Event{At: 125 * units.Nanosecond, Kind: ITBDetect, Node: 4, Packet: 9, Detail: "x"})
+	r.Record(Event{At: 250 * units.Nanosecond, Kind: Delivered, Node: 2})
+	var sb strings.Builder
+	if err := r.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d:\n%s", len(lines), sb.String())
+	}
+	var ev struct {
+		AtPs   int64  `json:"at_ps"`
+		Kind   string `json:"kind"`
+		Node   int    `json:"node"`
+		Packet uint64 `json:"packet"`
+		Detail string `json:"detail"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("line 0 not JSON: %v", err)
+	}
+	if ev.Kind != "itb-detect" || ev.Node != 4 || ev.Packet != 9 || ev.Detail != "x" {
+		t.Errorf("decoded event = %+v", ev)
+	}
+	if ev.AtPs != int64(125*units.Nanosecond) {
+		t.Errorf("at_ps = %d", ev.AtPs)
+	}
+	// Zero-valued packet/detail fields are omitted on the second line.
+	if strings.Contains(lines[1], "packet") || strings.Contains(lines[1], "detail") {
+		t.Errorf("zero fields not omitted: %s", lines[1])
 	}
 }
