@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: all build test test-race vet lint bench fuzz experiments golden clean
+# Benchmarks guarded by the bench-gate CI job (see cmd/benchdiff).
+GUARDED_BENCH = ^(BenchmarkFig7_CodeOverhead|BenchmarkFig8_ITBOverhead|BenchmarkAllsizePingPong|BenchmarkSweepSerial|BenchmarkSweepParallel)$$
+# Output file for bench-json; CI overrides this to BENCH_PR4.json.
+BENCH_JSON ?= BENCH_PR4.json
+
+.PHONY: all build test test-race vet lint bench bench-json bench-gate fuzz fuzz-smoke cover experiments golden clean
 
 all: build lint test test-race
 
@@ -33,12 +38,41 @@ test-race:
 bench:
 	$(GO) test -bench=. -benchmem .
 
+# Run the guarded benchmarks and summarise them as JSON (min of 5
+# counts per metric); see EXPERIMENTS.md "Benchmark trajectory".
+bench-json:
+	$(GO) test -run '^$$' -bench '$(GUARDED_BENCH)' -benchtime=3x -count=5 -benchmem . \
+		| tee /dev/stderr | $(GO) run ./cmd/benchdiff -emit $(BENCH_JSON)
+
+# Compare the fresh summary against the committed baseline; fails on
+# >15% ns/op or any allocs/op regression.
+bench-gate: bench-json
+	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json -current $(BENCH_JSON)
+
 # Short fuzz pass over the wire codecs.
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/packet/
 	$(GO) test -fuzz=FuzzDecodeMapping -fuzztime=10s ./internal/packet/
 	$(GO) test -fuzz=FuzzSplitITBRoute -fuzztime=10s ./internal/packet/
 	$(GO) test -fuzz=FuzzSerializeRoundTrip -fuzztime=10s ./internal/topology/
+
+# Run every Fuzz* target briefly, discovering them with `go test
+# -list` so new targets are picked up without editing this file or the
+# CI workflow.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	@set -e; for pkg in $$($(GO) list ./...); do \
+		targets=$$($(GO) test -list '^Fuzz' $$pkg 2>/dev/null | grep '^Fuzz' || true); \
+		for t in $$targets; do \
+			echo "=== fuzz $$pkg $$t"; \
+			$(GO) test -fuzz "^$$t$$" -fuzztime $(FUZZTIME) $$pkg; \
+		done; \
+	done
+
+# Coverage profile + total; the CI coverage job enforces the floor.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1
 
 # Regenerate every experiment table at full size.
 experiments:

@@ -1,3 +1,6 @@
 module repro
 
 go 1.22
+
+// Matches the CI workflow's GO_VERSION; bump both together.
+toolchain go1.22.0

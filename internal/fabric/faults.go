@@ -49,7 +49,7 @@ func (n *Network) SetLinkDown(link int, down bool) {
 	if down {
 		detail = "down"
 		for _, fromA := range []bool{true, false} {
-			c := n.chans[chanKey{link: link, fromA: fromA}]
+			c := n.chans[chanIdx(link, fromA)]
 			if c == nil {
 				continue
 			}

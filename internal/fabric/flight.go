@@ -29,6 +29,15 @@ const (
 // slightly conservative (a real tail frees upstream channels a few
 // hundred nanoseconds earlier as it passes) but preserves the blocking
 // and contention-relief behaviour the experiments measure.
+//
+// Flights are pooled per Network: a finished flight goes back to the
+// free-list and its next Inject reuses the object (and its slices and
+// closures), so steady-state traversal performs no allocation. The
+// hop advancement runs through a fixed set of long-lived closures
+// (fnCross -> fnGranted -> fnArrive, looping via atNode) driven by the
+// hop* "program counter" fields, instead of a fresh closure chain per
+// hop. Fields are reset when a pooled flight is reused — not when it
+// finishes — so accessors like StallTime stay readable after Done.
 type Flight struct {
 	id      uint64
 	net     *Network
@@ -51,6 +60,68 @@ type Flight struct {
 	headerInAt  units.Time // header reached destination endpoint
 	completeAt  units.Time
 	dstHost     topology.NodeID
+
+	// Hop-advancement state consumed by the persistent closures.
+	hopLink  *topology.Link
+	hopCh    *channel
+	hopFromA bool
+	hopClass int
+	// hopGrantFresh is true when hopCh was granted through its
+	// resource (and the grant time must be stamped), false when the
+	// flight revisited a channel it already held.
+	hopGrantFresh bool
+	dropped       bool
+	tailOutAt     units.Time
+
+	// Persistent closures, allocated once per Flight object and reused
+	// across hops and pooled reincarnations.
+	fnInjected func()    // source channel granted
+	fnCross    func()    // fall-through paid: contend for the output channel
+	fnGranted  func()    // output channel granted: pay the wire latency
+	fnArrive   func()    // header reaches the next node
+	fnTailOut  func()    // tail leaves the source NIC
+	fnDone     func()    // tail fully at the endpoint
+	fnRelease  func(any) // progressive release of one held channel
+}
+
+// newFlight builds a Flight bound to its network with its closure set.
+func newFlight(n *Network) *Flight {
+	f := &Flight{net: n}
+	f.fnInjected = f.injected
+	f.fnCross = f.cross
+	f.fnGranted = f.granted
+	f.fnArrive = f.arrive
+	f.fnTailOut = f.tailOut
+	f.fnDone = f.finish
+	f.fnRelease = func(a any) { a.(*channel).release(n.eng, f) }
+	return f
+}
+
+// reset clears the mutable state for reuse from the pool, keeping the
+// network binding, the slices' capacity and the closures.
+func (f *Flight) reset() {
+	f.id = 0
+	f.pkt = nil
+	f.src = 0
+	f.opts = InjectOpts{}
+	f.wireLen = 0
+	f.held = f.held[:0]
+	f.heldProp = f.heldProp[:0]
+	f.state = flightInjecting
+	f.waitStart = 0
+	f.stall = 0
+	f.prop = 0
+	f.headerOutAt = 0
+	f.headerInAt = 0
+	f.completeAt = 0
+	f.dstHost = 0
+	f.hopLink = nil
+	f.hopCh = nil
+	f.hopFromA = false
+	f.hopClass = 0
+	f.hopGrantFresh = false
+	f.dropped = false
+	f.tailOutAt = 0
 }
 
 // ID returns the unique flight id.
@@ -86,11 +157,57 @@ func (f *Flight) Done() bool { return f.state == flightDone }
 func (f *Flight) acquireChannel(c *channel, class int, fn func()) {
 	for _, held := range f.held {
 		if held == c {
+			f.hopGrantFresh = false
 			fn()
 			return
 		}
 	}
-	c.acquire(f.net.eng, f, class, fn)
+	f.hopGrantFresh = true
+	c.acquire(f, class, fn)
+}
+
+// injected runs when the source host's channel is granted: the header
+// leaves the NIC.
+func (f *Flight) injected() {
+	n := f.net
+	now := n.eng.Now()
+	f.hopCh.lastGrant = now
+	f.stall += now - f.waitStart
+	f.headerOutAt = now
+	n.emit(trace.HeaderOut, f.src, f.pkt.ID, "")
+	if f.opts.OnHeaderOut != nil {
+		f.opts.OnHeaderOut(now)
+	}
+	n.eng.Schedule(n.par.WireLatency, f.fnArrive)
+}
+
+// cross runs after the switch fall-through: contend for the selected
+// output channel.
+func (f *Flight) cross() {
+	n := f.net
+	f.waitStart = n.eng.Now()
+	f.hopCh = n.chanOf(f.hopLink, f.hopFromA)
+	f.acquireChannel(f.hopCh, f.hopClass, f.fnGranted)
+}
+
+// granted runs when the contended output channel is granted (or
+// revisited — a channel the flight already holds is not re-granted,
+// so its lastGrant stamp is left alone then).
+func (f *Flight) granted() {
+	n := f.net
+	now := n.eng.Now()
+	if f.hopGrantFresh {
+		f.hopCh.lastGrant = now
+	}
+	waited := now - f.waitStart
+	f.stall += waited
+	f.hopCh.waited += waited
+	n.eng.Schedule(n.par.WireLatency, f.fnArrive)
+}
+
+// arrive runs when the header reaches the far end of the current hop.
+func (f *Flight) arrive() {
+	f.atNode(f.hopLink.NodeAt(!f.hopFromA), f.hopLink)
 }
 
 // atNode handles the header reaching a node's input.
@@ -136,20 +253,11 @@ func (f *Flight) atNode(node topology.NodeID, via *topology.Link) {
 	cross := n.par.FallThrough + n.portExtra(via.Type) + n.portExtra(out.Type)
 	f.prop += cross + n.par.WireLatency
 	f.state = flightInFlight
-	fromA := out.FromA(node, port)
+	f.hopLink = out
+	f.hopFromA = out.FromA(node, port)
+	f.hopClass = via.ID
 	// Pay the fall-through, then contend for the output channel.
-	n.eng.Schedule(cross, func() {
-		f.waitStart = n.eng.Now()
-		ch := n.chanOf(out, fromA)
-		f.acquireChannel(ch, via.ID, func() {
-			waited := n.eng.Now() - f.waitStart
-			f.stall += waited
-			ch.waited += waited
-			n.eng.Schedule(n.par.WireLatency, func() {
-				f.atNode(out.NodeAt(!fromA), out)
-			})
-		})
-	})
+	n.eng.Schedule(cross, f.fnCross)
 }
 
 // Accept is called by the destination endpoint to start draining the
@@ -180,6 +288,7 @@ func (f *Flight) drainAndFinish(dropped bool) {
 	n := f.net
 	now := n.eng.Now()
 	f.state = flightDraining
+	f.dropped = dropped
 	tB := n.par.ByteTime()
 	// Earliest the last byte can leave the source: paced by the
 	// source DMA, or by upstream reception for cut-through ITB
@@ -201,56 +310,69 @@ func (f *Flight) drainAndFinish(dropped bool) {
 		tailLeavesSrc = now
 	}
 	if f.opts.OnTailOut != nil {
-		t := tailLeavesSrc
-		n.eng.ScheduleAt(t, func() { f.opts.OnTailOut(t) })
+		f.tailOutAt = tailLeavesSrc
+		n.eng.ScheduleAt(tailLeavesSrc, f.fnTailOut)
 	}
 	done := f.completeAt
 	if n.par.ProgressiveRelease {
 		// Free each channel when the tail passes it: the completion
 		// instant minus the remaining pipeline delay downstream of the
-		// channel's exit.
+		// channel's exit. Release instants are nondecreasing along the
+		// held list, and all precede the done event, so the flight is
+		// never recycled with a release still pending.
 		for i, c := range f.held {
 			relAt := done - (f.prop - f.heldProp[i])
 			if relAt < now {
 				relAt = now
 			}
-			c := c
-			n.eng.ScheduleAt(relAt, func() { c.release(n.eng, f) })
+			n.eng.ScheduleArgAt(relAt, f.fnRelease, c)
 		}
-		f.held = nil
-		f.heldProp = nil
+		f.held = f.held[:0]
+		f.heldProp = f.heldProp[:0]
 	}
-	n.eng.ScheduleAt(done, func() {
-		for _, c := range f.held {
-			c.release(n.eng, f)
+	n.eng.ScheduleAt(done, f.fnDone)
+}
+
+// tailOut fires the OnTailOut callback at the tail's departure time.
+func (f *Flight) tailOut() { f.opts.OnTailOut(f.tailOutAt) }
+
+// finish runs at the tail's full arrival: release held channels,
+// deliver or drop, and return the flight to its network's pool.
+func (f *Flight) finish() {
+	n := f.net
+	for _, c := range f.held {
+		c.release(n.eng, f)
+	}
+	f.held = f.held[:0]
+	f.heldProp = f.heldProp[:0]
+	f.state = flightDone
+	done := f.completeAt
+	if f.dropped {
+		n.stats.Dropped++
+		n.emit(trace.Dropped, f.dstHost, f.pkt.ID, "")
+		if f.opts.OnDropped != nil {
+			f.opts.OnDropped(done)
 		}
-		f.held = nil
-		f.state = flightDone
-		if dropped {
-			n.stats.Dropped++
-			n.emit(trace.Dropped, f.dstHost, f.pkt.ID, "")
-			if f.opts.OnDropped != nil {
-				f.opts.OnDropped(done)
-			}
-			return
-		}
-		n.stats.Delivered++
-		n.stats.BytesMoved += uint64(f.wireLen)
-		// Per-segment (per-hop, across ITB hops) latency distribution:
-		// each Flight is one up*/down* segment, so with ITB routing the
-		// re-injected remainder shows up as its own sample. No-ops when
-		// metrics are disabled (nil histograms).
-		n.hSegLat.Observe(float64(done-f.headerOutAt) / 1e3)
-		n.hSegStall.Observe(float64(f.stall) / 1e3)
-		if !f.pkt.Corrupt && n.corrupts(f.wireLen) {
-			f.pkt.Corrupt = true
-			n.stats.Corrupted++
-		}
-		n.emit(trace.Delivered, f.dstHost, f.pkt.ID, "")
-		ep := n.eps[f.dstHost]
-		ep.PacketReceived(f.pkt, f.headerInAt, done)
-		if f.opts.OnDelivered != nil {
-			f.opts.OnDelivered(done)
-		}
-	})
+		n.putFlight(f)
+		return
+	}
+	n.stats.Delivered++
+	n.stats.BytesMoved += uint64(f.wireLen)
+	// Per-segment (per-hop, across ITB hops) latency distribution:
+	// each Flight is one up*/down* segment, so with ITB routing the
+	// re-injected remainder shows up as its own sample. No-ops when
+	// metrics are disabled (nil histograms).
+	n.hSegLat.Observe(float64(done-f.headerOutAt) / 1e3)
+	n.hSegStall.Observe(float64(f.stall) / 1e3)
+	if !f.pkt.Corrupt && n.corrupts(f.wireLen) {
+		f.pkt.Corrupt = true
+		n.stats.Corrupted++
+	}
+	n.emit(trace.Delivered, f.dstHost, f.pkt.ID, "")
+	ep := n.eps[f.dstHost]
+	ep.PacketReceived(f.pkt, f.headerInAt, done)
+	if f.opts.OnDelivered != nil {
+		f.opts.OnDelivered(done)
+	}
+	n.putFlight(f)
 }

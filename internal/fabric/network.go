@@ -27,13 +27,6 @@ type Endpoint interface {
 	PacketReceived(pkt *packet.Packet, headerAt, completedAt units.Time)
 }
 
-// chanKey identifies one direction of a link by its sending end, which
-// disambiguates the two directions of a loopback cable.
-type chanKey struct {
-	link  int
-	fromA bool
-}
-
 // channel is one directed half of a physical link.
 type channel struct {
 	res       *sim.Resource
@@ -65,15 +58,23 @@ type Counters struct {
 // Network is the wormhole fabric: all switches and links of a
 // topology, driven by a shared event engine.
 type Network struct {
-	eng    *sim.Engine
-	topo   *topology.Topology
-	par    Params
-	chans  map[chanKey]*channel
+	eng  *sim.Engine
+	topo *topology.Topology
+	par  Params
+	// chans holds the two directed channels of every link, indexed
+	// 2*linkID (A->B) and 2*linkID+1 (B->A); link ids are dense, so a
+	// flat slice replaces the old map lookup on the per-hop path.
+	chans  []*channel
 	eps    map[topology.NodeID]Endpoint
 	next   uint64
 	stats  Counters
 	tracer *trace.Recorder
 	faults *rand.Rand
+
+	// flightPool is the free-list of finished flights: Inject reuses
+	// the object, its slices, and its closure set, so steady-state
+	// traversal allocates nothing.
+	flightPool []*Flight
 
 	// Live metrics instruments (nil when metrics are disabled; the
 	// instruments no-op on nil receivers, so the hot paths call them
@@ -94,7 +95,7 @@ func New(eng *sim.Engine, topo *topology.Topology, par Params) *Network {
 		eng:   eng,
 		topo:  topo,
 		par:   par,
-		chans: make(map[chanKey]*channel),
+		chans: make([]*channel, 2*len(topo.Links())),
 		eps:   make(map[topology.NodeID]Endpoint),
 	}
 	mkRes := sim.NewResource
@@ -104,8 +105,7 @@ func New(eng *sim.Engine, topo *topology.Topology, par Params) *Network {
 	for i := range topo.Links() {
 		l := topo.Link(i)
 		for _, fromA := range []bool{true, false} {
-			k := chanKey{link: l.ID, fromA: fromA}
-			n.chans[k] = &channel{
+			n.chans[chanIdx(l.ID, fromA)] = &channel{
 				res:   mkRes(fmt.Sprintf("link%d.fromA=%v", l.ID, fromA)),
 				link:  l,
 				fromA: fromA,
@@ -186,7 +186,7 @@ func (n *Network) PublishMetrics(r *metrics.Registry) {
 	for i := range n.topo.Links() {
 		l := n.topo.Link(i)
 		for _, fromA := range []bool{true, false} {
-			c := n.chans[chanKey{link: l.ID, fromA: fromA}]
+			c := n.chans[chanIdx(l.ID, fromA)]
 			if c == nil || c.grants == 0 && c.busy == 0 && c.waited == 0 {
 				continue
 			}
@@ -224,7 +224,11 @@ func (n *Network) emit(k trace.Kind, node topology.NodeID, pktID uint64, detail 
 // channel of the given link sent from its A (or B) end, for
 // utilisation metrics.
 func (n *Network) ChannelBusy(link int, fromA bool) units.Time {
-	c := n.chans[chanKey{link: link, fromA: fromA}]
+	idx := chanIdx(link, fromA)
+	if idx < 0 || idx >= len(n.chans) {
+		return 0
+	}
+	c := n.chans[idx]
 	if c == nil {
 		return 0
 	}
@@ -251,7 +255,8 @@ type StuckFlight struct {
 // empty result means the network is clean; a non-empty one is a
 // protocol deadlock (e.g. minimal routing without ITBs, or blocking
 // receive buffers pinned by in-transit packets). Purely diagnostic —
-// the simulation state is not modified.
+// the simulation state is not modified. Channels are walked in link
+// order, so the report order is deterministic.
 func (n *Network) DetectStuck() []StuckFlight {
 	var out []StuckFlight
 	seen := map[*Flight]bool{}
@@ -365,6 +370,10 @@ type InjectOpts struct {
 // Route bytes steer it; the flight ends at whichever host port the
 // route delivers it to (for an ITB route, the in-transit host, whose
 // MCP re-injects the rest with a fresh Inject).
+//
+// The returned Flight is owned by the network: once it reports Done
+// (delivered or dropped) a later Inject may recycle the object, so
+// callers must not read it after a subsequent injection.
 func (n *Network) Inject(pkt *packet.Packet, src topology.NodeID, opts InjectOpts) *Flight {
 	if n.topo.Node(src).Kind != topology.KindHost {
 		panic(fmt.Sprintf("fabric: inject from non-host node %d", src))
@@ -374,17 +383,16 @@ func (n *Network) Inject(pkt *packet.Packet, src topology.NodeID, opts InjectOpt
 	}
 	n.next++
 	n.TagPacket(pkt)
-	f := &Flight{
-		id:      n.next,
-		net:     n,
-		pkt:     pkt,
-		src:     src,
-		opts:    opts,
-		wireLen: pkt.WireLen(),
-		state:   flightInjecting,
-	}
+	f := n.getFlight()
+	f.id = n.next
+	f.pkt = pkt
+	f.src = src
+	f.opts = opts
+	f.wireLen = pkt.WireLen()
 	n.stats.Injected++
-	n.emit(trace.Inject, src, pkt.ID, fmt.Sprintf("len=%dB", f.wireLen))
+	if n.tracer != nil {
+		n.emit(trace.Inject, src, pkt.ID, fmt.Sprintf("len=%dB", f.wireLen))
+	}
 	hostLink := n.topo.LinkAt(src, 0)
 	if hostLink == nil {
 		panic(fmt.Sprintf("fabric: host %d is not cabled", src))
@@ -409,39 +417,56 @@ func (n *Network) Inject(pkt *packet.Packet, src topology.NodeID, opts InjectOpt
 		return f
 	}
 	f.waitStart = n.eng.Now()
-	fromA := hostLink.FromA(src, 0)
+	f.hopLink = hostLink
+	f.hopFromA = hostLink.FromA(src, 0)
+	f.hopCh = n.chanOf(hostLink, f.hopFromA)
 	// Accumulate the hop's propagation before acquiring, so the
 	// channel's heldProp marks the pipeline delay through its exit.
 	f.prop += n.par.WireLatency
-	n.chanOf(hostLink, fromA).acquire(n.eng, f, -1, func() {
-		now := n.eng.Now()
-		f.stall += now - f.waitStart
-		f.headerOutAt = now
-		n.emit(trace.HeaderOut, src, pkt.ID, "")
-		if opts.OnHeaderOut != nil {
-			opts.OnHeaderOut(now)
-		}
-		n.eng.Schedule(n.par.WireLatency, func() {
-			f.atNode(hostLink.NodeAt(!fromA), hostLink)
-		})
-	})
+	f.hopCh.acquire(f, -1, f.fnInjected)
 	return f
 }
 
+// getFlight takes a flight from the pool (or builds one), reset and
+// ready for a new injection.
+func (n *Network) getFlight() *Flight {
+	if k := len(n.flightPool); k > 0 {
+		f := n.flightPool[k-1]
+		n.flightPool = n.flightPool[:k-1]
+		f.reset()
+		return f
+	}
+	return newFlight(n)
+}
+
+// putFlight returns a finished flight to the pool. The state is left
+// readable (see Flight doc) and cleared on the next getFlight.
+func (n *Network) putFlight(f *Flight) {
+	n.flightPool = append(n.flightPool, f)
+}
+
+// chanIdx maps a directed link end to its slot in Network.chans.
+func chanIdx(link int, fromA bool) int {
+	idx := 2 * link
+	if !fromA {
+		idx++
+	}
+	return idx
+}
+
 func (n *Network) chanOf(l *topology.Link, fromA bool) *channel {
-	return n.chans[chanKey{link: l.ID, fromA: fromA}]
+	return n.chans[chanIdx(l.ID, fromA)]
 }
 
 // acquire queues the flight on the channel. class identifies the
 // crossbar input the request arrives on (the incoming link id), which
-// round-robin arbitration cycles over.
-func (c *channel) acquire(eng *sim.Engine, f *Flight, class int, fn func()) {
+// round-robin arbitration cycles over. The grant callback must stamp
+// c.lastGrant itself (the flight's persistent closures do); wrapping
+// fn here would cost one closure allocation per hop.
+func (c *channel) acquire(f *Flight, class int, fn func()) {
 	f.held = append(f.held, c)
 	f.heldProp = append(f.heldProp, f.prop)
-	c.res.AcquireClass(f, class, func() {
-		c.lastGrant = eng.Now()
-		fn()
-	})
+	c.res.AcquireClass(f, class, fn)
 }
 
 func (c *channel) release(eng *sim.Engine, f *Flight) {

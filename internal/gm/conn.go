@@ -23,8 +23,8 @@ type conn struct {
 	nextSeq   uint32 // next sequence number to assign
 	ackedTo   uint32 // everything below this is acknowledged
 	inflight  []*packet.Packet
-	backlog   []*packet.Packet // waiting for window space
-	timer     *sim.Event
+	backlog   sim.FIFO[*packet.Packet] // waiting for window space
+	timer     sim.Event
 	submitted map[uint32]bool   // seqs handed to the MCP and not yet re-sendable
 	acked     map[uint32]func() // per-seq acknowledgement callbacks (send tokens)
 	failed    map[uint32]func() // per-seq failure callbacks (dead-peer verdict)
@@ -42,7 +42,7 @@ type conn struct {
 	assembly []byte // fragments of the in-progress message
 	// Ack coalescing (Params.AckDelay).
 	pendingAcks int
-	ackTimer    *sim.Event
+	ackTimer    sim.Event
 }
 
 func newConn(h *Host, peer topology.NodeID) *conn {
@@ -77,15 +77,14 @@ func (c *conn) enqueue(pkt *packet.Packet, onAcked, onFailed func()) {
 	if onFailed != nil {
 		c.failed[pkt.Seq] = onFailed
 	}
-	c.backlog = append(c.backlog, pkt)
+	c.backlog.Push(pkt)
 	c.pump()
 }
 
 // pump moves backlog packets into the window.
 func (c *conn) pump() {
-	for len(c.backlog) > 0 && (len(c.inflight) < c.h.par.Window || c.h.par.DisableAcks) {
-		pkt := c.backlog[0]
-		c.backlog = c.backlog[1:]
+	for c.backlog.Len() > 0 && (len(c.inflight) < c.h.par.Window || c.h.par.DisableAcks) {
+		pkt := c.backlog.Pop()
 		if !c.h.par.DisableAcks {
 			c.inflight = append(c.inflight, pkt)
 		}
@@ -100,8 +99,9 @@ func (c *conn) transmit(pkt *packet.Packet) {
 	c.submitted[pkt.Seq] = true
 	// The MCP consumes the route bytes in flight, so each (re)send
 	// works on a fresh copy; the original stays pristine for
-	// retransmission.
-	wire := pkt.Clone()
+	// retransmission. The copy comes from (and returns to) the packet
+	// pool: the receiving host's deliver path recycles it.
+	wire := pkt.ClonePooled()
 	seq := pkt.Seq
 	c.h.m.SubmitSend(wire, func(units.Time) {
 		delete(c.submitted, seq)
@@ -123,7 +123,7 @@ func (c *conn) fireAcked(seq uint32) {
 }
 
 func (c *conn) armTimer() {
-	if c.h.par.DisableAcks || c.timer != nil || c.dead {
+	if c.h.par.DisableAcks || c.timer.Valid() || c.dead {
 		return
 	}
 	if c.curTimeout <= 0 {
@@ -133,9 +133,9 @@ func (c *conn) armTimer() {
 }
 
 func (c *conn) disarmTimer() {
-	if c.timer != nil {
+	if c.timer.Valid() {
 		c.h.eng.Cancel(c.timer)
-		c.timer = nil
+		c.timer = sim.NoEvent
 	}
 }
 
@@ -145,7 +145,7 @@ func (c *conn) disarmTimer() {
 // declared dead, which is what bounds the retransmission process — and
 // hence the simulation — under a permanent fault.
 func (c *conn) timeout() {
-	c.timer = nil
+	c.timer = sim.NoEvent
 	if len(c.inflight) == 0 {
 		return
 	}
@@ -201,8 +201,8 @@ func (c *conn) declareDead() {
 			c.h.stats.MessagesFailed++
 		}
 	}
-	for _, pkt := range c.backlog {
-		if pkt.LastFrag {
+	for i := 0; i < c.backlog.Len(); i++ {
+		if c.backlog.At(i).LastFrag {
 			c.h.stats.MessagesFailed++
 		}
 	}
@@ -217,8 +217,16 @@ func (c *conn) declareDead() {
 			cb()
 		}
 	}
+	// The abandoned originals have no live referent left (only their
+	// clones were ever injected): recycle them.
+	for _, pkt := range c.inflight {
+		packet.Put(pkt)
+	}
+	for i := 0; i < c.backlog.Len(); i++ {
+		packet.Put(c.backlog.At(i))
+	}
 	c.inflight = nil
-	c.backlog = nil
+	c.backlog.Clear()
 	if c.h.OnPeerDead != nil {
 		c.h.OnPeerDead(c.peer, c.h.eng.Now())
 	}
@@ -245,9 +253,14 @@ func (c *conn) handleAck(nextExpected uint32) {
 	for _, pkt := range c.inflight {
 		if pkt.Seq >= nextExpected {
 			keep = append(keep, pkt)
+		} else {
+			// Acknowledged: the original (never injected itself — every
+			// transmission was a clone) has no other referent left.
+			packet.Put(pkt)
 		}
 	}
 	c.inflight = keep
+	clear(c.inflight[len(c.inflight):cap(c.inflight)])
 	for seq := old; seq < nextExpected; seq++ {
 		c.fireAcked(seq)
 	}
@@ -312,9 +325,9 @@ func (c *conn) scheduleAck() {
 		c.flushAck()
 		return
 	}
-	if c.ackTimer == nil {
+	if !c.ackTimer.Valid() {
 		c.ackTimer = c.h.eng.Schedule(c.h.par.AckDelay, func() {
-			c.ackTimer = nil
+			c.ackTimer = sim.NoEvent
 			c.flushAck()
 		})
 	}
@@ -322,9 +335,9 @@ func (c *conn) scheduleAck() {
 
 // flushAck emits the cumulative acknowledgement now.
 func (c *conn) flushAck() {
-	if c.ackTimer != nil {
+	if c.ackTimer.Valid() {
 		c.h.eng.Cancel(c.ackTimer)
-		c.ackTimer = nil
+		c.ackTimer = sim.NoEvent
 	}
 	c.pendingAcks = 0
 	c.h.sendAck(c.peer, c.expected)

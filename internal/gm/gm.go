@@ -267,18 +267,17 @@ func (h *Host) sendPort(dst topology.NodeID, payload []byte, route []byte, typ p
 	// The user-level send overhead is paid once per gm_send call.
 	h.eng.Schedule(h.par.HostSendOverhead, func() {
 		for i, fr := range frags {
-			pkt := &packet.Packet{
-				Route:     append([]byte(nil), route...),
-				Type:      typ,
-				Payload:   append([]byte(nil), fr...),
-				Src:       int(h.node),
-				Dst:       int(dst),
-				SrcPort:   srcPort,
-				DstPort:   dstPort,
-				MsgID:     id,
-				FragIndex: i,
-				LastFrag:  i == len(frags)-1,
-			}
+			pkt := packet.Get()
+			pkt.Route = append(pkt.Route, route...)
+			pkt.Type = typ
+			pkt.Payload = append(pkt.Payload, fr...)
+			pkt.Src = int(h.node)
+			pkt.Dst = int(dst)
+			pkt.SrcPort = srcPort
+			pkt.DstPort = dstPort
+			pkt.MsgID = id
+			pkt.FragIndex = i
+			pkt.LastFrag = i == len(frags)-1
 			var ackCb, failCb func()
 			if pkt.LastFrag {
 				ackCb, failCb = onAcked, onFailed
@@ -297,14 +296,18 @@ func (h *Host) connTo(peer topology.NodeID) *conn {
 	return c
 }
 
-// deliver is the MCP's completion upcall.
+// deliver is the MCP's completion upcall. The wire packet (a
+// transmit clone, or an ack) is consumed here: once the connection
+// state has absorbed it, it goes back to the pool.
 func (h *Host) deliver(pkt *packet.Packet, t units.Time) {
 	src := topology.NodeID(pkt.Src)
 	if pkt.Type == packet.TypeAck {
 		h.connTo(src).handleAck(pkt.Seq)
+		packet.Put(pkt)
 		return
 	}
 	h.connTo(src).handleData(pkt, t)
+	packet.Put(pkt)
 }
 
 // sendAck emits a zero-payload acknowledgement carrying the
@@ -324,13 +327,12 @@ func (h *Host) sendAck(peer topology.NodeID, nextExpected uint32) {
 	if err != nil {
 		return
 	}
-	ack := &packet.Packet{
-		Route: hdr,
-		Type:  packet.TypeAck,
-		Src:   int(h.node),
-		Dst:   int(peer),
-		Seq:   nextExpected,
-	}
+	ack := packet.Get()
+	ack.Route = append(ack.Route, hdr...)
+	ack.Type = packet.TypeAck
+	ack.Src = int(h.node)
+	ack.Dst = int(peer)
+	ack.Seq = nextExpected
 	h.stats.AcksSent++
 	h.m.SubmitSend(ack, nil)
 }

@@ -1,0 +1,30 @@
+package lanai
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// Posting and dispatching a handler is the LANai model's inner loop
+// (every MCP event handler goes through it); after warmup it must not
+// allocate: tasks are heap values, the completion callback is the
+// CPU's long-lived doneFn, and the engine reuses event slots.
+func TestCPUPostDispatchSteadyStateDoesNotAllocate(t *testing.T) {
+	eng := sim.NewEngine()
+	par := DefaultParams()
+	c := NewCPU(eng, par.Freq, par.DispatchCycles)
+	fn := func() {}
+	for i := 0; i < 32; i++ {
+		c.Post(PrioRecv, 10, fn)
+	}
+	eng.Run()
+	allocs := testing.AllocsPerRun(200, func() {
+		c.Post(PrioRecv, 10, fn)
+		c.Post(PrioITB, 5, fn) // preempts in the queue, not on the core
+		eng.Run()
+	})
+	if allocs != 0 {
+		t.Errorf("Post+dispatch allocates %.1f/op in steady state, want 0", allocs)
+	}
+}

@@ -11,8 +11,6 @@
 package lanai
 
 import (
-	"container/heap"
-
 	"repro/internal/sim"
 	"repro/internal/units"
 )
@@ -33,22 +31,58 @@ type task struct {
 	fn     func()
 }
 
-type taskHeap []*task
+// taskHeap is a binary heap of task values (highest priority first,
+// FIFO within a priority). Storing values in a plain slice keeps Post
+// allocation-free in steady state: no per-task box, no interface
+// conversion through container/heap.
+type taskHeap []task
 
-func (h taskHeap) Len() int { return len(h) }
-func (h taskHeap) Less(i, j int) bool {
+func (h taskHeap) before(i, j int) bool {
 	if h[i].prio != h[j].prio {
 		return h[i].prio > h[j].prio
 	}
 	return h[i].seq < h[j].seq
 }
-func (h taskHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *taskHeap) Push(x any)   { *h = append(*h, x.(*task)) }
-func (h *taskHeap) Pop() any {
-	o := *h
-	n := o[len(o)-1]
-	*h = o[:len(o)-1]
-	return n
+
+func (h *taskHeap) push(t task) {
+	*h = append(*h, t)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.before(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *taskHeap) pop() task {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = task{} // drop the fn reference for the collector
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		best := l
+		if r := l + 1; r < n && s.before(r, l) {
+			best = r
+		}
+		if !s.before(best, i) {
+			break
+		}
+		s[i], s[best] = s[best], s[i]
+		i = best
+	}
+	return top
 }
 
 // CPU is the LANai's on-chip processor: it executes one handler at a
@@ -68,6 +102,12 @@ type CPU struct {
 	BusyTime units.Time
 	// Executed counts completed tasks.
 	Executed uint64
+
+	// curFn is the handler executing now; doneFn is the long-lived
+	// completion callback shared by every dispatch, so dispatching does
+	// not allocate a closure per task.
+	curFn  func()
+	doneFn func()
 }
 
 // NewCPU returns an idle CPU clocked at freq; every dispatched task
@@ -77,7 +117,9 @@ func NewCPU(eng *sim.Engine, freq units.Frequency, dispatchCycles int) *CPU {
 	if freq <= 0 {
 		panic("lanai: non-positive CPU frequency")
 	}
-	return &CPU{eng: eng, freq: freq, dispatchCycles: dispatchCycles}
+	c := &CPU{eng: eng, freq: freq, dispatchCycles: dispatchCycles}
+	c.doneFn = c.taskDone
+	return c
 }
 
 // Freq returns the CPU clock.
@@ -90,9 +132,8 @@ func (c *CPU) Post(prio, cycles int, fn func()) {
 	if cycles < 0 {
 		panic("lanai: negative cycle cost")
 	}
-	t := &task{prio: prio, seq: c.seq, cycles: cycles, fn: fn}
+	c.pending.push(task{prio: prio, seq: c.seq, cycles: cycles, fn: fn})
 	c.seq++
-	heap.Push(&c.pending, t)
 	c.dispatch()
 }
 
@@ -107,13 +148,20 @@ func (c *CPU) dispatch() {
 		return
 	}
 	c.busy = true
-	t := heap.Pop(&c.pending).(*task)
+	t := c.pending.pop()
 	d := c.freq.Cycles(t.cycles + c.dispatchCycles)
 	c.BusyTime += d
-	c.eng.Schedule(d, func() {
-		t.fn()
-		c.busy = false
-		c.Executed++
-		c.dispatch()
-	})
+	c.curFn = t.fn
+	c.eng.Schedule(d, c.doneFn)
+}
+
+// taskDone is the shared completion handler: it runs the current task
+// and dispatches the next.
+func (c *CPU) taskDone() {
+	fn := c.curFn
+	c.curFn = nil
+	fn()
+	c.busy = false
+	c.Executed++
+	c.dispatch()
 }

@@ -114,14 +114,14 @@ type MCP struct {
 	// single engine shared with ITB re-injections, which take
 	// priority via the ITB-packet-pending path.
 	sendBufsFree int
-	hostQ        []sendJob // waiting for a send buffer / SDMA
-	readyQ       []sendJob // in NIC SRAM, waiting for the wire
-	itbQ         []itbJob  // pending re-injections (highest priority)
+	hostQ        sim.FIFO[sendJob] // waiting for a send buffer / SDMA
+	readyQ       sim.FIFO[sendJob] // in NIC SRAM, waiting for the wire
+	itbQ         sim.FIFO[itbJob]  // pending re-injections (highest priority)
 	wireBusy     bool
 
 	// Receive side.
 	recvBufsFree int
-	waiting      []*fabric.Flight // blocked arrivals (no buffer pool)
+	waiting      sim.FIFO[*fabric.Flight] // blocked arrivals (no buffer pool)
 	inTransit    map[*packet.Packet]bool
 
 	// Injected fault state (campaign-driven). A stalled NIC flushes
@@ -256,8 +256,8 @@ func (m *MCP) SubmitSend(pkt *packet.Packet, onSent func(t units.Time)) {
 	m.emit(trace.SendQueued, pkt.ID, pkt.Type.String())
 	job := sendJob{pkt: pkt, onSent: onSent}
 	if m.sendBufsFree == 0 {
-		m.hostQ = append(m.hostQ, job)
-		m.gHostQ.SetMax(float64(len(m.hostQ)))
+		m.hostQ.Push(job)
+		m.gHostQ.SetMax(float64(m.hostQ.Len()))
 		return
 	}
 	m.sendBufsFree--
@@ -274,16 +274,16 @@ func (m *MCP) startSDMA(job sendJob) {
 				func(firstAt, doneAt units.Time) {
 					job.tailReady = doneAt
 					m.eng.ScheduleAt(firstAt, func() {
-						m.readyQ = append(m.readyQ, job)
-						m.gReadyQ.SetMax(float64(len(m.readyQ)))
+						m.readyQ.Push(job)
+						m.gReadyQ.SetMax(float64(m.readyQ.Len()))
 						m.tryWire()
 					})
 				})
 			return
 		}
 		m.nic.HostDMA(job.pkt.WireLen(), func(units.Time) {
-			m.readyQ = append(m.readyQ, job)
-			m.gReadyQ.SetMax(float64(len(m.readyQ)))
+			m.readyQ.Push(job)
+			m.gReadyQ.SetMax(float64(m.readyQ.Len()))
 			m.tryWire()
 		})
 	})
@@ -328,11 +328,9 @@ func (m *MCP) SetPoolExhausted(exhausted bool) {
 // admitWaiting drains blocked arrivals into freed buffers after an
 // exhaustion clears.
 func (m *MCP) admitWaiting() {
-	for m.recvBufsFree > 0 && len(m.waiting) > 0 {
-		f := m.waiting[0]
-		m.waiting = m.waiting[1:]
+	for m.recvBufsFree > 0 && m.waiting.Len() > 0 {
 		m.recvBufsFree--
-		m.acceptFlight(f)
+		m.acceptFlight(m.waiting.Pop())
 	}
 }
 
@@ -343,18 +341,15 @@ func (m *MCP) tryWire() {
 	if m.wireBusy || m.stalled {
 		return
 	}
-	if len(m.itbQ) > 0 {
-		job := m.itbQ[0]
-		m.itbQ = m.itbQ[1:]
+	if m.itbQ.Len() > 0 {
 		m.wireBusy = true
-		m.programReinjection(job)
+		m.programReinjection(m.itbQ.Pop())
 		return
 	}
-	if len(m.readyQ) == 0 {
+	if m.readyQ.Len() == 0 {
 		return
 	}
-	job := m.readyQ[0]
-	m.readyQ = m.readyQ[1:]
+	job := m.readyQ.Pop()
 	m.wireBusy = true
 	m.nic.CPU.Post(lanai.PrioSend, m.cfg.Costs.SendSetupCycles, func() {
 		m.net.Inject(job.pkt, m.host, fabric.InjectOpts{
@@ -364,11 +359,9 @@ func (m *MCP) tryWire() {
 				m.wireBusy = false
 				m.sendBufsFree++
 				// A queued host send can now claim the freed buffer.
-				if len(m.hostQ) > 0 {
-					next := m.hostQ[0]
-					m.hostQ = m.hostQ[1:]
+				if m.hostQ.Len() > 0 {
 					m.sendBufsFree--
-					m.startSDMA(next)
+					m.startSDMA(m.hostQ.Pop())
 				}
 				if job.onSent != nil {
 					job.onSent(t)
@@ -401,8 +394,8 @@ func (m *MCP) HeaderArrived(f *fabric.Flight) {
 			return
 		}
 		m.stats.BlockedArrivals++
-		m.waiting = append(m.waiting, f)
-		m.gWaitQ.SetMax(float64(len(m.waiting)))
+		m.waiting.Push(f)
+		m.gWaitQ.SetMax(float64(m.waiting.Len()))
 		return
 	}
 	m.recvBufsFree--
@@ -411,31 +404,34 @@ func (m *MCP) HeaderArrived(f *fabric.Flight) {
 
 // acceptFlight programs the receive DMA for the arriving packet and,
 // on the ITB firmware, arms the Early Recv event for when the first
-// four bytes are in.
+// four bytes are in. The packet and completion time are captured here:
+// the early-recv handler may run after a short packet has fully
+// arrived, at which point the Flight object is no longer ours to read
+// (the fabric recycles finished flights).
 func (m *MCP) acceptFlight(f *fabric.Flight) {
 	f.Accept()
 	if m.cfg.Variant != ITB || m.cfg.DisableEarlyRecv {
 		return
 	}
+	pkt, tailReady := f.Packet(), f.CompletionTime()
 	fourBytes := 4 * m.net.Params().ByteTime()
 	m.eng.Schedule(fourBytes, func() {
 		m.nic.CPU.Post(lanai.PrioITB, m.cfg.Costs.EarlyRecvCheckCycles, func() {
-			m.earlyRecv(f)
+			m.earlyRecv(pkt, tailReady)
 		})
 	})
 }
 
 // earlyRecv is the Early Recv Packet event handler: the first four
 // bytes of the packet are visible, enough to see the ITB marker.
-func (m *MCP) earlyRecv(f *fabric.Flight) {
-	pkt := f.Packet()
+func (m *MCP) earlyRecv(pkt *packet.Packet, tailReady units.Time) {
 	if !pkt.AtITBBoundary() {
 		// A normal packet (or an ITB-routed packet at its final
 		// destination): resume normal dispatching. The check's cost
 		// has already been charged — that is the Figure 7 overhead.
 		return
 	}
-	m.detectAndForward(pkt, f.CompletionTime())
+	m.detectAndForward(pkt, tailReady)
 }
 
 // detectAndForward handles a detected in-transit packet: it pays the
@@ -468,8 +464,8 @@ func (m *MCP) detectAndForward(pkt *packet.Packet, tailReady units.Time) {
 			// completion path drains itbQ first.
 			m.stats.ITBPendingHits++
 			m.emit(trace.ITBPending, pkt.ID, "")
-			m.itbQ = append(m.itbQ, job)
-			m.gITBQ.SetMax(float64(len(m.itbQ)))
+			m.itbQ.Push(job)
+			m.gITBQ.SetMax(float64(m.itbQ.Len()))
 			return
 		}
 		m.wireBusy = true
@@ -601,10 +597,8 @@ func (m *MCP) handleMapping(pkt *packet.Packet) {
 // if one is waiting.
 func (m *MCP) releaseRecvBuffer() {
 	m.nic.CPU.Post(lanai.PrioRecv, m.cfg.Costs.ProgramRecvCycles, func() {
-		if !m.exhausted && len(m.waiting) > 0 {
-			f := m.waiting[0]
-			m.waiting = m.waiting[1:]
-			m.acceptFlight(f)
+		if !m.exhausted && m.waiting.Len() > 0 {
+			m.acceptFlight(m.waiting.Pop())
 			return
 		}
 		m.recvBufsFree++

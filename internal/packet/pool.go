@@ -1,0 +1,51 @@
+package packet
+
+import "sync"
+
+// Pool of Packet objects for the simulation hot path. A steady-state
+// GM exchange creates one wire packet per (re)transmission and one per
+// acknowledgement; recycling them through a pool removes that per-send
+// allocation (and the two slice allocations behind Route and Payload,
+// whose capacity survives the round trip).
+//
+// Release discipline: a packet is Put exactly once, by the layer that
+// consumed it — GM's deliver path for wire packets and acks, the
+// connection state for acknowledged or abandoned originals. Packets
+// that die in the network or in the NIC (misroute, fault kill, CRC
+// flush, buffer-pool drop) are deliberately NOT Put: they may still be
+// referenced by in-flight events, and leaking them to the garbage
+// collector is always safe, while a double Put never is.
+var pool = sync.Pool{New: func() any { return new(Packet) }}
+
+// Get returns a zeroed packet whose Route and Payload keep the
+// capacity of their previous life. The ID is zero, so the fabric's
+// TagPacket assigns a fresh trace id on injection exactly as it does
+// for a packet built with new(Packet).
+func Get() *Packet {
+	return pool.Get().(*Packet)
+}
+
+// Put recycles a packet the caller has finished with. The caller must
+// hold the only live reference.
+func Put(p *Packet) {
+	route, payload := p.Route[:0], p.Payload[:0]
+	*p = Packet{Route: route, Payload: payload}
+	pool.Put(p)
+}
+
+// CloneInto deep-copies p into q, reusing q's slice capacity. q's
+// previous contents are discarded.
+func (p *Packet) CloneInto(q *Packet) {
+	route, payload := q.Route[:0], q.Payload[:0]
+	*q = *p
+	q.Route = append(route, p.Route...)
+	q.Payload = append(payload, p.Payload...)
+}
+
+// ClonePooled is Clone backed by the pool: the copy should be released
+// with Put by whoever consumes it.
+func (p *Packet) ClonePooled() *Packet {
+	q := Get()
+	p.CloneInto(q)
+	return q
+}

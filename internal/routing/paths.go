@@ -3,7 +3,6 @@ package routing
 import (
 	"container/heap"
 	"fmt"
-	"sort"
 
 	"repro/internal/topology"
 )
@@ -237,21 +236,10 @@ func reconstructITB(parent map[searchState]swStep, start, goal searchState) ([]T
 }
 
 // sortedSwitchNeighbors returns switch neighbours of sw in
-// deterministic (node id, link id) order.
+// deterministic (node id, link id) order. Loopback cables are
+// invisible to the mapper's route search. The list is cached by the
+// topology (route builds walk it once per BFS visit) and must not be
+// modified.
 func sortedSwitchNeighbors(t *topology.Topology, sw topology.NodeID) []topology.Neighbor {
-	nbs := t.Neighbors(sw)
-	out := nbs[:0]
-	for _, nb := range nbs {
-		// Loopback cables are invisible to the mapper's route search.
-		if t.Node(nb.Node).Kind == topology.KindSwitch && !nb.Link.IsLoopback() {
-			out = append(out, nb)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Node != out[j].Node {
-			return out[i].Node < out[j].Node
-		}
-		return out[i].Link.ID < out[j].Link.ID
-	})
-	return out
+	return t.SwitchNeighbors(sw)
 }

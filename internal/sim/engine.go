@@ -6,59 +6,51 @@
 // queue of events. Events scheduled for the same instant fire in the
 // order they were scheduled, which makes every simulation run
 // reproducible byte-for-byte given the same inputs.
+//
+// The queue is an index-based binary heap over a slab of event slots
+// with a free-list: scheduling an event in steady state reuses a slot
+// and a heap cell that earlier events vacated, so the hot
+// Schedule/Step cycle performs no allocation (see alloc_test.go).
+// Callers that would otherwise allocate a capturing closure per event
+// can use ScheduleArg/ScheduleArgAt, which carry a single argument to
+// a shared callback.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"repro/internal/units"
 )
 
-// Event is a scheduled callback. It can be cancelled before it fires.
+// Event is a handle to a scheduled callback, valid for cancellation
+// until the event fires. The zero value is NoEvent. Handles carry a
+// generation number, so cancelling an already-fired event whose slot
+// has been reused is a safe no-op.
 type Event struct {
-	at       units.Time
-	seq      uint64
-	index    int // heap index, -1 once removed
-	fn       func()
-	canceled bool
+	idx int32
+	gen uint32
 }
 
-// At returns the simulated time the event is scheduled for.
-func (e *Event) At() units.Time { return e.at }
+// NoEvent is the zero handle: it names no event and Cancel ignores it.
+var NoEvent = Event{}
 
-// Canceled reports whether Cancel was called on the event.
-func (e *Event) Canceled() bool { return e.canceled }
+// Valid reports whether the handle names an event that was scheduled
+// (it may have fired or been cancelled since).
+func (ev Event) Valid() bool { return ev.gen != 0 }
 
-// eventHeap orders events by time, then by scheduling sequence.
-type eventHeap []*Event
+// slot is the slab entry behind one scheduled event. Exactly one of
+// fn/afn is set while the slot is queued and live; both are nil once
+// the event is cancelled or the slot is free.
+type slot struct {
+	at  units.Time
+	seq uint64
+	fn  func()
+	afn func(any)
+	arg any
+	gen uint32
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
-}
+func (s *slot) live() bool { return s.fn != nil || s.afn != nil }
 
 // Engine is a discrete-event simulation kernel.
 //
@@ -68,7 +60,9 @@ func (h *eventHeap) Pop() any {
 type Engine struct {
 	now     units.Time
 	seq     uint64
-	pq      eventHeap
+	slots   []slot
+	free    []int32 // free slot indexes (LIFO)
+	heap    []int32 // slot indexes ordered by (at, seq)
 	stopped bool
 	fired   uint64
 }
@@ -83,7 +77,7 @@ func (e *Engine) Now() units.Time { return e.now }
 
 // Pending returns the number of events waiting to fire (including
 // cancelled events that have not yet been drained).
-func (e *Engine) Pending() int { return len(e.pq) }
+func (e *Engine) Pending() int { return len(e.heap) }
 
 // Fired returns the number of events executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
@@ -91,57 +85,136 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // Schedule queues fn to run after delay. A zero delay schedules fn for
 // the current instant, after all events already queued for that
 // instant. Negative delays panic: the simulated past is immutable.
-func (e *Engine) Schedule(delay units.Time, fn func()) *Event {
+func (e *Engine) Schedule(delay units.Time, fn func()) Event {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", delay))
-	}
-	return e.ScheduleAt(e.now+delay, fn)
-}
-
-// ScheduleAt queues fn to run at absolute time t, which must not be in
-// the past.
-func (e *Engine) ScheduleAt(t units.Time, fn func()) *Event {
-	if t < e.now {
-		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
 	}
 	if fn == nil {
 		panic("sim: nil event function")
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn}
-	e.seq++
-	heap.Push(&e.pq, ev)
-	return ev
+	return e.schedule(e.now+delay, fn, nil, nil)
 }
 
-// Cancel prevents ev from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.canceled {
+// ScheduleAt queues fn to run at absolute time t, which must not be in
+// the past.
+func (e *Engine) ScheduleAt(t units.Time, fn func()) Event {
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	return e.schedule(t, fn, nil, nil)
+}
+
+// ScheduleArg queues fn(arg) to run after delay. It exists for hot
+// paths: a long-lived fn plus a per-event arg avoids allocating a
+// capturing closure for every event.
+func (e *Engine) ScheduleArg(delay units.Time, fn func(any), arg any) Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	return e.schedule(e.now+delay, nil, fn, arg)
+}
+
+// ScheduleArgAt queues fn(arg) to run at absolute time t.
+func (e *Engine) ScheduleArgAt(t units.Time, fn func(any), arg any) Event {
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	return e.schedule(t, nil, fn, arg)
+}
+
+func (e *Engine) schedule(t units.Time, fn func(), afn func(any), arg any) Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
+	}
+	var idx int32
+	if n := len(e.free); n > 0 {
+		idx = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.slots = append(e.slots, slot{gen: 1})
+		idx = int32(len(e.slots) - 1)
+	}
+	s := &e.slots[idx]
+	s.at, s.seq = t, e.seq
+	s.fn, s.afn, s.arg = fn, afn, arg
+	e.seq++
+	e.heap = append(e.heap, idx)
+	e.siftUp(len(e.heap) - 1)
+	return Event{idx: idx, gen: s.gen}
+}
+
+// Cancel prevents ev from firing. Cancelling NoEvent, an already-fired
+// or an already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev Event) {
+	if !ev.Valid() || int(ev.idx) >= len(e.slots) {
 		return
 	}
-	ev.canceled = true
-	// Leave the event in the heap; it is skipped when popped. This
-	// keeps Cancel O(1) amortised, which matters for the GM layer's
+	s := &e.slots[ev.idx]
+	if s.gen != ev.gen {
+		return // the event fired; its slot may already serve another
+	}
+	// Leave the slot in the heap; it is recycled when popped. This
+	// keeps Cancel O(1), which matters for the GM layer's
 	// retransmission timers (almost all of which are cancelled).
-	ev.fn = nil
+	s.fn, s.afn, s.arg = nil, nil, nil
+}
+
+// Live reports whether ev is still queued and uncancelled.
+func (e *Engine) Live(ev Event) bool {
+	if !ev.Valid() || int(ev.idx) >= len(e.slots) {
+		return false
+	}
+	s := &e.slots[ev.idx]
+	return s.gen == ev.gen && s.live()
+}
+
+// EventTime returns the instant ev is scheduled for, with ok=false if
+// the event has already fired, was cancelled, or is NoEvent.
+func (e *Engine) EventTime(ev Event) (t units.Time, ok bool) {
+	if !e.Live(ev) {
+		return 0, false
+	}
+	return e.slots[ev.idx].at, true
+}
+
+// recycle returns a popped slot to the free-list and bumps its
+// generation so outstanding handles to the old event go stale.
+func (e *Engine) recycle(idx int32) {
+	s := &e.slots[idx]
+	s.fn, s.afn, s.arg = nil, nil, nil
+	s.gen++
+	if s.gen == 0 {
+		s.gen = 1 // keep the zero generation reserved for NoEvent
+	}
+	e.free = append(e.free, idx)
 }
 
 // Step fires the next pending event, if any, and reports whether an
 // event was fired. Cancelled events are drained silently.
 func (e *Engine) Step() bool {
-	for len(e.pq) > 0 {
-		ev := heap.Pop(&e.pq).(*Event)
-		if ev.canceled {
-			continue
+	for len(e.heap) > 0 {
+		idx := e.heap[0]
+		e.popRoot()
+		s := &e.slots[idx]
+		at := s.at
+		fn, afn, arg := s.fn, s.afn, s.arg
+		e.recycle(idx)
+		if fn == nil && afn == nil {
+			continue // cancelled
 		}
-		if ev.at < e.now {
+		if at < e.now {
 			panic("sim: time went backwards")
 		}
-		e.now = ev.at
+		e.now = at
 		e.fired++
-		fn := ev.fn
-		ev.fn = nil
-		fn()
+		if fn != nil {
+			fn()
+		} else {
+			afn(arg)
+		}
 		return true
 	}
 	return false
@@ -160,8 +233,8 @@ func (e *Engine) Run() {
 func (e *Engine) RunUntil(deadline units.Time) {
 	e.stopped = false
 	for !e.stopped {
-		ev := e.peek()
-		if ev == nil || ev.at > deadline {
+		t, ok := e.NextEventAt()
+		if !ok || t > deadline {
 			break
 		}
 		e.Step()
@@ -179,23 +252,73 @@ func (e *Engine) RunFor(d units.Time) {
 // Stop makes Run/RunUntil return after the current event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
-// peek returns the next live event without firing it.
-func (e *Engine) peek() *Event {
-	for len(e.pq) > 0 {
-		if !e.pq[0].canceled {
-			return e.pq[0]
+// NextEventAt returns the time of the next live event, or ok=false if
+// the queue is empty. Cancelled events at the front are drained.
+func (e *Engine) NextEventAt() (t units.Time, ok bool) {
+	for len(e.heap) > 0 {
+		s := &e.slots[e.heap[0]]
+		if s.live() {
+			return s.at, true
 		}
-		heap.Pop(&e.pq)
+		idx := e.heap[0]
+		e.popRoot()
+		e.recycle(idx)
 	}
-	return nil
+	return 0, false
 }
 
-// NextEventAt returns the time of the next live event, or ok=false if
-// the queue is empty.
-func (e *Engine) NextEventAt() (t units.Time, ok bool) {
-	ev := e.peek()
-	if ev == nil {
-		return 0, false
+// ---------------------------------------------------------------
+// Index heap over (at, seq). Plain slice operations: no interface
+// boxing, no per-operation allocation once capacity is warm.
+
+// before reports whether slot a fires before slot b.
+func (e *Engine) before(a, b int32) bool {
+	sa, sb := &e.slots[a], &e.slots[b]
+	if sa.at != sb.at {
+		return sa.at < sb.at
 	}
-	return ev.at, true
+	return sa.seq < sb.seq
+}
+
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.before(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (e *Engine) siftDown(i int) {
+	h := e.heap
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		least := l
+		if r := l + 1; r < n && e.before(h[r], h[l]) {
+			least = r
+		}
+		if !e.before(h[least], h[i]) {
+			break
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+}
+
+// popRoot removes the heap's minimum element (the caller has already
+// read e.heap[0]).
+func (e *Engine) popRoot() {
+	n := len(e.heap) - 1
+	e.heap[0] = e.heap[n]
+	e.heap = e.heap[:n]
+	if n > 0 {
+		e.siftDown(0)
+	}
 }

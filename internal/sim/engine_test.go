@@ -93,12 +93,50 @@ func TestCancel(t *testing.T) {
 	if fired {
 		t.Error("cancelled event fired")
 	}
-	if !ev.Canceled() {
-		t.Error("Canceled() = false after Cancel")
+	if e.Live(ev) {
+		t.Error("Live = true after Cancel")
 	}
-	// Cancelling again, or cancelling nil, must not panic.
+	// Cancelling again, or cancelling the zero handle, must not panic.
 	e.Cancel(ev)
-	e.Cancel(nil)
+	e.Cancel(NoEvent)
+}
+
+func TestEventHandleGoesStaleAfterFire(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	first := e.Schedule(units.Nanosecond, func() { count++ })
+	if at, ok := e.EventTime(first); !ok || at != units.Nanosecond {
+		t.Errorf("EventTime = %v,%v, want 1ns,true", at, ok)
+	}
+	e.Run()
+	// The slot behind `first` is free now; the next Schedule reuses it.
+	second := e.Schedule(units.Nanosecond, func() { count++ })
+	// Cancelling the stale handle must not kill the new event.
+	e.Cancel(first)
+	if e.Live(first) {
+		t.Error("stale handle reports live")
+	}
+	if !e.Live(second) {
+		t.Error("cancelling a stale handle cancelled the reused slot")
+	}
+	e.Run()
+	if count != 2 {
+		t.Errorf("fired %d events, want 2", count)
+	}
+}
+
+func TestScheduleArg(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	record := func(v any) { got = append(got, v.(int)) }
+	e.ScheduleArg(2*units.Nanosecond, record, 2)
+	e.ScheduleArg(units.Nanosecond, record, 1)
+	ev := e.ScheduleArgAt(3*units.Nanosecond, record, 3)
+	e.Cancel(ev)
+	e.Run()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("got %v, want [1 2]", got)
+	}
 }
 
 func TestRunUntil(t *testing.T) {

@@ -1,0 +1,99 @@
+package sim
+
+import "testing"
+
+func TestFIFOOrder(t *testing.T) {
+	var q FIFO[int]
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 100; i++ {
+			q.Push(i)
+		}
+		if q.Len() != 100 {
+			t.Fatalf("Len = %d, want 100", q.Len())
+		}
+		for i := 0; i < 100; i++ {
+			if got := q.At(0); got != i {
+				t.Fatalf("At(0) = %d, want %d", got, i)
+			}
+			if got := q.Pop(); got != i {
+				t.Fatalf("Pop = %d, want %d", got, i)
+			}
+		}
+	}
+}
+
+func TestFIFOInterleaved(t *testing.T) {
+	var q FIFO[int]
+	next, popped := 0, 0
+	for i := 0; i < 1000; i++ {
+		q.Push(next)
+		next++
+		if i%3 == 0 {
+			if got := q.Pop(); got != popped {
+				t.Fatalf("Pop = %d, want %d", got, popped)
+			}
+			popped++
+		}
+	}
+	for q.Len() > 0 {
+		if got := q.Pop(); got != popped {
+			t.Fatalf("drain Pop = %d, want %d", got, popped)
+		}
+		popped++
+	}
+	if popped != next {
+		t.Fatalf("popped %d of %d pushed", popped, next)
+	}
+}
+
+func TestFIFOAt(t *testing.T) {
+	var q FIFO[int]
+	for i := 0; i < 10; i++ {
+		q.Push(i)
+	}
+	q.Pop()
+	q.Pop()
+	for i := 0; i < q.Len(); i++ {
+		if got := q.At(i); got != i+2 {
+			t.Errorf("At(%d) = %d, want %d", i, got, i+2)
+		}
+	}
+}
+
+func TestFIFOClear(t *testing.T) {
+	var q FIFO[*int]
+	v := 7
+	for i := 0; i < 5; i++ {
+		q.Push(&v)
+	}
+	q.Clear()
+	if q.Len() != 0 {
+		t.Fatalf("Len after Clear = %d", q.Len())
+	}
+	for _, p := range q.buf {
+		if p != nil {
+			t.Fatal("Clear left a live reference in the buffer")
+		}
+	}
+}
+
+func TestFIFOSteadyStateDoesNotAllocate(t *testing.T) {
+	var q FIFO[int]
+	for i := 0; i < 64; i++ {
+		q.Push(i)
+	}
+	for q.Len() > 0 {
+		q.Pop()
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			q.Push(i)
+		}
+		for q.Len() > 0 {
+			q.Pop()
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state FIFO churn allocates %.1f/op, want 0", allocs)
+	}
+}

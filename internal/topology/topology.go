@@ -144,6 +144,11 @@ type Topology struct {
 	links []Link
 	// byPort[node][port] is the link plugged into that port, or nil.
 	byPort map[NodeID][]*Link
+	// switchNbrs caches, per node, its switch neighbours over
+	// non-loopback links sorted by (far node, link id) — the traversal
+	// order of the routing searches, which walk these lists once per
+	// BFS visit. Built lazily; any mutation drops it.
+	switchNbrs [][]Neighbor
 }
 
 // New returns an empty topology to be populated with AddSwitch,
@@ -160,6 +165,7 @@ func (t *Topology) AddSwitch(ports int, name string) NodeID {
 	id := NodeID(len(t.nodes))
 	t.nodes = append(t.nodes, Node{ID: id, Kind: KindSwitch, Ports: ports, Name: name})
 	t.byPort[id] = make([]*Link, ports)
+	t.switchNbrs = nil
 	return id
 }
 
@@ -168,6 +174,7 @@ func (t *Topology) AddHost(name string) NodeID {
 	id := NodeID(len(t.nodes))
 	t.nodes = append(t.nodes, Node{ID: id, Kind: KindHost, Ports: 1, Name: name})
 	t.byPort[id] = make([]*Link, 1)
+	t.switchNbrs = nil
 	return id
 }
 
@@ -192,6 +199,7 @@ func (t *Topology) Connect(a NodeID, aPort int, b NodeID, bPort int, typ PortTyp
 	l := &t.links[id]
 	t.byPort[a][aPort] = l
 	t.byPort[b][bPort] = l
+	t.switchNbrs = nil
 	return id
 }
 
@@ -311,6 +319,43 @@ type Neighbor struct {
 	Link *Link
 	Node NodeID
 	Port int
+}
+
+// SwitchNeighbors returns n's switch neighbours over non-loopback
+// links, sorted by (far node, link id). The slice is cached across
+// calls — callers must treat it as read-only — and is rebuilt after
+// any AddSwitch/AddHost/Connect. The lazy build mutates the Topology,
+// so a Topology must not be shared across goroutines (the parallel
+// runner gives each worker its own copy, re-parsed from text).
+func (t *Topology) SwitchNeighbors(n NodeID) []Neighbor {
+	if t.switchNbrs == nil {
+		t.buildSwitchNbrs()
+	}
+	return t.switchNbrs[n]
+}
+
+func (t *Topology) buildSwitchNbrs() {
+	t.switchNbrs = make([][]Neighbor, len(t.nodes))
+	for _, nd := range t.nodes {
+		var out []Neighbor
+		for port, l := range t.byPort[nd.ID] {
+			if l == nil || l.IsLoopback() {
+				continue
+			}
+			o := l.Other(nd.ID)
+			if t.nodes[o].Kind != KindSwitch {
+				continue
+			}
+			out = append(out, Neighbor{Link: l, Node: o, Port: port})
+		}
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].Node != out[j].Node {
+				return out[i].Node < out[j].Node
+			}
+			return out[i].Link.ID < out[j].Link.ID
+		})
+		t.switchNbrs[nd.ID] = out
+	}
 }
 
 // Connected reports whether every node can reach every other node.
