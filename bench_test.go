@@ -454,3 +454,35 @@ func benchFig7Metrics(b *testing.B, enabled bool) {
 		}
 	}
 }
+
+// BenchmarkRecoveryOff / BenchmarkRecoveryOn certify the
+// zero-cost-when-disabled contract of internal/recovery: fault
+// campaigns with Recovery=nil run exactly the pre-recovery code path
+// (GM reliability only), so its allocation count is pinned by the
+// bench gate. The On variant prices the full self-healing protocol —
+// heartbeat probes, verification, epoch republish — for comparison.
+func BenchmarkRecoveryOff(b *testing.B) {
+	benchRecovery(b, false)
+}
+
+func BenchmarkRecoveryOn(b *testing.B) {
+	benchRecovery(b, true)
+}
+
+func benchRecovery(b *testing.B, enabled bool) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultFaultStudyConfig(routing.ITBRouting, 8, 3)
+		cfg.Campaigns = 2
+		cfg.FaultEvents = 4
+		cfg.Horizon = 500 * units.Microsecond
+		cfg.MessageSize = 256
+		if !enabled {
+			cfg.Recovery = nil
+		}
+		if _, err := core.RunFaultStudy(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

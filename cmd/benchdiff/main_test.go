@@ -66,10 +66,10 @@ func TestCompareDetectsRegressions(t *testing.T) {
 	cur := writeSummary(t, dir, "cur.json", Summary{Benchmarks: map[string]Result{
 		"Fast":   {NsPerOp: 500, AllocsPerOp: 5},   // improvement: fine
 		"Steady": {NsPerOp: 1100, AllocsPerOp: 10}, // +10% ns: within 15%
-		"Alloc":  {NsPerOp: 1000, AllocsPerOp: 11}, // any alloc growth fails
+		"Alloc":  {NsPerOp: 1000, AllocsPerOp: 11}, // +10% allocs: beyond the noise floor
 	}})
 	var out strings.Builder
-	n, err := compare(base, cur, 15, &out)
+	n, err := compare(base, cur, 15, 0.1, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,12 +91,41 @@ func TestCompareNsTolerance(t *testing.T) {
 		"Slow": {NsPerOp: 1200, AllocsPerOp: 0}, // +20%
 	}})
 	var out strings.Builder
-	if n, _ := compare(base, cur, 15, &out); n != 1 {
+	if n, _ := compare(base, cur, 15, 0.1, &out); n != 1 {
 		t.Errorf("regressions = %d, want 1 (+20%% ns/op beyond 15%%)\n%s", n, out.String())
 	}
 	out.Reset()
-	if n, _ := compare(base, cur, 25, &out); n != 0 {
+	if n, _ := compare(base, cur, 25, 0.1, &out); n != 0 {
 		t.Errorf("regressions = %d, want 0 with 25%% tolerance\n%s", n, out.String())
+	}
+}
+
+// TestCompareAllocTolerance pins the allocs/op noise floor: growth
+// within the tolerance (sync.Pool eviction jitter on multi-million
+// alloc end-to-end runs) passes, growth beyond it fails, and a
+// zero-alloc baseline remains an exact budget — any growth at all
+// from zero fails regardless of the percentage floor.
+func TestCompareAllocTolerance(t *testing.T) {
+	dir := t.TempDir()
+	base := writeSummary(t, dir, "base.json", Summary{Benchmarks: map[string]Result{
+		"Big":  {NsPerOp: 1000, AllocsPerOp: 2_000_000},
+		"Zero": {NsPerOp: 1000, AllocsPerOp: 0},
+	}})
+	cur := writeSummary(t, dir, "cur.json", Summary{Benchmarks: map[string]Result{
+		"Big":  {NsPerOp: 1000, AllocsPerOp: 2_000_600}, // +0.03%: noise
+		"Zero": {NsPerOp: 1000, AllocsPerOp: 0},
+	}})
+	var out strings.Builder
+	if n, _ := compare(base, cur, 15, 0.1, &out); n != 0 {
+		t.Errorf("regressions = %d, want 0 (+0.03%% allocs within 0.1%% floor)\n%s", n, out.String())
+	}
+	leak := writeSummary(t, dir, "leak.json", Summary{Benchmarks: map[string]Result{
+		"Big":  {NsPerOp: 1000, AllocsPerOp: 2_010_000}, // +0.5%: a real leak
+		"Zero": {NsPerOp: 1000, AllocsPerOp: 1},         // growth from zero: exact budget
+	}})
+	out.Reset()
+	if n, _ := compare(base, leak, 15, 0.1, &out); n != 2 {
+		t.Errorf("regressions = %d, want 2 (alloc leak + growth from zero)\n%s", n, out.String())
 	}
 }
 

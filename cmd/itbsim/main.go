@@ -14,6 +14,7 @@
 //	itbsim -exp patterns             # by traffic pattern
 //	itbsim -exp chunks               # SDMA chunk-size ablation
 //	itbsim -exp faults               # fault campaigns: delivery + recovery
+//	itbsim -exp recovery             # self-healing study: heartbeat period x churn
 //	itbsim -exp all
 //
 // Independent simulation runs are sharded across -workers goroutines
@@ -42,12 +43,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig7, fig8, costs, throughput, latload, bufpool, itbcount, ablation, scaling, patterns, roots, schemes, chunks, app, fidelity, trace, faults, all")
+	exp := flag.String("exp", "all", "experiment: fig7, fig8, costs, throughput, latload, bufpool, itbcount, ablation, scaling, patterns, roots, schemes, chunks, app, fidelity, trace, faults, recovery, all")
 	switches := flag.Int("switches", 16, "switches in the irregular network (throughput/latload)")
 	seed := flag.Int64("seed", 5, "random seed for topology and traffic")
 	iters := flag.Int("iters", 100, "gm_allsize iterations per message size")
 	windowUs := flag.Int("window", 1000, "measurement window in microseconds (throughput/latload)")
-	csvOut := flag.Bool("csv", false, "emit CSV data series instead of tables (fig7, fig8, itbcount)")
+	csvOut := flag.Bool("csv", false, "emit CSV data series instead of tables (fig7, fig8, itbcount, recovery)")
 	workers := flag.Int("workers", runtime.NumCPU(), "worker goroutines sharding independent simulation runs (output is identical at any value)")
 	metricsOut := flag.String("metrics", "", "write the merged metrics snapshot of the instrumented experiments as JSON to this file (byte-identical at any -workers value)")
 	traceOut := flag.String("trace", "", "write the packet-lifecycle trace of the instrumented experiments as JSON Lines to this file")
@@ -57,7 +58,8 @@ func main() {
 
 	// -metrics and -trace arm shared collectors; the instrumented
 	// experiments (fig7, fig8, throughput, latload, itbcount, ablation,
-	// faults, trace) merge their per-run state into them in run order,
+	// faults, recovery, trace) merge their per-run state into them in
+	// run order,
 	// so the exported files are byte-identical at any worker count.
 	var reg *metrics.Registry
 	if *metricsOut != "" {
@@ -363,6 +365,20 @@ func main() {
 		res, err := core.RunFaultStudy(cfg)
 		if err != nil {
 			return err
+		}
+		res.WriteTable(os.Stdout)
+		return nil
+	})
+
+	run("recovery", func() error {
+		cfg := core.DefaultRecoveryStudyConfig(routing.ITBRouting, *switches, *seed)
+		cfg.Metrics = reg
+		res, err := core.RunRecoveryStudy(cfg)
+		if err != nil {
+			return err
+		}
+		if *csvOut {
+			return res.WriteCSV(os.Stdout)
 		}
 		res.WriteTable(os.Stdout)
 		return nil

@@ -121,6 +121,62 @@ func TestMetricsAndTraceExportDeterministic(t *testing.T) {
 	}
 }
 
+// TestRecoveryExperimentGoldenDeterministic is the CLI acceptance
+// check for the self-healing study: `itbsim -exp recovery` must emit
+// byte-identical tables at -workers 1 and -workers 4 (detection and
+// convergence latencies are simulation outputs, so parallel dispatch
+// must not perturb them), and the table must match the committed
+// golden. A deliberate protocol change regenerates it with:
+//
+//	REGEN_GOLDEN=1 go test ./cmd/itbsim/ -run TestRecoveryExperimentGolden
+func TestRecoveryExperimentGoldenDeterministic(t *testing.T) {
+	bin := buildItbsim(t)
+	runWith := func(workers string, extra ...string) []byte {
+		t.Helper()
+		args := append([]string{"-exp", "recovery", "-switches", "8", "-seed", "3", "-workers", workers}, extra...)
+		out, err := exec.Command(bin, args...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("itbsim -exp recovery -workers %s: %v\n%s", workers, err, out)
+		}
+		return out
+	}
+	got1 := runWith("1")
+	got4 := runWith("4")
+	if !bytes.Equal(got1, got4) {
+		t.Fatalf("-exp recovery output differs between -workers 1 and -workers 4\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s", got1, got4)
+	}
+
+	path := filepath.Join("testdata", "recovery.golden")
+	if os.Getenv("REGEN_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got1, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with REGEN_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(got1, want) {
+		t.Errorf("-exp recovery drifted from golden output.\n--- got ---\n%s\n--- want ---\n%s", got1, want)
+	}
+
+	// The CSV form must carry the same grid: one data row per table
+	// row, with the documented header.
+	csvOut := runWith("4", "-csv")
+	lines := strings.Split(strings.TrimSpace(string(csvOut)), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("-csv output has no data rows:\n%s", csvOut)
+	}
+	if !strings.HasPrefix(lines[0], "period_us,churn_events,") {
+		t.Errorf("-csv header unexpected: %s", lines[0])
+	}
+}
+
 // TestPprofFlagWritesProfile keeps -pprof honest: the file must exist
 // and be non-empty after a run.
 func TestPprofFlagWritesProfile(t *testing.T) {

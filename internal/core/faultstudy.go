@@ -9,6 +9,7 @@ import (
 	"repro/internal/gm"
 	"repro/internal/mcp"
 	"repro/internal/metrics"
+	"repro/internal/recovery"
 	"repro/internal/routing"
 	"repro/internal/runner"
 	"repro/internal/stats"
@@ -45,10 +46,20 @@ type FaultStudyConfig struct {
 	Horizon units.Time
 	// Algorithm selects the routing.
 	Algorithm routing.Algorithm
-	// Recompute rebuilds route tables around detected faults (link
-	// events and dead-peer verdicts); without it only the GM
-	// reliability layer copes.
-	Recompute bool
+	// Recovery, when non-nil, runs the in-simulation self-healing
+	// subsystem during campaigns: heartbeat probing from a monitor
+	// host, suspect/confirm failure detection, and epoch-versioned
+	// route tables republished host by host — all as simulation
+	// events, with measured detection and convergence latency. Nil
+	// leaves only the GM reliability layer to cope, which is what
+	// stock GM without remapping would do. A zero Deadline is filled
+	// with 4*Horizon.
+	Recovery *recovery.Config
+	// DropStaleITB selects the in-transit hosts' policy for packets
+	// stamped with an older epoch than the host's own during
+	// mixed-epoch convergence windows: drop (true) or optimistically
+	// forward (false).
+	DropStaleITB bool
 	// GM recovery knobs (zero values take the study defaults:
 	// AckTimeout 150us, backoff 2x capped at 2ms, verdict after 6
 	// barren timeouts).
@@ -66,6 +77,7 @@ type FaultStudyConfig struct {
 // DefaultFaultStudyConfig returns a moderate study on a medium
 // irregular network.
 func DefaultFaultStudyConfig(alg routing.Algorithm, switches int, seed int64) FaultStudyConfig {
+	rc := recovery.DefaultConfig(0) // deadline filled from the horizon
 	return FaultStudyConfig{
 		Switches:    switches,
 		Seed:        seed,
@@ -75,7 +87,7 @@ func DefaultFaultStudyConfig(alg routing.Algorithm, switches int, seed int64) Fa
 		MessageSize: 512,
 		Horizon:     2 * units.Millisecond,
 		Algorithm:   alg,
-		Recompute:   true,
+		Recovery:    &rc,
 	}
 }
 
@@ -101,7 +113,15 @@ type CampaignOutcome struct {
 	PeersDead   uint64
 	FaultKilled uint64 // packets killed on downed links
 	PoolDrops   uint64
-	Recomputes  int
+
+	// Self-healing observables (all zero when no recovery config ran).
+	EpochsPublished uint64
+	Suspects        uint64
+	Confirms        uint64
+	Resurrections   uint64
+	StaleDrops      uint64 // stale-epoch drops, GM window + in-transit
+	DetectionAvg    units.Time
+	ConvergenceAvg  units.Time
 
 	AvgLatency units.Time
 	P99Latency units.Time
@@ -201,6 +221,7 @@ func runFaultCampaign(cfg FaultStudyConfig, spec faultSpec) (campaignOutcome, er
 	ccfg := DefaultConfig(topo, cfg.Algorithm, variantFor(cfg.Algorithm))
 	ccfg.MCP.BufferPool = true
 	ccfg.MCP.RecvBuffers = 16
+	ccfg.MCP.DropStaleITB = cfg.DropStaleITB
 	ccfg.GM.AckTimeout, ccfg.GM.BackoffFactor, ccfg.GM.MaxAckTimeout, ccfg.GM.DeadPeerTimeouts = studyGM(cfg)
 	obs := newRunObs(cfg.Metrics != nil, false)
 	obs.install(&ccfg)
@@ -209,7 +230,7 @@ func runFaultCampaign(cfg FaultStudyConfig, spec faultSpec) (campaignOutcome, er
 		return campaignOutcome{}, err
 	}
 	out := CampaignOutcome{Name: "baseline"}
-	var ctl *faults.Controller
+	var mgr *recovery.Manager
 	if spec.idx > 0 {
 		camp := faults.Generate(cfg.Seed+int64(spec.idx), topo, faults.GenConfig{
 			Horizon: cfg.Horizon,
@@ -217,14 +238,31 @@ func runFaultCampaign(cfg FaultStudyConfig, spec faultSpec) (campaignOutcome, er
 		})
 		out.Name = camp.Name
 		out.Events = len(camp.Events)
-		ctl, err = faults.Attach(faults.Target{
-			Eng:       cl.Eng,
-			Net:       cl.Net,
-			Topo:      topo,
-			Hosts:     hostSlice(cl),
-			UD:        cl.UD,
-			Alg:       cfg.Algorithm,
-			Recompute: cfg.Recompute,
+		if cfg.Recovery != nil {
+			rcfg := *cfg.Recovery
+			if rcfg.Deadline <= 0 {
+				rcfg.Deadline = 4 * cfg.Horizon
+			}
+			mgr, err = recovery.NewManager(rcfg, recovery.Target{
+				Eng:     cl.Eng,
+				Topo:    topo,
+				UD:      cl.UD,
+				Alg:     cfg.Algorithm,
+				Base:    cl.Table,
+				Hosts:   hostSlice(cl),
+				Monitor: 0,
+			})
+			if err != nil {
+				return campaignOutcome{}, err
+			}
+			mgr.Start()
+		}
+		_, err = faults.Attach(faults.Target{
+			Eng:      cl.Eng,
+			Net:      cl.Net,
+			Topo:     topo,
+			Hosts:    hostSlice(cl),
+			Recovery: mgr,
 		}, camp)
 		if err != nil {
 			return campaignOutcome{}, err
@@ -298,11 +336,25 @@ func runFaultCampaign(cfg FaultStudyConfig, spec faultSpec) (campaignOutcome, er
 		s := cl.Host(h).Stats()
 		out.Retransmits += s.Retransmits
 		out.PeersDead += s.PeersDeclaredDead
-		out.PoolDrops += cl.Host(h).MCP().Stats().PoolDrops
+		out.StaleDrops += s.EpochStaleDrops
+		ms := cl.Host(h).MCP().Stats()
+		out.PoolDrops += ms.PoolDrops
+		out.StaleDrops += ms.StaleEpochDrops
 	}
 	out.FaultKilled = cl.Net.Stats().FaultKilled
-	if ctl != nil {
-		out.Recomputes = ctl.Stats().Recomputes
+	if mgr != nil {
+		rs := mgr.Stats()
+		out.EpochsPublished = rs.EpochsPublished
+		out.Suspects = rs.HostsSuspected
+		out.Confirms = rs.HostsConfirmed
+		out.Resurrections = rs.Resurrections
+		if rs.Detection.N() > 0 {
+			out.DetectionAvg = units.Time(rs.Detection.Mean())
+		}
+		if rs.Convergence.N() > 0 {
+			out.ConvergenceAvg = units.Time(rs.Convergence.Mean())
+		}
+		mgr.PublishMetrics(obs.reg)
 	}
 	if lat.N() > 0 {
 		out.AvgLatency = units.Time(lat.Mean())
@@ -350,16 +402,20 @@ func decodeID(payload []byte) uint64 {
 // WriteTable renders the study.
 func (r FaultReport) WriteTable(w io.Writer) {
 	fmt.Fprintf(w, "Fault campaigns: %s, %d switches\n", r.Algorithm, r.Switches)
-	fmt.Fprintf(w, "%-12s %6s %6s %6s %6s %5s %7s %6s %6s %12s %9s\n",
-		"campaign", "events", "sent", "delivd", "failed", "dup", "retrans", "killed", "dead", "avg-latency", "degrade")
+	fmt.Fprintf(w, "%-12s %6s %6s %6s %6s %5s %7s %6s %6s %6s %10s %12s %9s\n",
+		"campaign", "events", "sent", "delivd", "failed", "dup", "retrans", "killed", "dead", "epochs", "detect", "avg-latency", "degrade")
 	row := func(o CampaignOutcome) {
 		degrade := "-"
 		if r.Baseline.AvgLatency > 0 && o.AvgLatency > 0 {
 			degrade = fmt.Sprintf("%.2fx", float64(o.AvgLatency)/float64(r.Baseline.AvgLatency))
 		}
-		fmt.Fprintf(w, "%-12s %6d %6d %6d %6d %5d %7d %6d %6d %12s %9s\n",
+		detect := "-"
+		if o.DetectionAvg > 0 {
+			detect = o.DetectionAvg.String()
+		}
+		fmt.Fprintf(w, "%-12s %6d %6d %6d %6d %5d %7d %6d %6d %6d %10s %12s %9s\n",
 			o.Name, o.Events, o.Sent, o.Delivered, o.Failed, o.Duplicated,
-			o.Retransmits, o.FaultKilled, o.PeersDead, o.AvgLatency, degrade)
+			o.Retransmits, o.FaultKilled, o.PeersDead, o.EpochsPublished, detect, o.AvgLatency, degrade)
 	}
 	row(r.Baseline)
 	for _, o := range r.Campaigns {

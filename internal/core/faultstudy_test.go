@@ -77,14 +77,17 @@ func TestFaultStudyAccounting(t *testing.T) {
 	}
 }
 
-// TestFaultStudyRecomputeHelps compares the same campaigns with and
-// without route recomputation: reacting to faults must never deliver
-// fewer messages overall, and the runs must stay individually
-// conservative.
-func TestFaultStudyRecomputeHelps(t *testing.T) {
+// TestFaultStudyRecoveryProtocol compares the same campaigns with the
+// self-healing subsystem attached and without it. There is no oracle
+// any more, so the test does not demand that recovery deliver more —
+// detection costs real simulated time — but it demands that both
+// variants stay individually conservative, that the protocol actually
+// ran (epochs published, suspicions raised), and that its detection
+// and convergence latencies are finite, positive, measured quantities.
+func TestFaultStudyRecoveryProtocol(t *testing.T) {
 	with := smallFaultStudy(routing.ITBRouting)
 	without := with
-	without.Recompute = false
+	without.Recovery = nil
 	rw, err := RunFaultStudy(with)
 	if err != nil {
 		t.Fatal(err)
@@ -93,27 +96,38 @@ func TestFaultStudyRecomputeHelps(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var dw, do uint64
+	for _, rep := range []FaultReport{rw, ro} {
+		for _, c := range rep.Campaigns {
+			if c.Duplicated != 0 {
+				t.Errorf("campaign %s: %d duplicates", c.Name, c.Duplicated)
+			}
+			if c.Delivered+c.Failed-c.Overlap != c.Sent {
+				t.Errorf("campaign %s breaks conservation: %+v", c.Name, c)
+			}
+		}
+	}
+	var epochs, suspects uint64
 	for _, c := range rw.Campaigns {
-		dw += c.Delivered
+		epochs += c.EpochsPublished
+		suspects += c.Suspects
+		if c.Confirms > 0 {
+			if c.DetectionAvg <= 0 || c.DetectionAvg > 4*with.Horizon {
+				t.Errorf("campaign %s: detection latency %v not a finite in-window measurement", c.Name, c.DetectionAvg)
+			}
+			if c.ConvergenceAvg <= 0 {
+				t.Errorf("campaign %s: confirmations without a convergence sample", c.Name)
+			}
+		}
+	}
+	if epochs == 0 {
+		t.Error("recovery-enabled study never published an epoch")
+	}
+	if suspects == 0 {
+		t.Error("recovery-enabled study never suspected a host")
 	}
 	for _, c := range ro.Campaigns {
-		do += c.Delivered
-		if c.Duplicated != 0 {
-			t.Errorf("campaign %s without recompute: %d duplicates", c.Name, c.Duplicated)
+		if c.EpochsPublished != 0 || c.Suspects != 0 {
+			t.Errorf("campaign %s without recovery reports protocol activity: %+v", c.Name, c)
 		}
-		if c.Delivered+c.Failed-c.Overlap != c.Sent {
-			t.Errorf("campaign %s without recompute breaks conservation: %+v", c.Name, c)
-		}
-	}
-	if dw < do {
-		t.Errorf("recomputation delivered %d < %d without it", dw, do)
-	}
-	var recomputes int
-	for _, c := range rw.Campaigns {
-		recomputes += c.Recomputes
-	}
-	if recomputes == 0 {
-		t.Error("recompute-enabled study never recomputed a table")
 	}
 }

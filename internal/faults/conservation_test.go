@@ -9,6 +9,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/gm"
 	"repro/internal/mcp"
+	"repro/internal/recovery"
 	"repro/internal/routing"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -74,10 +75,21 @@ func checkConservation(t *testing.T, topo *topology.Topology, seed int64) bool {
 	}
 
 	horizon := 800 * units.Microsecond
+	// Self-healing runs in-simulation: probes, suspicion, confirmation
+	// and epoch installs are all events, not an oracle recompute.
+	mgr, err := recovery.NewManager(recovery.DefaultConfig(4*horizon), recovery.Target{
+		Eng: eng, Topo: topo, UD: ud, Alg: routing.ITBRouting,
+		Base: tbl, Hosts: hosts, Monitor: 0,
+	})
+	if err != nil {
+		t.Error(err)
+		return false
+	}
+	mgr.Start()
 	camp := faults.Generate(seed, topo, faults.GenConfig{Horizon: horizon, Events: 5})
 	if _, err := faults.Attach(faults.Target{
 		Eng: eng, Net: net, Topo: topo,
-		Hosts: hosts, UD: ud, Alg: routing.ITBRouting, Recompute: true,
+		Hosts: hosts, Recovery: mgr,
 	}, camp); err != nil {
 		t.Error(err)
 		return false

@@ -6,7 +6,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/gm"
 	"repro/internal/mcp"
-	"repro/internal/routing"
+	"repro/internal/recovery"
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/trace"
@@ -14,8 +14,13 @@ import (
 )
 
 // Target is the cluster a campaign attaches to. Net/Topo/Eng are
-// required; Hosts enables the recovery wiring (dead-peer tracking and
-// NIC-level faults); UD+Recompute enables route recomputation.
+// required; Hosts enables NIC-level faults and dead-peer observation;
+// Recovery, when set, is the self-healing subsystem the controller
+// feeds GM's dead-peer verdicts to — detection latency, route
+// republication and convergence then all happen inside the
+// simulation (there is no oracle recomputation path any more: without
+// a recovery manager only the GM reliability layer copes, which is
+// what stock GM without remapping would do).
 type Target struct {
 	Eng  *sim.Engine
 	Net  *fabric.Network
@@ -25,24 +30,24 @@ type Target struct {
 	// to observe dead-peer verdicts.
 	Hosts []*gm.Host
 
-	// UD and Alg configure route recomputation (Recompute).
-	UD  *topology.UpDown
-	Alg routing.Algorithm
-	// Recompute rebuilds every host's route table around the failed
-	// set whenever a link fails/recovers or a peer is declared dead —
-	// the mapper's reaction, compressed to an instantaneous event (the
-	// remapping cost itself is not modelled here).
-	Recompute bool
+	// Recovery receives dead-peer verdicts (ReportPeerDead) and owns
+	// suspicion, confirmation and epoch publication. Optional.
+	Recovery *recovery.Manager
 
 	// Tracer (optional) records fault and recovery events.
 	Tracer *trace.Recorder
 }
 
-// Stats counts controller activity.
+// Stats counts controller activity. PeersLost is the GM-side verdict
+// count; PeersSuspected/PeersConfirmed are the recovery detector's
+// current beliefs (zero without a recovery manager) — a host flapping
+// down and up inside one detection window shows up as suspected but
+// never confirmed.
 type Stats struct {
-	EventsApplied int
-	Recomputes    int
-	PeersLost     int // hosts excluded after a dead-peer verdict
+	EventsApplied  int
+	PeersLost      int // hosts GM declared dead at least once
+	PeersSuspected int // currently suspected by the failure detector
+	PeersConfirmed int // currently confirmed dead by the detector
 }
 
 // Controller executes one campaign against one cluster. All work
@@ -53,13 +58,14 @@ type Controller struct {
 	camp Campaign
 
 	mcps      map[topology.NodeID]*mcp.MCP
-	downLinks map[int]bool
 	deadHosts map[topology.NodeID]bool
 	stats     Stats
 }
 
 // Attach schedules every campaign event on the target's engine and
-// wires the dead-peer observer. Call before Engine.Run.
+// wires the dead-peer observer. Call before Engine.Run (and after
+// Recovery.Start, when a recovery manager is used, so out-of-cycle
+// probes have routes).
 func Attach(tgt Target, c Campaign) (*Controller, error) {
 	if tgt.Eng == nil || tgt.Net == nil || tgt.Topo == nil {
 		return nil, fmt.Errorf("faults: target needs Eng, Net and Topo")
@@ -68,12 +74,10 @@ func Attach(tgt Target, c Campaign) (*Controller, error) {
 		tgt:       tgt,
 		camp:      c,
 		mcps:      make(map[topology.NodeID]*mcp.MCP),
-		downLinks: make(map[int]bool),
 		deadHosts: make(map[topology.NodeID]bool),
 	}
 	for _, h := range tgt.Hosts {
 		ctl.mcps[h.Node()] = h.MCP()
-		h := h
 		prev := h.OnPeerDead
 		h.OnPeerDead = func(peer topology.NodeID, t units.Time) {
 			ctl.peerDead(peer)
@@ -92,12 +96,36 @@ func Attach(tgt Target, c Campaign) (*Controller, error) {
 	return ctl, nil
 }
 
-// Stats returns a snapshot of the counters.
-func (ctl *Controller) Stats() Stats { return ctl.stats }
+// Stats returns a snapshot of the counters, folding in the recovery
+// detector's current beliefs.
+func (ctl *Controller) Stats() Stats {
+	s := ctl.stats
+	if ctl.tgt.Recovery != nil {
+		s.PeersSuspected = ctl.tgt.Recovery.Suspected()
+		s.PeersConfirmed = ctl.tgt.Recovery.Confirmed()
+	}
+	return s
+}
 
-// DeadHosts returns how many hosts were excluded by dead-peer
-// verdicts.
-func (ctl *Controller) DeadHosts() int { return len(ctl.deadHosts) }
+// DeadHosts returns how many hosts are confirmed dead: the recovery
+// detector's confirmed count when a manager is attached, otherwise
+// the number of hosts GM gave a dead-peer verdict against.
+func (ctl *Controller) DeadHosts() int {
+	if ctl.tgt.Recovery != nil {
+		return ctl.tgt.Recovery.Confirmed()
+	}
+	return len(ctl.deadHosts)
+}
+
+// Suspected returns how many hosts the recovery detector currently
+// suspects (but has not confirmed). Zero without a recovery manager:
+// GM verdicts are final.
+func (ctl *Controller) Suspected() int {
+	if ctl.tgt.Recovery != nil {
+		return ctl.tgt.Recovery.Suspected()
+	}
+	return 0
+}
 
 // check validates an event against the target before scheduling.
 func (ctl *Controller) check(ev Event) error {
@@ -119,12 +147,8 @@ func (ctl *Controller) apply(ev Event) {
 	switch ev.Kind {
 	case LinkDown:
 		ctl.tgt.Net.SetLinkDown(ev.Link, true)
-		ctl.downLinks[ev.Link] = true
-		ctl.recompute("link-down")
 	case LinkUp:
 		ctl.tgt.Net.SetLinkDown(ev.Link, false)
-		delete(ctl.downLinks, ev.Link)
-		ctl.recompute("link-up")
 	case BitErrorBurst:
 		ctl.tgt.Net.SetLinkBER(ev.Link, ev.BER)
 		link := ev.Link
@@ -144,48 +168,17 @@ func (ctl *Controller) apply(ev Event) {
 	}
 }
 
-// peerDead reacts to a GM dead-peer verdict: the lost host is excluded
-// from future routes (both as endpoint and as in-transit buffer) and
-// every table is rebuilt. Verdicts are sticky — a resumed NIC's
-// sequence state is gone, so the host stays excluded until remap.
+// peerDead forwards a GM dead-peer verdict to the recovery detector,
+// which treats it as corroborating evidence (straight to Suspected
+// plus an immediate probe) but still insists on its own confirmation
+// before republishing routes — GM's verdict can be wrong about a
+// host that is merely slow or briefly partitioned.
 func (ctl *Controller) peerDead(peer topology.NodeID) {
-	if ctl.deadHosts[peer] {
-		return
+	if !ctl.deadHosts[peer] {
+		ctl.deadHosts[peer] = true
+		ctl.stats.PeersLost++
 	}
-	ctl.deadHosts[peer] = true
-	ctl.stats.PeersLost++
-	ctl.recompute("peer-dead")
-}
-
-// recompute rebuilds every host's route table around the current
-// failed set. With Recompute unset (or no up*/down* orientation) it
-// is a no-op: packets keep following stale routes and only the GM
-// reliability layer copes, which is what stock GM without remapping
-// would do.
-func (ctl *Controller) recompute(why string) {
-	if !ctl.tgt.Recompute || ctl.tgt.UD == nil {
-		return
-	}
-	avoid := &routing.Avoid{Links: make(map[int]bool), Hosts: make(map[topology.NodeID]bool)}
-	for l := range ctl.downLinks {
-		avoid.Links[l] = true
-	}
-	for h := range ctl.deadHosts {
-		avoid.Hosts[h] = true
-	}
-	tbl, err := routing.BuildTableAvoiding(ctl.tgt.Topo, ctl.tgt.UD, ctl.tgt.Alg, avoid)
-	if err != nil {
-		return // keep the stale table rather than tear routing down
-	}
-	for _, h := range ctl.tgt.Hosts {
-		h.SetTable(tbl)
-	}
-	ctl.stats.Recomputes++
-	if ctl.tgt.Tracer != nil {
-		ctl.tgt.Tracer.Record(trace.Event{
-			At:     ctl.tgt.Eng.Now(),
-			Kind:   trace.RouteRecompute,
-			Detail: fmt.Sprintf("%s links=%d hosts=%d", why, len(avoid.Links), len(avoid.Hosts)),
-		})
+	if ctl.tgt.Recovery != nil {
+		ctl.tgt.Recovery.ReportPeerDead(peer)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/gm"
 	"repro/internal/mcp"
+	"repro/internal/recovery"
 	"repro/internal/routing"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -76,10 +77,18 @@ func runPoolCampaign(t *testing.T, topo *topology.Topology, seed int64) string {
 	}
 
 	horizon := 800 * units.Microsecond
+	mgr, err := recovery.NewManager(recovery.DefaultConfig(4*horizon), recovery.Target{
+		Eng: eng, Topo: topo, UD: ud, Alg: routing.ITBRouting,
+		Base: tbl, Hosts: hosts, Monitor: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.Start()
 	camp := faults.Generate(seed, topo, faults.GenConfig{Horizon: horizon, Events: 5})
 	if _, err := faults.Attach(faults.Target{
 		Eng: eng, Net: net, Topo: topo,
-		Hosts: hosts, UD: ud, Alg: routing.ITBRouting, Recompute: true,
+		Hosts: hosts, Recovery: mgr,
 	}, camp); err != nil {
 		t.Fatal(err)
 	}

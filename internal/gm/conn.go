@@ -32,14 +32,23 @@ type conn struct {
 	// Recovery state (Params.BackoffFactor / DeadPeerTimeouts).
 	curTimeout units.Time // current retransmit timeout (backed off)
 	strikes    int        // consecutive timeouts without ack progress
-	// dead is permanent: reviving a failed peer would desynchronise the
-	// go-back-N sequence state between sender and receiver, so after the
-	// verdict every send to this peer fails fast until remap/restart.
+	// dead marks the dead-peer verdict. It is no longer permanent: the
+	// recovery protocol's epoch-versioned table install (InstallTable)
+	// can resurrect the conn, restarting the stream at sequence zero
+	// under a new incarnation so that leftovers of the old stream are
+	// recognisable and cannot desynchronise the go-back-N window.
 	dead bool
+	// incarnation is the epoch of the last resurrection (zero for the
+	// original stream). Acks carrying an older epoch are stale.
+	incarnation uint32
 
 	// Receiver state.
 	expected uint32
 	assembly []byte // fragments of the in-progress message
+	// peerIncarnation mirrors the peer's sender incarnation: adopted
+	// when a sequence-zero packet arrives with a newer epoch, after
+	// which packets of older incarnations are dropped as stale.
+	peerIncarnation uint32
 	// Ack coalescing (Params.AckDelay).
 	pendingAcks int
 	ackTimer    sim.Event
@@ -70,6 +79,7 @@ func (c *conn) enqueue(pkt *packet.Packet, onAcked, onFailed func()) {
 		return
 	}
 	pkt.Seq = c.nextSeq
+	pkt.Incarnation = c.incarnation
 	c.nextSeq++
 	if onAcked != nil {
 		c.acked[pkt.Seq] = onAcked
@@ -232,11 +242,60 @@ func (c *conn) declareDead() {
 	}
 }
 
+// resurrect lifts the dead-peer verdict after an epoch-versioned
+// table install restored a route to the peer. The go-back-N stream
+// restarts from sequence zero under the new incarnation; the receiver
+// adopts it when the first sequence-zero packet arrives (handleData).
+// declareDead already drained inflight/backlog and reported every
+// pending outcome, so only the sequence state needs resetting. Note
+// the submitted map is cleared even though a wire clone of the old
+// incarnation may still sit in the NIC's send queue with an onSent
+// closure that deletes a (now reused) seq entry — the worst case is
+// one premature retransmission, which the receiver's duplicate
+// handling absorbs.
+func (c *conn) resurrect(epoch uint32) {
+	c.dead = false
+	c.incarnation = epoch
+	c.nextSeq = 0
+	c.ackedTo = 0
+	c.strikes = 0
+	c.curTimeout = 0
+	clear(c.submitted)
+	clear(c.acked)
+	clear(c.failed)
+	c.h.stats.ConnsResurrected++
+	c.h.emit(trace.PeerResurrected, 0, fmt.Sprintf("peer=%d epoch=%d", c.peer, epoch))
+}
+
+// restampRoutes rewrites the stamped route bytes (and epoch) of every
+// pending packet after a table install, so retransmissions follow the
+// new table instead of probing a dead path forever.
+func (c *conn) restampRoutes(hdr []byte, typ packet.Type, epoch uint32) {
+	restamp := func(pkt *packet.Packet) {
+		pkt.Route = append(pkt.Route[:0], hdr...)
+		pkt.Type = typ
+		pkt.Epoch = epoch
+		c.h.stats.PacketsRerouted++
+	}
+	for _, pkt := range c.inflight {
+		restamp(pkt)
+	}
+	for i := 0; i < c.backlog.Len(); i++ {
+		restamp(c.backlog.At(i))
+	}
+}
+
 // handleAck processes a cumulative acknowledgement: everything below
-// nextExpected has arrived.
-func (c *conn) handleAck(nextExpected uint32) {
+// nextExpected has arrived. epoch is the incarnation the ack was
+// issued under; acknowledgements from before a resurrection must not
+// be applied to the restarted stream.
+func (c *conn) handleAck(nextExpected uint32, epoch uint32) {
 	if c.dead {
 		return // verdict issued; outcomes already reported
+	}
+	if epoch < c.incarnation {
+		c.h.stats.EpochStaleDrops++
+		return // ack from a previous incarnation of this stream
 	}
 	if nextExpected <= c.ackedTo {
 		return // stale
@@ -288,6 +347,30 @@ func (c *conn) handleData(pkt *packet.Packet, t units.Time) {
 	if c.h.par.DisableAcks {
 		// Raw mode: deliver whatever arrives, reassembling naively.
 		c.deliverFrag(pkt, t)
+		return
+	}
+	switch {
+	case pkt.Incarnation > c.peerIncarnation:
+		// The peer's sender restarted its stream under a newer
+		// incarnation: adopt it. Any half-assembled message of the old
+		// incarnation is abandoned (its sender already reported it
+		// failed at the dead verdict). The session number — not the
+		// table epoch — is what distinguishes a new stream: epochs
+		// advance under live connections whose in-flight packets get
+		// re-stamped, and treating those as new streams would reset
+		// expected and re-deliver.
+		c.peerIncarnation = pkt.Incarnation
+		c.expected = 0
+		c.assembly = nil
+		c.pendingAcks = 0
+		if c.ackTimer.Valid() {
+			c.h.eng.Cancel(c.ackTimer)
+			c.ackTimer = sim.NoEvent
+		}
+	case pkt.Incarnation < c.peerIncarnation:
+		// A leftover of the previous incarnation (stale route SRAM or
+		// a clone that sat in a queue across the resurrection).
+		c.h.stats.EpochStaleDrops++
 		return
 	}
 	switch {

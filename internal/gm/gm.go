@@ -7,6 +7,7 @@ package gm
 
 import (
 	"fmt"
+	"slices"
 
 	"repro/internal/mcp"
 	"repro/internal/metrics"
@@ -92,6 +93,15 @@ type Stats struct {
 	// MessagesFailed counts messages reported failed (dead peer or no
 	// route at send time).
 	MessagesFailed uint64
+	// EpochStaleDrops counts packets and acks discarded because they
+	// carried an epoch older than the connection's incarnation.
+	EpochStaleDrops uint64
+	// ConnsResurrected counts dead-peer verdicts reversed by an
+	// epoch-versioned table install (recovery protocol).
+	ConnsResurrected uint64
+	// PacketsRerouted counts pending packets whose stamped route was
+	// rewritten by a table install.
+	PacketsRerouted uint64
 }
 
 // Host is one workstation's GM endpoint: it owns the MCP beneath it
@@ -106,6 +116,10 @@ type Host struct {
 	conns map[topology.NodeID]*conn
 	ports map[uint8]*Port
 	msgID uint32
+	// epoch is the version of the installed route table (0 until the
+	// recovery protocol publishes one); outgoing packets are stamped
+	// with it.
+	epoch uint32
 
 	// OnMessage delivers a complete, in-order message to the
 	// application.
@@ -159,6 +173,61 @@ func (h *Host) Node() topology.NodeID { return h.node }
 // NIC's route SRAM is rewritten between sends.
 func (h *Host) SetTable(tbl *routing.Table) { h.tbl = tbl }
 
+// Epoch returns the route-table epoch stamped on outgoing packets.
+func (h *Host) Epoch() uint32 { return h.epoch }
+
+// InstallTable is the recovery protocol's SetTable: it installs an
+// epoch-versioned table and reconciles every connection with it, in
+// peer order (deterministic):
+//
+//   - A peer the new table routes to again after a dead verdict is
+//     resurrected: the verdict is lifted and the go-back-N stream
+//     restarts at sequence zero under a new incarnation (the epoch),
+//     so stale packets and acks from the old stream are recognisable
+//     and dropped rather than desynchronising the window.
+//   - A live peer keeps its stream, but accrued strikes and backoff
+//     are cleared (the new table may route around whatever caused
+//     them) and pending packets are re-stamped with the new route —
+//     the mapper rewriting the NIC's route SRAM rescues in-flight
+//     traffic whose old route died.
+//   - A peer the new table cannot reach at all has its pending
+//     traffic failed immediately (graceful degradation instead of
+//     retransmitting into a void until the verdict).
+func (h *Host) InstallTable(tbl *routing.Table, epoch uint32) {
+	if epoch < h.epoch {
+		// Staggered installs from overlapping publishes can arrive out
+		// of order; a stale epoch must not overwrite a newer table.
+		return
+	}
+	h.tbl = tbl
+	if epoch > h.epoch {
+		h.epoch = epoch
+	}
+	peers := make([]topology.NodeID, 0, len(h.conns))
+	for p := range h.conns {
+		peers = append(peers, p)
+	}
+	slices.Sort(peers)
+	for _, p := range peers {
+		c := h.conns[p]
+		r, ok := tbl.Lookup(h.node, p)
+		switch {
+		case !ok:
+			if !c.dead && (len(c.inflight) > 0 || c.backlog.Len() > 0) {
+				c.declareDead()
+			}
+		case c.dead:
+			c.resurrect(h.epoch)
+		default:
+			c.strikes = 0
+			c.curTimeout = h.par.AckTimeout
+			if hdr, err := r.EncodeHeader(); err == nil {
+				c.restampRoutes(hdr, packetTypeFor(r), h.epoch)
+			}
+		}
+	}
+}
+
 // PeerDead reports whether the dead-peer verdict was issued for dst.
 func (h *Host) PeerDead(dst topology.NodeID) bool {
 	c := h.conns[dst]
@@ -192,6 +261,9 @@ func (h *Host) PublishMetrics(r *metrics.Registry) {
 		{"backoff_expansions", h.stats.BackoffExpansions},
 		{"peers_declared_dead", h.stats.PeersDeclaredDead},
 		{"messages_failed", h.stats.MessagesFailed},
+		{"epoch_stale_drops", h.stats.EpochStaleDrops},
+		{"conns_resurrected", h.stats.ConnsResurrected},
+		{"packets_rerouted", h.stats.PacketsRerouted},
 	} {
 		if c.v != 0 {
 			r.Counter(pfx + c.name).Add(c.v)
@@ -278,6 +350,7 @@ func (h *Host) sendPort(dst topology.NodeID, payload []byte, route []byte, typ p
 			pkt.MsgID = id
 			pkt.FragIndex = i
 			pkt.LastFrag = i == len(frags)-1
+			pkt.Epoch = h.epoch
 			var ackCb, failCb func()
 			if pkt.LastFrag {
 				ackCb, failCb = onAcked, onFailed
@@ -302,7 +375,16 @@ func (h *Host) connTo(peer topology.NodeID) *conn {
 func (h *Host) deliver(pkt *packet.Packet, t units.Time) {
 	src := topology.NodeID(pkt.Src)
 	if pkt.Type == packet.TypeAck {
-		h.connTo(src).handleAck(pkt.Seq)
+		// The ack's incarnation travels encoded in the payload (the
+		// wire format the recovery protocol adds); the bookkeeping
+		// field is the fallback for acks that predate any incarnation.
+		inc := pkt.Incarnation
+		if len(pkt.Payload) > 0 && pkt.Payload[0] == packet.EpochTag {
+			if e, _, err := packet.ParseEpoch(pkt.Payload); err == nil {
+				inc = e
+			}
+		}
+		h.connTo(src).handleAck(pkt.Seq, inc)
 		packet.Put(pkt)
 		return
 	}
@@ -333,6 +415,14 @@ func (h *Host) sendAck(peer topology.NodeID, nextExpected uint32) {
 	ack.Src = int(h.node)
 	ack.Dst = int(peer)
 	ack.Seq = nextExpected
+	// Acks for an incarnated stream carry the incarnation so the
+	// sender can discard acknowledgements left over from the previous
+	// incarnation. Epoch-0 acks stay byte-identical to the
+	// pre-recovery wire format.
+	if inc := h.connTo(peer).peerIncarnation; inc > 0 {
+		ack.Incarnation = inc
+		ack.Payload = packet.AppendEpoch(ack.Payload, inc)
+	}
 	h.stats.AcksSent++
 	h.m.SubmitSend(ack, nil)
 }

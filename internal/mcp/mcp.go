@@ -59,6 +59,15 @@ type Config struct {
 	// chunk of a packet is in NIC memory instead of waiting for the
 	// whole SDMA. Zero stages whole packets.
 	SendChunkBytes int
+	// DropStaleITB selects the stale-epoch policy at an in-transit
+	// host under the recovery protocol: when set, an ITB packet whose
+	// epoch is older than this firmware's installed route-table epoch
+	// is flushed (its stamped sub-paths may cross links the new epoch
+	// routed around; GM retransmits it on the new route). Unset, the
+	// packet is forwarded anyway — optimistic, cheaper, but it can
+	// probe dead links. Epoch-0 packets (pre-recovery senders) always
+	// forward.
+	DropStaleITB bool
 }
 
 // DefaultConfig returns the faithful configuration of the paper's
@@ -84,6 +93,7 @@ type Stats struct {
 	BlockedArrivals uint64 // arrivals that waited for a receive buffer
 	CRCDrops        uint64 // packets flushed for failing the payload CRC
 	StallDrops      uint64 // arrivals flushed while the NIC was stalled
+	StaleEpochDrops uint64 // in-transit packets flushed by the stale-epoch policy
 }
 
 // sendJob is a packet staged for transmission.
@@ -123,6 +133,11 @@ type MCP struct {
 	recvBufsFree int
 	waiting      sim.FIFO[*fabric.Flight] // blocked arrivals (no buffer pool)
 	inTransit    map[*packet.Packet]bool
+
+	// epoch is the route-table version the recovery protocol last
+	// installed on this firmware (SetEpoch); the stale-ITB policy
+	// compares arriving in-transit packets against it.
+	epoch uint32
 
 	// Injected fault state (campaign-driven). A stalled NIC flushes
 	// every arrival and stops feeding the wire; an exhausted pool
@@ -199,6 +214,18 @@ func (m *MCP) Config() Config { return m.cfg }
 // SetTracer attaches an event recorder (nil to detach).
 func (m *MCP) SetTracer(r *trace.Recorder) { m.tracer = r }
 
+// SetEpoch installs the route-table epoch on the firmware, as the
+// recovery protocol's table distribution does host by host. Epochs
+// only move forward; a late-arriving older install is ignored.
+func (m *MCP) SetEpoch(epoch uint32) {
+	if epoch > m.epoch {
+		m.epoch = epoch
+	}
+}
+
+// Epoch returns the installed route-table epoch.
+func (m *MCP) Epoch() uint32 { return m.epoch }
+
 // SetMetrics attaches a registry (nil to detach): the firmware keeps
 // per-queue high-water gauges live as it runs; the counter snapshot is
 // published by PublishMetrics at end of run.
@@ -230,6 +257,7 @@ func (m *MCP) PublishMetrics(r *metrics.Registry) {
 		{"blocked_arrivals", m.stats.BlockedArrivals},
 		{"crc_drops", m.stats.CRCDrops},
 		{"stall_drops", m.stats.StallDrops},
+		{"stale_epoch_drops", m.stats.StaleEpochDrops},
 	} {
 		if c.v != 0 {
 			r.Counter(pfx + c.name).Add(c.v)
@@ -452,6 +480,16 @@ func (m *MCP) detectAndForward(pkt *packet.Packet, tailReady units.Time) {
 		detect += m.cfg.NIC.DispatchCycles
 	}
 	m.nic.CPU.Post(prio, detect, func() {
+		if m.cfg.DropStaleITB && pkt.Epoch > 0 && pkt.Epoch < m.epoch {
+			// Stale-epoch policy: the packet was stamped under an older
+			// table than this host runs; flush it instead of forwarding
+			// over sub-paths the remap may have routed around. Reception
+			// still completes into the buffer, which is freed there.
+			m.stats.StaleEpochDrops++
+			m.emit(trace.StaleEpochDrop, pkt.ID, fmt.Sprintf("epoch=%d<%d", pkt.Epoch, m.epoch))
+			m.inTransit[pkt] = false
+			return
+		}
 		if _, err := pkt.PopITBHeader(); err != nil {
 			// Corrupt in-transit header: flush the packet; reception
 			// still completes into the buffer, which is freed there.

@@ -1,0 +1,64 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Epoch tag codec. The self-healing recovery protocol versions route
+// tables with a monotonically increasing epoch; acknowledgements (and,
+// conceptually, every GM packet header) carry the sender's epoch so
+// that stale-epoch arrivals can be recognised after a remap. On the
+// wire the tag is six bytes:
+//
+//	[EpochTag][4-byte big-endian epoch][checksum]
+//
+// where the checksum is the XOR of the tag and the four epoch bytes —
+// enough to reject the random bytes a corrupted or foreign payload
+// would present (see FuzzEpochTag).
+
+// EpochTag is the marker byte that opens an encoded epoch tag. Like
+// ITBTag it sits far above any port selector byte.
+const EpochTag byte = 0xE7
+
+// EpochTagLen is the encoded size of one epoch tag.
+const EpochTagLen = 6
+
+// ErrBadEpoch reports a malformed or corrupted epoch tag.
+var ErrBadEpoch = fmt.Errorf("packet: malformed epoch tag")
+
+// epochSum folds the tag and epoch bytes into the one-byte checksum.
+func epochSum(b []byte) byte {
+	s := byte(0)
+	for _, x := range b {
+		s ^= x
+	}
+	return s
+}
+
+// AppendEpoch appends the encoded epoch tag to dst and returns the
+// extended slice. It allocates only when dst lacks capacity, so pooled
+// packet payloads carry epochs without per-ack allocations.
+func AppendEpoch(dst []byte, epoch uint32) []byte {
+	var buf [EpochTagLen]byte
+	buf[0] = EpochTag
+	binary.BigEndian.PutUint32(buf[1:5], epoch)
+	buf[5] = epochSum(buf[:5])
+	return append(dst, buf[:]...)
+}
+
+// ParseEpoch decodes the epoch tag at the front of b, returning the
+// epoch and the remaining bytes. It fails on a short buffer, a wrong
+// marker byte, or a checksum mismatch.
+func ParseEpoch(b []byte) (epoch uint32, rest []byte, err error) {
+	if len(b) < EpochTagLen {
+		return 0, b, fmt.Errorf("%w: %d bytes, need %d", ErrBadEpoch, len(b), EpochTagLen)
+	}
+	if b[0] != EpochTag {
+		return 0, b, fmt.Errorf("%w: marker %#02x", ErrBadEpoch, b[0])
+	}
+	if got, want := b[5], epochSum(b[:5]); got != want {
+		return 0, b, fmt.Errorf("%w: checksum %#02x, want %#02x", ErrBadEpoch, got, want)
+	}
+	return binary.BigEndian.Uint32(b[1:5]), b[EpochTagLen:], nil
+}

@@ -1,0 +1,79 @@
+package packet
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestEpochRoundTrip(t *testing.T) {
+	for _, epoch := range []uint32{0, 1, 7, 255, 1 << 16, 0xDEADBEEF, ^uint32(0)} {
+		b := AppendEpoch(nil, epoch)
+		if len(b) != EpochTagLen {
+			t.Fatalf("epoch %d: encoded %d bytes, want %d", epoch, len(b), EpochTagLen)
+		}
+		got, rest, err := ParseEpoch(b)
+		if err != nil {
+			t.Fatalf("epoch %d: parse: %v", epoch, err)
+		}
+		if got != epoch || len(rest) != 0 {
+			t.Fatalf("epoch %d: parsed %d, rest %d bytes", epoch, got, len(rest))
+		}
+	}
+}
+
+func TestEpochAppendPreservesPrefixAndRest(t *testing.T) {
+	prefix := []byte{1, 2, 3}
+	b := AppendEpoch(append([]byte(nil), prefix...), 42)
+	b = append(b, 9, 9)
+	got, rest, err := ParseEpoch(b[len(prefix):])
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if got != 42 {
+		t.Fatalf("parsed %d, want 42", got)
+	}
+	if len(rest) != 2 || rest[0] != 9 || rest[1] != 9 {
+		t.Fatalf("rest = %v, want [9 9]", rest)
+	}
+}
+
+func TestEpochRejectsCorruption(t *testing.T) {
+	good := AppendEpoch(nil, 0x01020304)
+	for i := range good {
+		bad := append([]byte(nil), good...)
+		bad[i] ^= 0x40
+		if _, _, err := ParseEpoch(bad); !errors.Is(err, ErrBadEpoch) {
+			t.Fatalf("flip byte %d: err = %v, want ErrBadEpoch", i, err)
+		}
+	}
+	for n := 0; n < EpochTagLen; n++ {
+		if _, _, err := ParseEpoch(good[:n]); !errors.Is(err, ErrBadEpoch) {
+			t.Fatalf("truncate to %d: err = %v, want ErrBadEpoch", n, err)
+		}
+	}
+}
+
+// FuzzEpochTag checks the codec invariants: every successful parse
+// round-trips through AppendEpoch to the same bytes, and rejected
+// inputs never panic.
+func FuzzEpochTag(f *testing.F) {
+	f.Add(AppendEpoch(nil, 0))
+	f.Add(AppendEpoch(nil, ^uint32(0)))
+	f.Add([]byte{EpochTag, 0, 0, 0, 0, 0})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		epoch, rest, err := ParseEpoch(b)
+		if err != nil {
+			return
+		}
+		re := AppendEpoch(nil, epoch)
+		if len(b)-len(rest) != EpochTagLen {
+			t.Fatalf("consumed %d bytes, want %d", len(b)-len(rest), EpochTagLen)
+		}
+		for i, x := range re {
+			if b[i] != x {
+				t.Fatalf("re-encode mismatch at byte %d: %#02x vs %#02x", i, x, b[i])
+			}
+		}
+	})
+}

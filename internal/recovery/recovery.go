@@ -1,0 +1,763 @@
+// Package recovery implements the online self-healing subsystem that
+// replaces the oracle route recomputation of the fault campaigns: a
+// monitor host running a heartbeat/scout prober over the real
+// simulated fabric, a per-host suspect/confirm failure detector whose
+// latency is a measured quantity, and epoch-versioned route tables
+// distributed host by host as simulation events — so hosts transiently
+// disagree about the network, exactly as GM hosts do between mapper
+// passes.
+//
+// The protocol, end to end:
+//
+//   - Every Period the monitor sends one mapping probe per host
+//     (Spacing apart). Remote MCPs answer probes autonomously
+//     (mcp.handleMapping), so a reply proves the host's NIC is alive
+//     and both probe paths work. Probes are TypeMapping packets: they
+//     share the scouts' fault model (fabric scout loss, bit errors,
+//     stalls) rather than enjoying oracle delivery.
+//   - A host that misses SuspectAfter consecutive probes is suspected;
+//     at ConfirmAfter misses the monitor first tries to refute the
+//     verdict with a verification probe over a disjoint alternate
+//     path. An answer over the alternate path means the host is fine
+//     and the primary path is broken: the path's inter-switch links
+//     become suspects and routing republishes around them. Silence
+//     confirms the host dead.
+//   - Confirmation (or diagnosis, or resurrection) publishes a new
+//     epoch: the route table is rebuilt incrementally around the
+//     confirmed hosts and suspected links (dead in-transit hosts
+//     degrade ITB routes to pure up*/down* sub-paths, see
+//     routing.RebuildAvoiding) and installed on each live host as its
+//     own simulation event, InstallDelay + k*InstallStagger after the
+//     publish. Between the first and last install the cluster runs
+//     mixed epochs; packets carry their sender's epoch and in-transit
+//     hosts apply the configured stale-epoch policy.
+//   - Confirmed hosts keep being probed. A reply from one resurrects
+//     it: a new epoch restores its routes, and gm.Host.InstallTable
+//     lifts dead-peer verdicts against it under a fresh incarnation.
+//   - Link suspects are retired every RetireAfter rounds, giving
+//     healed transient links a chance to carry minimal routes again.
+//
+// The monitor is a single point of observation (as one GM mapper host
+// is); monitor death is out of scope for this study.
+package recovery
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/gm"
+	"repro/internal/metrics"
+	"repro/internal/packet"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// State is the failure detector's belief about one host.
+type State int
+
+const (
+	// Alive hosts answered their recent probes.
+	Alive State = iota
+	// Suspected hosts missed SuspectAfter consecutive probes.
+	Suspected
+	// Confirmed hosts missed ConfirmAfter probes and failed (or could
+	// not be given) the alternate-path verification.
+	Confirmed
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Alive:
+		return "alive"
+	case Suspected:
+		return "suspected"
+	case Confirmed:
+		return "confirmed"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Config tunes the protocol.
+type Config struct {
+	// Period is the heartbeat round period.
+	Period units.Time
+	// Spacing staggers the probes within one round.
+	Spacing units.Time
+	// Timeout is how long the monitor waits for each probe's reply.
+	Timeout units.Time
+	// SuspectAfter is the consecutive-miss suspect threshold.
+	SuspectAfter int
+	// ConfirmAfter is the consecutive-miss confirm threshold (>=
+	// SuspectAfter).
+	ConfirmAfter int
+	// Deadline stops probe rounds: no round starts after it. Required
+	// — it is what bounds the simulation. Probes and installs already
+	// in flight at the deadline still complete.
+	Deadline units.Time
+	// InstallDelay is the lag from an epoch publish to its first
+	// per-host table install.
+	InstallDelay units.Time
+	// InstallStagger spaces consecutive hosts' installs.
+	InstallStagger units.Time
+	// RetireAfter retires the accumulated link suspects every this
+	// many rounds (0 disables retirement).
+	RetireAfter int
+}
+
+// DefaultConfig returns the calibrated protocol constants. The
+// deadline must be supplied: it is run-specific.
+func DefaultConfig(deadline units.Time) Config {
+	return Config{
+		Period:         150 * units.Microsecond,
+		Spacing:        2 * units.Microsecond,
+		Timeout:        60 * units.Microsecond,
+		SuspectAfter:   2,
+		ConfirmAfter:   4,
+		Deadline:       deadline,
+		InstallDelay:   20 * units.Microsecond,
+		InstallStagger: 5 * units.Microsecond,
+		RetireAfter:    10,
+	}
+}
+
+// withDefaults fills zero fields from DefaultConfig.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig(c.Deadline)
+	if c.Period <= 0 {
+		c.Period = d.Period
+	}
+	if c.Spacing < 0 {
+		c.Spacing = d.Spacing
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = d.Timeout
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = d.SuspectAfter
+	}
+	if c.ConfirmAfter < c.SuspectAfter {
+		c.ConfirmAfter = max(c.SuspectAfter, d.ConfirmAfter)
+	}
+	if c.InstallDelay <= 0 {
+		c.InstallDelay = d.InstallDelay
+	}
+	if c.InstallStagger <= 0 {
+		c.InstallStagger = d.InstallStagger
+	}
+	return c
+}
+
+// Target is the cluster the manager heals.
+type Target struct {
+	Eng  *sim.Engine
+	Topo *topology.Topology
+	UD   *topology.UpDown
+	// Alg is the routing algorithm of the published tables.
+	Alg routing.Algorithm
+	// Base is the initial (epoch-0) table the cluster started with.
+	Base *routing.Table
+	// Hosts in topology order; installs walk this order.
+	Hosts []*gm.Host
+	// Monitor indexes Hosts: the host running the prober.
+	Monitor int
+	Tracer  *trace.Recorder
+}
+
+// Stats counts protocol activity. Detection and Convergence are in
+// picoseconds (units.Time ticks).
+type Stats struct {
+	ProbesSent      uint64
+	ProbeReplies    uint64
+	ProbeMisses     uint64
+	VerifyProbes    uint64
+	HostsSuspected  uint64
+	HostsConfirmed  uint64
+	HostsRestored   uint64
+	Resurrections   uint64
+	EpochsPublished uint64
+	LinksSuspected  uint64
+	LinksRetired    uint64
+	PeerReports     uint64
+	RoutesReused    uint64
+	// Detection samples first-miss -> confirmed per confirmed host.
+	Detection *stats.Summary
+	// Convergence samples trigger -> last install per published epoch.
+	Convergence *stats.Summary
+}
+
+// hostState is the detector's record for one monitored host.
+type hostState struct {
+	idx         int // index into Target.Hosts
+	node        topology.NodeID
+	state       State
+	misses      int
+	firstMissAt units.Time
+	verifying   bool
+	// Probe routes (nil while unreachable under the link suspects).
+	fwd, ret []byte
+	// primLinks are the inter-switch links both probe paths cross —
+	// the suspects if the host turns out alive via an alternate path.
+	primLinks []int
+}
+
+type probeInfo struct {
+	idx    int // index into Manager.targets
+	verify bool
+}
+
+// Manager runs the protocol over one cluster.
+type Manager struct {
+	cfg    Config
+	eng    *sim.Engine
+	topo   *topology.Topology
+	ud     *topology.UpDown
+	alg    routing.Algorithm
+	table  *routing.Table
+	hosts  []*gm.Host
+	mon    int
+	tracer *trace.Recorder
+
+	sched   Scheduler
+	targets []*hostState // every host but the monitor, in index order
+	byNode  map[topology.NodeID]*hostState
+
+	nonce       uint32
+	outstanding map[uint32]probeInfo
+	epoch       uint32
+	linkSuspects map[int]bool
+	started     bool
+
+	stats Stats
+	gSkew *metrics.Gauge
+}
+
+// NewManager builds (but does not start) a manager.
+func NewManager(cfg Config, tgt Target) (*Manager, error) {
+	if cfg.Deadline <= 0 {
+		return nil, fmt.Errorf("recovery: Config.Deadline is required (it bounds the probe process)")
+	}
+	if tgt.Eng == nil || tgt.Topo == nil || tgt.UD == nil || tgt.Base == nil {
+		return nil, fmt.Errorf("recovery: incomplete target")
+	}
+	if tgt.Monitor < 0 || tgt.Monitor >= len(tgt.Hosts) {
+		return nil, fmt.Errorf("recovery: monitor index %d out of range", tgt.Monitor)
+	}
+	m := &Manager{
+		cfg:          cfg.withDefaults(),
+		eng:          tgt.Eng,
+		topo:         tgt.Topo,
+		ud:           tgt.UD,
+		alg:          tgt.Alg,
+		table:        tgt.Base,
+		hosts:        tgt.Hosts,
+		mon:          tgt.Monitor,
+		tracer:       tgt.Tracer,
+		byNode:       make(map[topology.NodeID]*hostState),
+		outstanding:  make(map[uint32]probeInfo),
+		linkSuspects: make(map[int]bool),
+	}
+	m.stats.Detection = &stats.Summary{}
+	m.stats.Convergence = &stats.Summary{}
+	for i, h := range tgt.Hosts {
+		if i == tgt.Monitor {
+			continue
+		}
+		hs := &hostState{idx: i, node: h.Node()}
+		m.targets = append(m.targets, hs)
+		m.byNode[h.Node()] = hs
+	}
+	return m, nil
+}
+
+// Start begins probing at the current simulation time. It chains the
+// monitor MCP's OnMapping callback (a local mapper keeps seeing the
+// packets the manager does not consume).
+func (m *Manager) Start() {
+	if m.started {
+		return
+	}
+	m.started = true
+	m.sched = Scheduler{
+		Start:    m.eng.Now(),
+		Period:   m.cfg.Period,
+		Spacing:  m.cfg.Spacing,
+		Deadline: m.cfg.Deadline,
+	}
+	mon := m.hosts[m.mon].MCP()
+	prev := mon.OnMapping
+	mon.OnMapping = func(pm packet.Mapping, t units.Time) {
+		if !m.handleMapping(pm) && prev != nil {
+			prev(pm, t)
+		}
+	}
+	m.refreshProbeRoutes()
+	if m.sched.Rounds() > 0 {
+		m.eng.ScheduleAt(m.sched.RoundStart(0), func() { m.runRound(0) })
+	}
+}
+
+// Accessors.
+
+// Epoch returns the latest published epoch (0 before any publish).
+func (m *Manager) Epoch() uint32 { return m.epoch }
+
+// Table returns the latest published table (the base table before any
+// publish).
+func (m *Manager) Table() *routing.Table { return m.table }
+
+// Stats returns a snapshot of the counters (summaries are shared).
+func (m *Manager) Stats() Stats { return m.stats }
+
+// StateOf returns the detector's belief about a host (the monitor is
+// always Alive).
+func (m *Manager) StateOf(node topology.NodeID) State {
+	if hs := m.byNode[node]; hs != nil {
+		return hs.state
+	}
+	return Alive
+}
+
+// Suspected counts hosts currently in the Suspected state.
+func (m *Manager) Suspected() int { return m.count(Suspected) }
+
+// Confirmed counts hosts currently confirmed dead.
+func (m *Manager) Confirmed() int { return m.count(Confirmed) }
+
+func (m *Manager) count(s State) int {
+	n := 0
+	for _, hs := range m.targets {
+		if hs.state == s {
+			n++
+		}
+	}
+	return n
+}
+
+// ReportPeerDead accelerates detection with GM's own evidence: a
+// dead-peer verdict against a host promotes it straight to Suspected
+// and triggers an immediate out-of-cycle probe.
+func (m *Manager) ReportPeerDead(peer topology.NodeID) {
+	hs := m.byNode[peer]
+	if hs == nil || !m.started {
+		return
+	}
+	m.stats.PeerReports++
+	if hs.state == Confirmed {
+		return
+	}
+	if hs.firstMissAt == 0 {
+		hs.firstMissAt = m.eng.Now()
+	}
+	if hs.misses < m.cfg.SuspectAfter {
+		hs.misses = m.cfg.SuspectAfter
+	}
+	if hs.state == Alive {
+		hs.state = Suspected
+		m.stats.HostsSuspected++
+		m.emit(trace.HostSuspected, hs.node, "peer-report")
+	}
+	m.sendProbe(hs, false, hs.fwd, hs.ret)
+}
+
+func (m *Manager) emit(k trace.Kind, node topology.NodeID, detail string) {
+	if m.tracer == nil {
+		return
+	}
+	m.tracer.Record(trace.Event{At: m.eng.Now(), Kind: k, Node: node, Detail: detail})
+}
+
+// monNode returns the monitor's topology node.
+func (m *Manager) monNode() topology.NodeID { return m.hosts[m.mon].Node() }
+
+// ---------------------------------------------------------------
+// Probing.
+
+// runRound fires the probes of round r and chains round r+1.
+func (m *Manager) runRound(r int) {
+	if m.cfg.RetireAfter > 0 && r > 0 && r%m.cfg.RetireAfter == 0 && len(m.linkSuspects) > 0 {
+		// Retire the link suspects: transient link faults heal, and a
+		// republish lets healed links carry minimal routes again. If
+		// one is still dead, the next misses re-suspect it.
+		m.stats.LinksRetired += uint64(len(m.linkSuspects))
+		clear(m.linkSuspects)
+		m.refreshProbeRoutes()
+		m.publish(m.eng.Now(), "retire")
+	}
+	for k, hs := range m.targets {
+		hs := hs
+		m.eng.ScheduleAt(m.sched.ProbeAt(r, k), func() {
+			m.sendProbe(hs, false, hs.fwd, hs.ret)
+		})
+	}
+	if next := r + 1; next < m.sched.Rounds() {
+		m.eng.ScheduleAt(m.sched.RoundStart(next), func() { m.runRound(next) })
+	}
+}
+
+// refreshProbeRoutes recomputes every target's probe routes around
+// the current link suspects. Probe routes are pure up*/down* — a
+// probe must not depend on an in-transit host that may itself be the
+// thing being probed.
+func (m *Manager) refreshProbeRoutes() {
+	var avoid *routing.Avoid
+	if len(m.linkSuspects) > 0 {
+		avoid = &routing.Avoid{Links: make(map[int]bool, len(m.linkSuspects))}
+		for id := range m.linkSuspects {
+			avoid.Links[id] = true
+		}
+	}
+	for _, hs := range m.targets {
+		hs.fwd, hs.ret, hs.primLinks = nil, nil, nil
+		f, err := routing.FindRoute(m.topo, m.ud, routing.UpDownRouting, m.monNode(), hs.node, avoid)
+		if err != nil {
+			continue
+		}
+		rr, err := routing.FindRoute(m.topo, m.ud, routing.UpDownRouting, hs.node, m.monNode(), avoid)
+		if err != nil {
+			continue
+		}
+		fh, err := f.EncodeHeader()
+		if err != nil {
+			continue
+		}
+		rh, err := rr.EncodeHeader()
+		if err != nil {
+			continue
+		}
+		hs.fwd, hs.ret = fh, rh
+		for _, route := range []*routing.Route{f, rr} {
+			for _, tr := range route.LinkPath {
+				if m.topo.Node(tr.Link.A).Kind == topology.KindSwitch &&
+					m.topo.Node(tr.Link.B).Kind == topology.KindSwitch {
+					hs.primLinks = append(hs.primLinks, tr.Link.ID)
+				}
+			}
+		}
+	}
+}
+
+// sendProbe emits one probe (or verification probe) to a target. A
+// nil route means the target is unreachable under the current link
+// suspects, which counts as a miss outright.
+func (m *Manager) sendProbe(hs *hostState, verify bool, fwd, ret []byte) {
+	if fwd == nil {
+		m.miss(hs, verify)
+		return
+	}
+	m.nonce++
+	n := m.nonce
+	idx := -1
+	for i, t := range m.targets {
+		if t == hs {
+			idx = i
+			break
+		}
+	}
+	m.outstanding[n] = probeInfo{idx: idx, verify: verify}
+	m.stats.ProbesSent++
+	probe := &packet.Packet{
+		Route: append([]byte(nil), fwd...),
+		Type:  packet.TypeMapping,
+		Src:   int(m.monNode()),
+		Dst:   int(hs.node),
+		Payload: packet.EncodeMapping(packet.Mapping{
+			Kind:        packet.MappingProbe,
+			Nonce:       n,
+			Origin:      int32(m.monNode()),
+			ReturnRoute: ret,
+		}),
+	}
+	m.hosts[m.mon].MCP().SubmitSend(probe, nil)
+	m.eng.Schedule(m.cfg.Timeout, func() {
+		if _, ok := m.outstanding[n]; !ok {
+			return // answered in time
+		}
+		delete(m.outstanding, n)
+		m.miss(hs, verify)
+	})
+}
+
+// handleMapping consumes probe replies addressed to the manager;
+// anything else (a local mapper's traffic) is left to the chained
+// handler.
+func (m *Manager) handleMapping(pm packet.Mapping) bool {
+	if pm.Kind != packet.MappingReply {
+		return false
+	}
+	pi, ok := m.outstanding[pm.Nonce]
+	if !ok {
+		return false
+	}
+	delete(m.outstanding, pm.Nonce)
+	m.stats.ProbeReplies++
+	hs := m.targets[pi.idx]
+	if pi.verify {
+		hs.verifying = false
+		if hs.state == Confirmed {
+			m.resurrect(hs)
+			return true
+		}
+		// The host answered over the alternate path: it is alive and
+		// the primary probe path is broken. Suspect that path's
+		// inter-switch links and route around them.
+		m.suspectLinks(hs)
+		return true
+	}
+	switch hs.state {
+	case Confirmed:
+		m.resurrect(hs)
+	case Suspected:
+		hs.state = Alive
+		hs.misses, hs.firstMissAt = 0, 0
+		m.stats.HostsRestored++
+		m.emit(trace.HostRestored, hs.node, "reply")
+	default:
+		hs.misses, hs.firstMissAt = 0, 0
+	}
+	return true
+}
+
+// miss records one probe miss and walks the suspect/confirm ladder.
+func (m *Manager) miss(hs *hostState, verify bool) {
+	m.stats.ProbeMisses++
+	if verify {
+		hs.verifying = false
+		if hs.state != Confirmed {
+			m.confirm(hs)
+		}
+		return
+	}
+	if hs.state == Confirmed {
+		return // still dead; probing continues for resurrection
+	}
+	hs.misses++
+	if hs.firstMissAt == 0 {
+		hs.firstMissAt = m.eng.Now()
+	}
+	if hs.state == Alive && hs.misses >= m.cfg.SuspectAfter {
+		hs.state = Suspected
+		m.stats.HostsSuspected++
+		m.emit(trace.HostSuspected, hs.node, fmt.Sprintf("misses=%d", hs.misses))
+	}
+	if hs.state == Suspected && hs.misses >= m.cfg.ConfirmAfter && !hs.verifying {
+		m.verifyOrConfirm(hs)
+	}
+}
+
+// verifyOrConfirm tries to refute a pending confirmation over an
+// alternate path before giving the dead verdict.
+func (m *Manager) verifyOrConfirm(hs *hostState) {
+	fwd, ret := m.altProbeRoute(hs)
+	if fwd == nil {
+		m.confirm(hs)
+		return
+	}
+	hs.verifying = true
+	m.stats.VerifyProbes++
+	m.emit(trace.Heartbeat, hs.node, "verify")
+	m.sendProbe(hs, true, fwd, ret)
+}
+
+// altProbeRoute searches probe routes that avoid the primary probe
+// path's inter-switch links (and the standing suspects). nil when no
+// disjoint path exists.
+func (m *Manager) altProbeRoute(hs *hostState) (fwd, ret []byte) {
+	avoid := &routing.Avoid{Links: make(map[int]bool, len(m.linkSuspects)+len(hs.primLinks))}
+	for id := range m.linkSuspects {
+		avoid.Links[id] = true
+	}
+	for _, id := range hs.primLinks {
+		avoid.Links[id] = true
+	}
+	f, err := routing.FindRoute(m.topo, m.ud, routing.UpDownRouting, m.monNode(), hs.node, avoid)
+	if err != nil {
+		return nil, nil
+	}
+	rr, err := routing.FindRoute(m.topo, m.ud, routing.UpDownRouting, hs.node, m.monNode(), avoid)
+	if err != nil {
+		return nil, nil
+	}
+	fh, err := f.EncodeHeader()
+	if err != nil {
+		return nil, nil
+	}
+	rh, err := rr.EncodeHeader()
+	if err != nil {
+		return nil, nil
+	}
+	return fh, rh
+}
+
+// confirm gives the dead verdict and publishes an epoch without the
+// host.
+func (m *Manager) confirm(hs *hostState) {
+	hs.state = Confirmed
+	m.stats.HostsConfirmed++
+	m.stats.Detection.Add(float64(m.eng.Now() - hs.firstMissAt))
+	m.emit(trace.HostConfirmed, hs.node, fmt.Sprintf("after=%v", m.eng.Now()-hs.firstMissAt))
+	m.publish(hs.firstMissAt, "confirm")
+}
+
+// resurrect reverses a dead verdict after a confirmed host answered a
+// probe, and publishes an epoch that restores its routes.
+func (m *Manager) resurrect(hs *hostState) {
+	hs.state = Alive
+	hs.misses, hs.firstMissAt = 0, 0
+	m.stats.Resurrections++
+	m.emit(trace.HostRestored, hs.node, "resurrect")
+	m.publish(m.eng.Now(), "resurrect")
+}
+
+// suspectLinks blames the primary probe path for a verified-alive
+// host's misses, restores the host, and publishes an epoch routed
+// around the suspect links.
+func (m *Manager) suspectLinks(hs *hostState) {
+	trigger := hs.firstMissAt
+	if trigger == 0 {
+		trigger = m.eng.Now()
+	}
+	added := 0
+	for _, id := range hs.primLinks {
+		if !m.linkSuspects[id] {
+			m.linkSuspects[id] = true
+			added++
+		}
+	}
+	m.stats.LinksSuspected += uint64(added)
+	if hs.state == Suspected {
+		m.stats.HostsRestored++
+	}
+	hs.state = Alive
+	hs.misses, hs.firstMissAt = 0, 0
+	m.emit(trace.HostRestored, hs.node, fmt.Sprintf("link-fault links=%d", added))
+	m.refreshProbeRoutes()
+	if added > 0 {
+		m.publish(trigger, "link-suspect")
+	}
+}
+
+// ---------------------------------------------------------------
+// Epoch publication.
+
+// buildAvoid assembles the exclusion set from the current verdicts,
+// deterministically (hosts in target order, links sorted).
+func (m *Manager) buildAvoid() *routing.Avoid {
+	a := &routing.Avoid{}
+	for _, hs := range m.targets {
+		if hs.state == Confirmed {
+			a.AddHost(hs.node)
+		}
+	}
+	if len(m.linkSuspects) > 0 {
+		ids := make([]int, 0, len(m.linkSuspects))
+		for id := range m.linkSuspects {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		a.Links = make(map[int]bool, len(ids))
+		for _, id := range ids {
+			a.Links[id] = true
+		}
+	}
+	if a.Hosts == nil && a.Links == nil {
+		return nil
+	}
+	return a
+}
+
+// publish rebuilds the table under a new epoch and distributes it
+// host by host. trigger is when the causing condition was first
+// observed; the convergence summary samples trigger -> last install.
+func (m *Manager) publish(trigger units.Time, why string) {
+	tbl, reused, err := routing.RebuildAvoiding(m.table, m.topo, m.ud, m.alg, m.buildAvoid())
+	if err != nil {
+		return // unreachable with a non-nil previous table
+	}
+	m.epoch++
+	epoch := m.epoch
+	m.table = tbl
+	m.stats.RoutesReused += uint64(reused)
+	m.stats.EpochsPublished++
+	m.emit(trace.EpochPublish, m.monNode(), fmt.Sprintf("epoch=%d %s reused=%d", epoch, why, reused))
+	if trigger == 0 {
+		trigger = m.eng.Now()
+	}
+	live := make([]*gm.Host, 0, len(m.hosts))
+	for _, h := range m.hosts {
+		if hs := m.byNode[h.Node()]; hs != nil && hs.state == Confirmed {
+			continue
+		}
+		live = append(live, h)
+	}
+	now := m.eng.Now()
+	for k, h := range live {
+		h := h
+		last := k == len(live)-1
+		m.eng.ScheduleAt(now+m.cfg.InstallDelay+units.Time(k)*m.cfg.InstallStagger, func() {
+			if h.Epoch() > epoch {
+				// A newer epoch already reached this host; a stale
+				// staggered install must not regress its table.
+				return
+			}
+			if m.gSkew != nil {
+				m.gSkew.SetMax(float64(epoch - h.Epoch()))
+			}
+			h.InstallTable(tbl, epoch)
+			h.MCP().SetEpoch(epoch)
+			m.emit(trace.EpochInstall, h.Node(), fmt.Sprintf("epoch=%d", epoch))
+			if last {
+				m.stats.Convergence.Add(float64(m.eng.Now() - trigger))
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------
+// Metrics.
+
+// SetMetrics attaches live gauges (epoch skew high-water).
+func (m *Manager) SetMetrics(r *metrics.Registry) {
+	m.gSkew = r.Gauge("recovery.peak_epoch_skew")
+}
+
+// PublishMetrics dumps the protocol counters into r under
+// recovery.*. Zero counters are skipped to keep snapshots compact.
+func (m *Manager) PublishMetrics(r *metrics.Registry) {
+	if r == nil {
+		return
+	}
+	for _, c := range []struct {
+		name string
+		v    uint64
+	}{
+		{"probes_sent", m.stats.ProbesSent},
+		{"probe_replies", m.stats.ProbeReplies},
+		{"probe_misses", m.stats.ProbeMisses},
+		{"verify_probes", m.stats.VerifyProbes},
+		{"hosts_suspected", m.stats.HostsSuspected},
+		{"hosts_confirmed", m.stats.HostsConfirmed},
+		{"hosts_restored", m.stats.HostsRestored},
+		{"resurrections", m.stats.Resurrections},
+		{"epochs_published", m.stats.EpochsPublished},
+		{"links_suspected", m.stats.LinksSuspected},
+		{"links_retired", m.stats.LinksRetired},
+		{"peer_reports", m.stats.PeerReports},
+		{"routes_reused", m.stats.RoutesReused},
+	} {
+		if c.v != 0 {
+			r.Counter("recovery." + c.name).Add(c.v)
+		}
+	}
+	if m.stats.Detection.N() > 0 {
+		r.Gauge("recovery.detection_mean_us").Set(m.stats.Detection.Mean() / float64(units.Microsecond))
+	}
+	if m.stats.Convergence.N() > 0 {
+		r.Gauge("recovery.convergence_mean_us").Set(m.stats.Convergence.Mean() / float64(units.Microsecond))
+	}
+}

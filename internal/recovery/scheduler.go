@@ -1,0 +1,40 @@
+package recovery
+
+import "repro/internal/units"
+
+// Scheduler is the pure timing arithmetic of the heartbeat protocol:
+// probe rounds start Period apart from Start, and within a round the
+// probes to individual targets are spaced Spacing apart so the
+// monitor's NIC never bursts the whole host list at one instant. No
+// round starts after Deadline — that is what bounds the simulation
+// when the recovery protocol is active (a periodic prober would
+// otherwise keep the event loop alive forever).
+//
+// It is a value type with no state so its invariants can be fuzzed
+// directly (FuzzProbeScheduler).
+type Scheduler struct {
+	Start    units.Time
+	Period   units.Time
+	Spacing  units.Time
+	Deadline units.Time
+}
+
+// Rounds returns how many probe rounds fit before the deadline: round
+// r exists iff its base time Start + r*Period <= Deadline.
+func (s Scheduler) Rounds() int {
+	if s.Period <= 0 || s.Deadline < s.Start {
+		return 0
+	}
+	return int((s.Deadline-s.Start)/s.Period) + 1
+}
+
+// RoundStart returns the base time of round r.
+func (s Scheduler) RoundStart(r int) units.Time {
+	return s.Start + units.Time(r)*s.Period
+}
+
+// ProbeAt returns when the probe to the idx-th target of round r goes
+// out.
+func (s Scheduler) ProbeAt(r, idx int) units.Time {
+	return s.RoundStart(r) + units.Time(idx)*s.Spacing
+}

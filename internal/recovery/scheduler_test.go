@@ -1,0 +1,83 @@
+package recovery
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestSchedulerRounds(t *testing.T) {
+	s := Scheduler{Start: 100, Period: 50, Spacing: 2, Deadline: 300}
+	if got := s.Rounds(); got != 5 { // rounds at 100,150,200,250,300
+		t.Fatalf("Rounds() = %d, want 5", got)
+	}
+	if got := s.RoundStart(4); got != 300 {
+		t.Errorf("RoundStart(4) = %d, want 300", got)
+	}
+	if got := s.ProbeAt(1, 3); got != 156 {
+		t.Errorf("ProbeAt(1,3) = %d, want 156", got)
+	}
+	if got := (Scheduler{Start: 10, Period: 5, Deadline: 9}).Rounds(); got != 0 {
+		t.Errorf("deadline before start: Rounds() = %d, want 0", got)
+	}
+	if got := (Scheduler{Start: 10, Period: 0, Deadline: 100}).Rounds(); got != 0 {
+		t.Errorf("zero period: Rounds() = %d, want 0", got)
+	}
+	if got := (Scheduler{Start: 10, Period: 5, Deadline: 10}).Rounds(); got != 1 {
+		t.Errorf("deadline == start: Rounds() = %d, want 1", got)
+	}
+}
+
+// FuzzProbeScheduler fuzzes the timing arithmetic invariants: every
+// existing round starts within the deadline, round starts are strictly
+// increasing, and probe times are non-decreasing in the target index.
+func FuzzProbeScheduler(f *testing.F) {
+	f.Add(int64(0), int64(150), int64(2), int64(3000), 3)
+	f.Add(int64(100), int64(1), int64(0), int64(100), 0)
+	f.Add(int64(5), int64(7), int64(11), int64(500), 13)
+	f.Fuzz(func(t *testing.T, start, period, spacing, deadline int64, idx int) {
+		// Keep the arithmetic in a range that cannot overflow int64.
+		const lim = int64(1) << 40
+		if start < 0 || start > lim || period < 0 || period > lim ||
+			spacing < 0 || spacing > lim || deadline < 0 || deadline > lim {
+			t.Skip()
+		}
+		if idx < 0 || idx > 1<<16 {
+			t.Skip()
+		}
+		s := Scheduler{
+			Start:    units.Time(start),
+			Period:   units.Time(period),
+			Spacing:  units.Time(spacing),
+			Deadline: units.Time(deadline),
+		}
+		n := s.Rounds()
+		if n < 0 {
+			t.Fatalf("Rounds() = %d, negative", n)
+		}
+		if n > 0 && s.Period <= 0 {
+			t.Fatalf("rounds exist with non-positive period")
+		}
+		for r := 0; r < n && r < 64; r++ {
+			rs := s.RoundStart(r)
+			if rs > s.Deadline {
+				t.Fatalf("round %d starts at %d, past deadline %d", r, rs, s.Deadline)
+			}
+			if rs < s.Start {
+				t.Fatalf("round %d starts at %d, before start %d", r, rs, s.Start)
+			}
+			if r > 0 && rs <= s.RoundStart(r-1) {
+				t.Fatalf("round starts not increasing: %d then %d", s.RoundStart(r-1), rs)
+			}
+			if p := s.ProbeAt(r, idx); p < rs {
+				t.Fatalf("ProbeAt(%d,%d) = %d before its round start %d", r, idx, p, rs)
+			}
+			if idx > 0 && s.ProbeAt(r, idx) < s.ProbeAt(r, idx-1) {
+				t.Fatalf("probe times decrease within round %d", r)
+			}
+		}
+		if n > 0 && s.RoundStart(n) <= s.Deadline {
+			t.Fatalf("round %d would fit before the deadline but Rounds() = %d", n, n)
+		}
+	})
+}

@@ -1,0 +1,101 @@
+package routing
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// routeValid reports whether a previously built route survives an
+// exclusion set: every link it crosses is live and every in-transit
+// host it ejects through is usable. Endpoint liveness is the caller's
+// check (the rebuild loop skips dead endpoints wholesale).
+func routeValid(t *topology.Topology, r *Route, avoid *Avoid) bool {
+	for _, tr := range r.LinkPath {
+		if avoid.avoidsLink(tr.Link.ID) {
+			return false
+		}
+	}
+	for _, h := range r.ITBHosts {
+		if avoid.hostDead(t, h) {
+			return false
+		}
+	}
+	return true
+}
+
+// RebuildAvoiding is the incremental form of BuildTableAvoiding the
+// recovery manager uses at each epoch publish: routes of prev that
+// remain valid under the exclusion set are carried into the new table
+// unchanged (routes are immutable once built, so sharing is safe),
+// and only the invalidated pairs are searched again. The in-transit
+// load balance is seeded from the reused routes so replacement routes
+// spread over the hosts the survivors left least loaded. It returns
+// the new table and the number of routes reused.
+//
+// A prev of nil (or with a different algorithm) degenerates to a full
+// BuildTableAvoiding.
+func RebuildAvoiding(prev *Table, t *topology.Topology, ud *topology.UpDown, alg Algorithm, avoid *Avoid) (*Table, int, error) {
+	if prev == nil || prev.Algorithm != alg {
+		tbl, err := BuildTableAvoiding(t, ud, alg, avoid)
+		return tbl, 0, err
+	}
+	tbl := &Table{
+		Algorithm: alg,
+		routes:    make(map[[2]topology.NodeID]*Route),
+		itbLoad:   make(map[topology.NodeID]int),
+		pathCache: make(map[[2]topology.NodeID]cachedPath),
+		avoid:     avoid,
+	}
+	hosts := t.Hosts()
+	reused := 0
+	type pair struct{ src, dst topology.NodeID }
+	var missing []pair
+	for _, src := range hosts {
+		if avoid.hostDead(t, src) {
+			continue
+		}
+		for _, dst := range hosts {
+			if src == dst || avoid.hostDead(t, dst) {
+				continue
+			}
+			if r, ok := prev.Lookup(src, dst); ok && routeValid(t, r, avoid) {
+				tbl.routes[[2]topology.NodeID{src, dst}] = r
+				for _, h := range r.ITBHosts {
+					tbl.itbLoad[h]++
+				}
+				reused++
+				continue
+			}
+			missing = append(missing, pair{src, dst})
+		}
+	}
+	for _, p := range missing {
+		r, err := tbl.buildRoute(t, ud, p.src, p.dst)
+		if err != nil {
+			// Unreachable under the exclusion set: omit the pair, as
+			// BuildTableAvoiding does.
+			continue
+		}
+		tbl.routes[[2]topology.NodeID{p.src, p.dst}] = r
+	}
+	return tbl, reused, nil
+}
+
+// FindRoute computes one route src->dst under an exclusion set
+// without building a table — the recovery manager's verification
+// probes use it to reach a suspect over an alternate path that avoids
+// the links the primary route crossed.
+func FindRoute(t *topology.Topology, ud *topology.UpDown, alg Algorithm, src, dst topology.NodeID, avoid *Avoid) (*Route, error) {
+	if avoid.hostDead(t, src) || avoid.hostDead(t, dst) {
+		return nil, fmt.Errorf("routing: endpoint %d->%d dead under exclusion set", src, dst)
+	}
+	tbl := &Table{
+		Algorithm: alg,
+		routes:    make(map[[2]topology.NodeID]*Route),
+		itbLoad:   make(map[topology.NodeID]int),
+		pathCache: make(map[[2]topology.NodeID]cachedPath),
+		avoid:     avoid,
+	}
+	return tbl.buildRoute(t, ud, src, dst)
+}

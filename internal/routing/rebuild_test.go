@@ -1,0 +1,134 @@
+package routing
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// TestRebuildReusesValidRoutes checks the incremental rebuild: routes
+// untouched by the exclusion set are carried over, invalidated ones
+// are re-searched, and the result matches a from-scratch
+// BuildTableAvoiding pair for pair.
+func TestRebuildReusesValidRoutes(t *testing.T) {
+	tp, f := topology.Figure1()
+	ud := topology.BuildUpDown(tp)
+	base, err := BuildTable(tp, ud, ITBRouting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avoid := AvoidLinks().AddHost(f.Hosts[6]) // the Figure 1 in-transit host dies
+
+	inc, reused, err := RebuildAvoiding(base, tp, ud, ITBRouting, avoid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := BuildTableAvoiding(tp, ud, ITBRouting, avoid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.Len() != full.Len() {
+		t.Fatalf("incremental table has %d routes, full rebuild %d", inc.Len(), full.Len())
+	}
+	if reused == 0 || reused >= base.Len() {
+		t.Fatalf("reused = %d of %d, want a strict subset (the dead host invalidates some)", reused, base.Len())
+	}
+	hosts := tp.Hosts()
+	for _, src := range hosts {
+		for _, dst := range hosts {
+			if src == dst {
+				continue
+			}
+			ri, oki := inc.Lookup(src, dst)
+			_, okf := full.Lookup(src, dst)
+			if oki != okf {
+				t.Fatalf("pair %d->%d: incremental has route %v, full %v", src, dst, oki, okf)
+			}
+			if !oki {
+				continue
+			}
+			if !routeValid(tp, ri, avoid) {
+				t.Errorf("pair %d->%d: incremental route crosses the exclusion set", src, dst)
+			}
+			for _, h := range ri.ITBHosts {
+				if h == f.Hosts[6] {
+					t.Errorf("pair %d->%d: route still ejects through the dead host", src, dst)
+				}
+			}
+		}
+	}
+}
+
+// TestRebuildNilPrevFallsBack checks that a nil previous table (or an
+// algorithm change) degenerates to a full build.
+func TestRebuildNilPrevFallsBack(t *testing.T) {
+	tp, _ := topology.Figure1()
+	ud := topology.BuildUpDown(tp)
+	tbl, reused, err := RebuildAvoiding(nil, tp, ud, ITBRouting, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused != 0 {
+		t.Errorf("reused = %d with nil prev, want 0", reused)
+	}
+	want, err := BuildTable(tp, ud, ITBRouting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != want.Len() {
+		t.Errorf("fallback table has %d routes, want %d", tbl.Len(), want.Len())
+	}
+
+	udTbl, err := BuildTable(tp, ud, UpDownRouting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl2, reused2, err := RebuildAvoiding(udTbl, tp, ud, ITBRouting, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused2 != 0 {
+		t.Errorf("reused = %d across an algorithm change, want 0", reused2)
+	}
+	if tbl2.Algorithm != ITBRouting {
+		t.Errorf("algorithm = %v, want ITBRouting", tbl2.Algorithm)
+	}
+}
+
+// TestFindRouteAvoidsPrimaryPath checks the verification-probe use
+// case: an alternate route that avoids a link of the primary one.
+func TestFindRouteAvoidsPrimaryPath(t *testing.T) {
+	tp, f := topology.Figure1()
+	ud := topology.BuildUpDown(tp)
+	src, dst := f.Hosts[4], f.Hosts[1]
+	primary, err := FindRoute(tp, ud, ITBRouting, src, dst, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exclude the first inter-switch link of the primary path (the
+	// host cables must stay usable).
+	var blocked int = -1
+	for _, tr := range primary.LinkPath {
+		if tp.Node(tr.Link.A).Kind == topology.KindSwitch && tp.Node(tr.Link.B).Kind == topology.KindSwitch {
+			blocked = tr.Link.ID
+			break
+		}
+	}
+	if blocked < 0 {
+		t.Fatal("primary route has no inter-switch link")
+	}
+	alt, err := FindRoute(tp, ud, ITBRouting, src, dst, AvoidLinks(blocked))
+	if err != nil {
+		t.Fatalf("no alternate route around link %d: %v", blocked, err)
+	}
+	for _, tr := range alt.LinkPath {
+		if tr.Link.ID == blocked {
+			t.Fatal("alternate route crosses the excluded link")
+		}
+	}
+
+	// A dead endpoint cannot be routed to.
+	if _, err := FindRoute(tp, ud, UpDownRouting, src, dst, AvoidLinks().AddHost(dst)); err == nil {
+		t.Fatal("FindRoute to a dead endpoint succeeded")
+	}
+}

@@ -31,8 +31,17 @@ const (
 	Retransmit                 // GM go-back-N retransmission
 	LinkFault                  // a link failed or recovered (detail: down/up/ber)
 	NICFault                   // a NIC fault event (detail: stall/resume/pool-exhaust/pool-restore)
-	RouteRecompute             // route table rebuilt around the failed set
+	RouteRecompute             // retained for value stability; superseded by EpochPublish
 	PeerDead                   // GM declared a peer dead after repeated timeouts
+	// Recovery-protocol kinds (appended; earlier values are stable).
+	Heartbeat       // recovery probe sent or answered
+	HostSuspected   // heartbeat misses crossed the suspect threshold
+	HostConfirmed   // heartbeat misses crossed the confirm threshold
+	HostRestored    // a suspected/confirmed host answered again
+	EpochPublish    // a new epoch-versioned route table started distributing
+	EpochInstall    // one host installed the epoch's table
+	PeerResurrected // a dead-peer verdict was lifted by a table install
+	StaleEpochDrop  // an ITB host dropped a packet with a stale epoch
 )
 
 // String names the kind.
@@ -68,6 +77,22 @@ func (k Kind) String() string {
 		return "route-recompute"
 	case PeerDead:
 		return "peer-dead"
+	case Heartbeat:
+		return "heartbeat"
+	case HostSuspected:
+		return "host-suspected"
+	case HostConfirmed:
+		return "host-confirmed"
+	case HostRestored:
+		return "host-restored"
+	case EpochPublish:
+		return "epoch-publish"
+	case EpochInstall:
+		return "epoch-install"
+	case PeerResurrected:
+		return "peer-resurrected"
+	case StaleEpochDrop:
+		return "stale-epoch-drop"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
