@@ -1,7 +1,7 @@
 GO ?= go
 
 # Benchmarks guarded by the bench-gate CI job (see cmd/benchdiff).
-GUARDED_BENCH = ^(BenchmarkFig7_CodeOverhead|BenchmarkFig8_ITBOverhead|BenchmarkAllsizePingPong|BenchmarkSweepSerial|BenchmarkSweepParallel|BenchmarkRecoveryOff)$$
+GUARDED_BENCH = ^(BenchmarkFig7_CodeOverhead|BenchmarkFig8_ITBOverhead|BenchmarkAllsizePingPong|BenchmarkSweepSerial|BenchmarkSweepParallel|BenchmarkRecoveryOff|BenchmarkEngineTableBuild1024)$$
 # Output file for bench-json; CI overrides this to BENCH_PR4.json.
 BENCH_JSON ?= BENCH_PR4.json
 
@@ -57,6 +57,9 @@ fuzz:
 	$(GO) test -fuzz=FuzzSplitITBRoute -fuzztime=10s ./internal/packet/
 	$(GO) test -fuzz=FuzzEpochTag -fuzztime=10s ./internal/packet/
 	$(GO) test -fuzz=FuzzSerializeRoundTrip -fuzztime=10s ./internal/topology/
+	$(GO) test -fuzz=FuzzFatTree -fuzztime=10s ./internal/topology/
+	$(GO) test -fuzz=FuzzDragonfly -fuzztime=10s ./internal/topology/
+	$(GO) test -fuzz=FuzzCompactSteps -fuzztime=10s ./internal/routing/
 	$(GO) test -fuzz=FuzzProbeScheduler -fuzztime=10s ./internal/recovery/
 
 # Run every Fuzz* target briefly, discovering them with `go test

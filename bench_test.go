@@ -486,3 +486,37 @@ func benchRecovery(b *testing.B, enabled bool) {
 		}
 	}
 }
+
+// BenchmarkEngineTableBuild1024 pins the struct-of-arrays compact
+// table build at the scale the engine study runs at: a 1024-host
+// fat-tree, all-pairs routes for every registered engine, validated
+// and certified deadlock free. This is the budget ISSUE 6's "4k-host
+// tables build within the benchdiff gate" claim rests on — the 4096
+// cells in the property suite are ~4x this work per engine.
+func BenchmarkEngineTableBuild1024(b *testing.B) {
+	topo, err := topology.FatTree(topology.DefaultFatTreeConfig(1024))
+	if err != nil {
+		b.Fatal(err)
+	}
+	engines := routing.Engines()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var bytesTotal int
+	for i := 0; i < b.N; i++ {
+		bytesTotal = 0
+		for _, eng := range engines {
+			ct, err := eng.BuildCompact(topo, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := ct.Validate(); err != nil {
+				b.Fatal(err)
+			}
+			if err := ct.CheckDeadlockFree(); err != nil {
+				b.Fatal(err)
+			}
+			bytesTotal += ct.SizeBytes()
+		}
+	}
+	b.ReportMetric(float64(bytesTotal), "table-bytes")
+}

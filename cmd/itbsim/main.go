@@ -15,7 +15,14 @@
 //	itbsim -exp chunks               # SDMA chunk-size ablation
 //	itbsim -exp faults               # fault campaigns: delivery + recovery
 //	itbsim -exp recovery             # self-healing study: heartbeat period x churn
+//	itbsim -exp engines              # routing-engine comparison across topology classes
 //	itbsim -exp all
+//
+// The engines study accepts -engine to run a single engine, -hosts to
+// run a single nominal size, and -topofile to route a serialized
+// topology instead of the generated grid. Unknown engines and
+// topologies an engine cannot route (e.g. a disconnected sample) are
+// rejected with a listing of the valid engines.
 //
 // Independent simulation runs are sharded across -workers goroutines
 // (default: all cores); output is byte-identical at any worker count.
@@ -30,6 +37,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -43,8 +51,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig7, fig8, costs, throughput, latload, bufpool, itbcount, ablation, scaling, patterns, roots, schemes, chunks, app, fidelity, trace, faults, recovery, all")
+	exp := flag.String("exp", "all", "experiment: fig7, fig8, costs, throughput, latload, bufpool, itbcount, ablation, scaling, patterns, roots, schemes, chunks, app, fidelity, trace, faults, recovery, engines, all")
 	switches := flag.Int("switches", 16, "switches in the irregular network (throughput/latload)")
+	engineName := flag.String("engine", "all", "routing engine for the engines study (see -exp engines); \"all\" runs every registered engine")
+	hosts := flag.Int("hosts", 0, "single nominal host count for the engines study (0 = the default 64/256/1024 grid)")
+	topofile := flag.String("topofile", "", "serialized topology file routed by the engines study instead of the generated grid")
 	seed := flag.Int64("seed", 5, "random seed for topology and traffic")
 	iters := flag.Int("iters", 100, "gm_allsize iterations per message size")
 	windowUs := flag.Int("window", 1000, "measurement window in microseconds (throughput/latload)")
@@ -55,6 +66,16 @@ func main() {
 	pprofOut := flag.String("pprof", "", "write a CPU profile of the whole invocation to this file")
 	flag.Parse()
 	runner.SetWorkers(*workers)
+
+	// Reject unknown engines before anything runs, mirroring the
+	// unknown -exp error path: name the offender, list what is valid.
+	if *engineName != "all" {
+		if _, ok := routing.EngineByName(*engineName); !ok {
+			fmt.Fprintf(os.Stderr, "itbsim: unknown engine %q; valid engines:\n%s",
+				*engineName, routing.EngineList())
+			os.Exit(1)
+		}
+	}
 
 	// -metrics and -trace arm shared collectors; the instrumented
 	// experiments (fig7, fig8, throughput, latload, itbcount, ablation,
@@ -365,6 +386,37 @@ func main() {
 		res, err := core.RunFaultStudy(cfg)
 		if err != nil {
 			return err
+		}
+		res.WriteTable(os.Stdout)
+		return nil
+	})
+
+	run("engines", func() error {
+		cfg := core.DefaultEngineStudyConfig(*seed)
+		cfg.Metrics = reg
+		if *engineName != "all" {
+			cfg.Engines = []string{*engineName}
+		}
+		if *hosts > 0 {
+			cfg.Sizes = []int{*hosts}
+		}
+		if *topofile != "" {
+			text, err := os.ReadFile(*topofile)
+			if err != nil {
+				return err
+			}
+			cfg.TopoText = string(text)
+			cfg.TopoLabel = filepath.Base(*topofile)
+		}
+		res, err := core.RunEngineStudy(cfg)
+		if err != nil {
+			// An engine refusing a topology (disconnected, no switches,
+			// uncabled hosts) lists the registered engines, so the caller
+			// can tell a bad engine choice from a bad topology.
+			return fmt.Errorf("%w\nvalid engines:\n%s", err, routing.EngineList())
+		}
+		if *csvOut {
+			return res.WriteCSV(os.Stdout)
 		}
 		res.WriteTable(os.Stdout)
 		return nil

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/routing"
+)
+
+// smallEngineStudy is a reduced grid that still crosses every
+// registered engine with an irregular and a regular topology class.
+func smallEngineStudy(seed int64) EngineStudyConfig {
+	cfg := DefaultEngineStudyConfig(seed)
+	cfg.Classes = []string{"irregular", "dragonfly"}
+	cfg.Sizes = []int{64}
+	return cfg
+}
+
+// TestEngineStudyDeterministicAcrossWorkers certifies the study at
+// the API level: table, CSV, and the merged metrics snapshot must be
+// byte-identical at workers=1 and workers=4 (the CLI golden pins the
+// same property for the shipped binary).
+func TestEngineStudyDeterministicAcrossWorkers(t *testing.T) {
+	assertDeterministic(t, func() (string, error) {
+		var sb strings.Builder
+		cfg := smallEngineStudy(7)
+		reg := metrics.NewRegistry()
+		cfg.Metrics = reg
+		res, err := RunEngineStudy(cfg)
+		if err != nil {
+			return "", err
+		}
+		res.WriteTable(&sb)
+		if err := res.WriteCSV(&sb); err != nil {
+			return "", err
+		}
+		if err := reg.Snapshot().WriteJSON(&sb); err != nil {
+			return "", err
+		}
+		return sb.String(), nil
+	})
+}
+
+// TestEngineStudyRowsAndMetrics checks the study's shape: one row per
+// (class, size, engine) cell in spec order, and the merged registry
+// carries each cell's counters under its "<class>.<hosts>.<engine>."
+// prefix.
+func TestEngineStudyRowsAndMetrics(t *testing.T) {
+	cfg := smallEngineStudy(7)
+	reg := metrics.NewRegistry()
+	cfg.Metrics = reg
+	res, err := RunEngineStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := len(cfg.Classes) * len(cfg.Sizes) * len(routing.EngineNames())
+	if len(res.Rows) != wantRows {
+		t.Fatalf("got %d rows, want %d", len(res.Rows), wantRows)
+	}
+	i := 0
+	for _, class := range cfg.Classes {
+		for range cfg.Sizes {
+			for _, eng := range routing.EngineNames() {
+				row := res.Rows[i]
+				i++
+				if row.Class != class || row.Engine != eng {
+					t.Fatalf("row %d = (%s, %s), want (%s, %s)", i-1, row.Class, row.Engine, class, eng)
+				}
+				if row.Switches <= 0 || row.Hosts <= 0 {
+					t.Errorf("row %d has empty topology: %+v", i-1, row)
+				}
+				if row.Pairs != row.Switches*(row.Switches-1) {
+					t.Errorf("row %d: %d pairs, want all-pairs %d", i-1, row.Pairs, row.Switches*(row.Switches-1))
+				}
+				if row.MinimalFraction <= 0 || row.MinimalFraction > 1 {
+					t.Errorf("row %d: minimal fraction %v out of range", i-1, row.MinimalFraction)
+				}
+				snap := reg.Snapshot()
+				prefix := row.Class + "." + strconv.Itoa(row.Hosts) + "." + row.Engine + "."
+				if got := snap.Counters[prefix+"pairs"]; got != uint64(row.Pairs) {
+					t.Errorf("metric %spairs = %d, want %d", prefix, got, row.Pairs)
+				}
+			}
+		}
+	}
+}
+
+// TestEngineStudyRejectsUnknownEngine pins the pre-flight validation
+// the CLI error path rests on.
+func TestEngineStudyRejectsUnknownEngine(t *testing.T) {
+	cfg := smallEngineStudy(1)
+	cfg.Engines = []string{"updown-itb", "no-such-engine"}
+	if _, err := RunEngineStudy(cfg); err == nil {
+		t.Fatal("unknown engine accepted")
+	} else if !strings.Contains(err.Error(), `unknown routing engine "no-such-engine"`) {
+		t.Fatalf("error does not name the engine: %v", err)
+	}
+	cfg = smallEngineStudy(1)
+	cfg.Classes = []string{"moebius"}
+	if _, err := RunEngineStudy(cfg); err == nil {
+		t.Fatal("unknown topology class accepted")
+	} else if !strings.Contains(err.Error(), `unknown topology class "moebius"`) {
+		t.Fatalf("error does not name the class: %v", err)
+	}
+}
+
+// TestEngineStudyTopoText runs the -topofile path: one cell per
+// engine on the supplied topology, labelled with TopoLabel.
+func TestEngineStudyTopoText(t *testing.T) {
+	// 2 switches, 2 hosts each, one trunk — routable by every engine.
+	cfg := EngineStudyConfig{
+		TopoText:  "switch 4\nswitch 4\nhost a\nhost b\nhost c\nhost d\nlink 0 0 1 0 LAN\nlink 0 1 2 0 LAN\nlink 0 2 3 0 LAN\nlink 1 1 4 0 LAN\nlink 1 2 5 0 LAN\n",
+		TopoLabel: "trunk",
+	}
+	res, err := RunEngineStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(routing.EngineNames()) {
+		t.Fatalf("got %d rows, want one per engine (%d)", len(res.Rows), len(routing.EngineNames()))
+	}
+	for _, row := range res.Rows {
+		if row.Class != "trunk" {
+			t.Errorf("row class %q, want the TopoLabel", row.Class)
+		}
+		if row.Switches != 2 || row.Hosts != 4 {
+			t.Errorf("row topology = %d switches / %d hosts, want 2/4", row.Switches, row.Hosts)
+		}
+	}
+}

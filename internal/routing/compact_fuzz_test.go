@@ -1,0 +1,47 @@
+package routing
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// FuzzCompactSteps hardens the compact route codec: DecodePath must
+// never panic on arbitrary step bytes, and anything it accepts must
+// re-encode to exactly the input (EncodePath and DecodePath are exact
+// inverses — the property the CompactTable's arena sharing rests on).
+// The fixture is a small Dragonfly, whose routes exercise both plain
+// hops and in-transit resets.
+func FuzzCompactSteps(f *testing.F) {
+	topo, err := topology.Dragonfly(topology.DragonflyConfig{Routers: 4, Hosts: 2, Globals: 2})
+	if err != nil {
+		f.Fatal(err)
+	}
+	s := len(topo.Switches())
+	// Seed with real engine-built paths, including ITB-bearing ones.
+	ct, err := UpDownITBEngine{}.BuildCompact(topo, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, pair := range [][2]int{{0, 1}, {0, s - 1}, {3, 2 * s / 3}, {s - 1, 1}} {
+		f.Add(pair[0], ct.PairSteps(pair[0], pair[1]))
+	}
+	f.Add(0, []byte{stepITB})          // truncated marker
+	f.Add(0, []byte{stepITB, 0xFE})    // marker with bad port
+	f.Add(0, []byte{0x00, 0x01, 0x02}) // arbitrary hops
+	f.Fuzz(func(t *testing.T, src int, steps []byte) {
+		sw := topology.NodeID(((src % s) + s) % s) // switches occupy ids [0, s)
+		trav, itbBefore, itbHosts, err := DecodePath(topo, sw, steps)
+		if err != nil {
+			return // rejected input is fine; panicking is not
+		}
+		out, err := EncodePath(topo, sw, trav, itbBefore, itbHosts)
+		if err != nil {
+			t.Fatalf("decoded path failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(out, steps) {
+			t.Fatalf("round trip changed bytes:\n in: %v\nout: %v", steps, out)
+		}
+	})
+}

@@ -1,0 +1,194 @@
+package routing
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/topology"
+)
+
+// Engine is a pluggable route-computation strategy. The paper's
+// mechanism — minimal paths legalised with in-transit buffers over the
+// stock BFS up*/down* orientation — is one engine among several; the
+// interface lets the engine-comparison study swap the whole strategy
+// (orientation, search, deadlock argument) per topology class while
+// the simulation stack above stays unchanged.
+//
+// Every engine must deliver the same contract: on a connected
+// topology, BuildTable routes every ordered live host pair and the
+// resulting route set passes CheckDeadlockFree; BuildCompact produces
+// the struct-of-arrays switch-pair form of the same paths for the
+// large-topology studies.
+type Engine interface {
+	// Name is the stable identifier used on the itbsim command line
+	// and in study output.
+	Name() string
+	// Description is a one-line summary for listings.
+	Description() string
+	// Orientation returns the acyclic link orientation the engine's
+	// deadlock-freedom argument rests on for this topology.
+	Orientation(t *topology.Topology) *topology.UpDown
+	// BuildTable computes host-pair routes, omitting pairs with dead
+	// endpoints and pairs unreachable under a non-nil exclusion set.
+	BuildTable(t *topology.Topology, avoid *Avoid) (*Table, error)
+	// RebuildAvoiding is the incremental form: routes of prev that
+	// survive the exclusion set are reused, the rest recomputed. A prev
+	// of nil or from a different engine degenerates to a full build
+	// (returning 0 reused).
+	RebuildAvoiding(prev *Table, t *topology.Topology, avoid *Avoid) (*Table, int, error)
+	// BuildCompact computes the switch-pair CompactTable.
+	BuildCompact(t *topology.Topology, avoid *Avoid) (*CompactTable, error)
+	// CheckDeadlockFree is the engine's self-check: it verifies the
+	// Dally & Seitz acyclicity of the channel dependency graph induced
+	// by a table this engine built.
+	CheckDeadlockFree(tbl *Table) error
+}
+
+// Engines returns the registered engines in stable (alphabetical by
+// name) order: the reference up*/down*+ITB engine and the two
+// alternative strategies of the comparison study.
+func Engines() []Engine {
+	es := []Engine{
+		UpDownITBEngine{},
+		LayeredEngine{},
+		MinimalEscapeEngine{},
+	}
+	sort.Slice(es, func(i, j int) bool { return es[i].Name() < es[j].Name() })
+	return es
+}
+
+// EngineNames returns the registered engine names in stable order.
+func EngineNames() []string {
+	var names []string
+	for _, e := range Engines() {
+		names = append(names, e.Name())
+	}
+	return names
+}
+
+// EngineByName resolves a registered engine.
+func EngineByName(name string) (Engine, bool) {
+	for _, e := range Engines() {
+		if e.Name() == name {
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+// EngineList renders "name — description" lines for CLI help and the
+// error path that lists valid engines.
+func EngineList() string {
+	var b strings.Builder
+	for _, e := range Engines() {
+		fmt.Fprintf(&b, "  %-15s %s\n", e.Name(), e.Description())
+	}
+	return b.String()
+}
+
+// engineCheckTopology is the shared precondition of every engine: a
+// connected topology with at least one switch and every host cabled.
+// BuildUpDown and its DFS variant panic on disconnected inputs, so the
+// engines turn that into an error callers can report (the itbsim
+// error path depends on this).
+func engineCheckTopology(name string, t *topology.Topology) error {
+	if t == nil || len(t.Switches()) == 0 {
+		return fmt.Errorf("routing: engine %q: topology has no switches", name)
+	}
+	if err := t.Validate(); err != nil {
+		return fmt.Errorf("routing: engine %q cannot route this topology: %w", name, err)
+	}
+	return nil
+}
+
+// pathFunc computes the switch path (and in-transit reset positions)
+// for one switch pair; engines install one into the Tables they build.
+type pathFunc func(srcSw, dstSw topology.NodeID) ([]Traversal, []int, error)
+
+// buildEngineTable runs the standard all-pairs table build with an
+// engine-specific path function (nil selects the legacy Algorithm
+// searches). With a nil avoid every pair must route; with an exclusion
+// set, pairs with dead endpoints or no surviving path are omitted,
+// matching BuildTableAvoiding.
+func buildEngineTable(t *topology.Topology, ud *topology.UpDown, alg Algorithm, avoid *Avoid, engine string, fn pathFunc) (*Table, error) {
+	tbl := &Table{
+		Algorithm: alg,
+		routes:    make(map[[2]topology.NodeID]*Route),
+		itbLoad:   make(map[topology.NodeID]int),
+		pathCache: make(map[[2]topology.NodeID]cachedPath),
+		avoid:     avoid,
+		engine:    engine,
+		pathFn:    fn,
+	}
+	hosts := t.Hosts()
+	for _, src := range hosts {
+		if avoid.hostDead(t, src) {
+			continue
+		}
+		for _, dst := range hosts {
+			if src == dst || avoid.hostDead(t, dst) {
+				continue
+			}
+			r, err := tbl.buildRoute(t, ud, src, dst)
+			if err != nil {
+				if avoid != nil {
+					continue // unreachable under the exclusion set
+				}
+				return nil, fmt.Errorf("routing: engine %q: %w", engine, err)
+			}
+			tbl.routes[[2]topology.NodeID{src, dst}] = r
+		}
+	}
+	return tbl, nil
+}
+
+// rebuildEngineTable mirrors RebuildAvoiding for engine-built tables:
+// surviving routes of prev are shared into the new table and only the
+// invalidated pairs go through the engine's path function again.
+func rebuildEngineTable(prev *Table, t *topology.Topology, ud *topology.UpDown, alg Algorithm, avoid *Avoid, engine string, fn pathFunc) (*Table, int, error) {
+	if prev == nil || prev.engine != engine || prev.Algorithm != alg {
+		tbl, err := buildEngineTable(t, ud, alg, avoid, engine, fn)
+		return tbl, 0, err
+	}
+	tbl := &Table{
+		Algorithm: alg,
+		routes:    make(map[[2]topology.NodeID]*Route),
+		itbLoad:   make(map[topology.NodeID]int),
+		pathCache: make(map[[2]topology.NodeID]cachedPath),
+		avoid:     avoid,
+		engine:    engine,
+		pathFn:    fn,
+	}
+	hosts := t.Hosts()
+	reused := 0
+	type pair struct{ src, dst topology.NodeID }
+	var missing []pair
+	for _, src := range hosts {
+		if avoid.hostDead(t, src) {
+			continue
+		}
+		for _, dst := range hosts {
+			if src == dst || avoid.hostDead(t, dst) {
+				continue
+			}
+			if r, ok := prev.Lookup(src, dst); ok && routeValid(t, r, avoid) {
+				tbl.routes[[2]topology.NodeID{src, dst}] = r
+				for _, h := range r.ITBHosts {
+					tbl.itbLoad[h]++
+				}
+				reused++
+				continue
+			}
+			missing = append(missing, pair{src, dst})
+		}
+	}
+	for _, p := range missing {
+		r, err := tbl.buildRoute(t, ud, p.src, p.dst)
+		if err != nil {
+			continue // unreachable under the exclusion set: omit
+		}
+		tbl.routes[[2]topology.NodeID{p.src, p.dst}] = r
+	}
+	return tbl, reused, nil
+}

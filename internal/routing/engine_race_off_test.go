@@ -1,0 +1,9 @@
+//go:build !race
+
+package routing
+
+// raceEnabled reports whether the race detector instruments this test
+// binary. The XL (4096-host) property cells are pure CPU work with no
+// concurrency, so the race pass skips them; the racy surface (the
+// parallel runner) is exercised by internal/core's race suite instead.
+const raceEnabled = false

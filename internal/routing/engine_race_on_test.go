@@ -1,0 +1,6 @@
+//go:build race
+
+package routing
+
+// raceEnabled: see engine_race_off_test.go.
+const raceEnabled = true

@@ -40,7 +40,17 @@ type Table struct {
 	// avoid is the exclusion set the table was built around (nil when
 	// built fault-free by BuildTable).
 	avoid *Avoid
+	// engine names the Engine that built the table ("" for the legacy
+	// BuildTable/BuildTableAvoiding entry points), and pathFn is that
+	// engine's switch-pair search. With a nil pathFn buildRoute uses
+	// the Algorithm-selected legacy searches.
+	engine string
+	pathFn pathFunc
 }
+
+// Engine returns the name of the Engine that built the table, or ""
+// for tables from the legacy entry points.
+func (tbl *Table) Engine() string { return tbl.engine }
 
 type cachedPath struct {
 	trav      []Traversal
@@ -102,7 +112,16 @@ func (tbl *Table) buildRoute(t *topology.Topology, ud *topology.UpDown, src, dst
 	}
 	key := [2]topology.NodeID{srcSw, dstSw}
 	cp, cached := tbl.pathCache[key]
-	if !cached {
+	switch {
+	case cached:
+	case tbl.pathFn != nil:
+		var err error
+		cp.trav, cp.itbBefore, err = tbl.pathFn(srcSw, dstSw)
+		if err != nil {
+			return nil, err
+		}
+		tbl.pathCache[key] = cp
+	default:
 		switch tbl.Algorithm {
 		case UpDownRouting:
 			var err error

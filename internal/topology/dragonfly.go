@@ -1,0 +1,108 @@
+package topology
+
+import "fmt"
+
+// DragonflyConfig parameterises the canonical Dragonfly generator
+// (Kim et al.): groups of Routers fully-meshed locally, every router
+// with Globals inter-group links and Hosts attached hosts. With the
+// balanced maximal group count g = Routers*Globals + 1 every ordered
+// group pair is joined by exactly one global link.
+type DragonflyConfig struct {
+	// Routers is the router count per group ("a"); >= 1.
+	Routers int
+	// Hosts is the host count per router ("p"); >= 1.
+	Hosts int
+	// Globals is the global (inter-group) link count per router ("h");
+	// >= 1.
+	Globals int
+}
+
+// DefaultDragonflyConfig returns the balanced Dragonfly (a=2h, p=h)
+// with the largest host count not exceeding the requested size:
+// hosts(h) = 2h^2*(2h^2+1), i.e. 72, 342, 1056, 2550, 5256 for
+// h = 2..6. Sizes below 72 hosts still get the h=2 network.
+func DefaultDragonflyConfig(hosts int) DragonflyConfig {
+	h := 2
+	for dragonflyHosts(h+1) <= hosts {
+		h++
+	}
+	return DragonflyConfig{Routers: 2 * h, Hosts: h, Globals: h}
+}
+
+func dragonflyHosts(h int) int {
+	return 2 * h * h * (2*h*h + 1)
+}
+
+// Dragonfly builds the balanced Dragonfly. Node order is
+// deterministic: all routers group by group, then all hosts router by
+// router, so ids and the derived orientations are stable.
+//
+// Port layout per router: ports [0, a-1) are the local full mesh
+// (port index = peer router's index within the group, skipping self),
+// ports [a-1, a-1+h) are global, ports [a-1+h, a-1+h+p) host-facing.
+// Global wiring uses the consecutive arrangement: group i's q-th
+// global slot (q = 0..a*h-1) reaches group (i+q+1) mod g, carried by
+// router q/h on its global port q%h.
+func Dragonfly(cfg DragonflyConfig) (*Topology, error) {
+	a, p, h := cfg.Routers, cfg.Hosts, cfg.Globals
+	if a < 1 || p < 1 || h < 1 {
+		return nil, fmt.Errorf("topology: dragonfly needs routers, hosts and globals >= 1, got a=%d p=%d h=%d", a, p, h)
+	}
+	g := a*h + 1
+	radix := (a - 1) + h + p
+	t := New()
+	routers := make([][]NodeID, g)
+	for gi := 0; gi < g; gi++ {
+		routers[gi] = make([]NodeID, a)
+		for r := 0; r < a; r++ {
+			routers[gi][r] = t.AddSwitch(radix, fmt.Sprintf("g%d.r%d", gi, r))
+		}
+	}
+	// Local full mesh within each group. Router i's port toward router
+	// j is j (for j < i) or j-1 (for j > i).
+	localPort := func(i, j int) int {
+		if j < i {
+			return j
+		}
+		return j - 1
+	}
+	for gi := 0; gi < g; gi++ {
+		for i := 0; i < a; i++ {
+			for j := i + 1; j < a; j++ {
+				t.Connect(routers[gi][i], localPort(i, j), routers[gi][j], localPort(j, i), SAN)
+			}
+		}
+	}
+	// Global links: one per ordered offset, each unordered group pair
+	// wired once from the lower-offset side. Group gi's slot q reaches
+	// group (gi+q+1) mod g; the peer sees gi at its own slot
+	// g-2-q (the complementary offset), so each cable is connected
+	// exactly once when gi < peer-slot owner... Concretely: wire slot q
+	// of group gi only when it is the canonical end (gi < peer group's
+	// id is not stable under mod, so wire each unordered pair {gi, gj}
+	// from min(gi, gj)).
+	for gi := 0; gi < g; gi++ {
+		for q := 0; q < a*h; q++ {
+			gj := (gi + q + 1) % g
+			if gj < gi {
+				continue // wired from the other side
+			}
+			// Peer slot: the offset from gj back to gi.
+			qj := (gi - gj - 1 + 2*g) % g
+			t.Connect(routers[gi][q/h], (a-1)+q%h, routers[gj][qj/h], (a-1)+qj%h, SAN)
+		}
+	}
+	// Hosts, router by router.
+	for gi := 0; gi < g; gi++ {
+		for r := 0; r < a; r++ {
+			for k := 0; k < p; k++ {
+				host := t.AddHost("")
+				t.Connect(host, 0, routers[gi][r], (a-1)+h+k, LAN)
+			}
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,110 @@
+package topology
+
+import "fmt"
+
+// FatTreeConfig parameterises the three-level k-ary fat-tree (folded
+// Clos) generator. A fat-tree with parameter K has K pods, each with
+// K/2 edge and K/2 aggregation switches, and (K/2)^2 core switches;
+// every edge switch serves HostsPerEdge hosts, for a total of
+// K*(K/2)*HostsPerEdge hosts. K=32 with 8 hosts per edge switch is the
+// 4096-host configuration of the engine-comparison study.
+type FatTreeConfig struct {
+	// K is the pod count; must be even and at least 2. The classic
+	// construction uses switch radix K throughout; here the edge-switch
+	// radix is K/2 uplinks + HostsPerEdge host ports, so host density
+	// can vary independently of the switching fabric.
+	K int
+	// HostsPerEdge is the number of hosts per edge switch (>= 1).
+	HostsPerEdge int
+}
+
+// DefaultFatTreeConfig returns the fat-tree whose host count is
+// closest to the requested size at 8 hosts per edge switch:
+// hosts = K^2*4, so K = sqrt(hosts/4) rounded to the nearest even
+// value (64 hosts -> K=4, 256 -> 8, 1024 -> 16, 4096 -> 32).
+func DefaultFatTreeConfig(hosts int) FatTreeConfig {
+	k := 2
+	for (k+2)*(k+2)*4 <= hosts || hostsDelta(k+2, hosts) < hostsDelta(k, hosts) {
+		k += 2
+	}
+	return FatTreeConfig{K: k, HostsPerEdge: 8}
+}
+
+func hostsDelta(k, hosts int) int {
+	d := k*k*4 - hosts
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+// FatTree builds the k-ary fat-tree. Node order is deterministic:
+// core switches first (row-major), then per pod the aggregation and
+// edge switches, then all hosts in edge-switch order — so node ids,
+// link ids and therefore the BFS up*/down* orientation are stable
+// across runs.
+//
+// Port layout: core switch port p connects pod p's aggregation layer;
+// aggregation switch ports [0,K/2) go down to the pod's edge switches
+// and [K/2,K) up to core; edge switch ports [0,K/2) go up to the
+// pod's aggregation switches and [K/2,K/2+HostsPerEdge) to hosts.
+func FatTree(cfg FatTreeConfig) (*Topology, error) {
+	k := cfg.K
+	if k < 2 || k%2 != 0 {
+		return nil, fmt.Errorf("topology: fat-tree K must be even and >= 2, got %d", k)
+	}
+	if cfg.HostsPerEdge < 1 {
+		return nil, fmt.Errorf("topology: fat-tree needs at least 1 host per edge switch, got %d", cfg.HostsPerEdge)
+	}
+	half := k / 2
+	t := New()
+
+	// Core switches: (K/2)^2 of them, one port per pod.
+	core := make([]NodeID, half*half)
+	for i := range core {
+		core[i] = t.AddSwitch(k, fmt.Sprintf("core%d", i))
+	}
+	// Pods: aggregation then edge switches.
+	agg := make([][]NodeID, k)
+	edge := make([][]NodeID, k)
+	for p := 0; p < k; p++ {
+		agg[p] = make([]NodeID, half)
+		edge[p] = make([]NodeID, half)
+		for a := 0; a < half; a++ {
+			agg[p][a] = t.AddSwitch(k, fmt.Sprintf("agg%d.%d", p, a))
+		}
+		for e := 0; e < half; e++ {
+			edge[p][e] = t.AddSwitch(half+cfg.HostsPerEdge, fmt.Sprintf("edge%d.%d", p, e))
+		}
+	}
+	// Aggregation <-> core: aggregation switch a of every pod connects
+	// to the K/2 core switches of row a (core index a*K/2+j).
+	for p := 0; p < k; p++ {
+		for a := 0; a < half; a++ {
+			for j := 0; j < half; j++ {
+				t.Connect(agg[p][a], half+j, core[a*half+j], p, SAN)
+			}
+		}
+	}
+	// Edge <-> aggregation: full bipartite within the pod.
+	for p := 0; p < k; p++ {
+		for e := 0; e < half; e++ {
+			for a := 0; a < half; a++ {
+				t.Connect(edge[p][e], a, agg[p][a], e, SAN)
+			}
+		}
+	}
+	// Hosts, edge switch by edge switch.
+	for p := 0; p < k; p++ {
+		for e := 0; e < half; e++ {
+			for h := 0; h < cfg.HostsPerEdge; h++ {
+				host := t.AddHost("")
+				t.Connect(host, 0, edge[p][e], half+h, LAN)
+			}
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

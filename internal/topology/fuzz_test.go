@@ -64,3 +64,55 @@ func FuzzSerializeRoundTrip(f *testing.F) {
 		}
 	})
 }
+
+// FuzzFatTree hardens the fat-tree generator: any parameter pair must
+// either be rejected with an error or produce a structurally valid,
+// connected topology with the closed-form host count — never panic.
+func FuzzFatTree(f *testing.F) {
+	f.Add(4, 2)
+	f.Add(2, 1)
+	f.Add(3, 1) // odd K: must error
+	f.Add(8, 0) // no hosts: must error
+	f.Fuzz(func(t *testing.T, k, hpe int) {
+		// Bound the build cost, not the validity space: large valid
+		// parameters are exercised by the engine property suite.
+		if k > 12 || hpe > 12 || k < -4 || hpe < -4 {
+			t.Skip()
+		}
+		topo, err := FatTree(FatTreeConfig{K: k, HostsPerEdge: hpe})
+		if err != nil {
+			return
+		}
+		if err := topo.Validate(); err != nil {
+			t.Fatalf("FatTree(K=%d hpe=%d) built an invalid topology: %v", k, hpe, err)
+		}
+		if got, want := len(topo.Hosts()), k*(k/2)*hpe; got != want {
+			t.Fatalf("FatTree(K=%d hpe=%d): %d hosts, want %d", k, hpe, got, want)
+		}
+		BuildUpDown(topo)
+	})
+}
+
+// FuzzDragonfly does the same for the Dragonfly generator.
+func FuzzDragonfly(f *testing.F) {
+	f.Add(4, 2, 2)
+	f.Add(2, 1, 1)
+	f.Add(0, 1, 1) // must error
+	f.Fuzz(func(t *testing.T, a, p, h int) {
+		if a > 10 || p > 8 || h > 4 || a < -4 || p < -4 || h < -4 {
+			t.Skip()
+		}
+		topo, err := Dragonfly(DragonflyConfig{Routers: a, Hosts: p, Globals: h})
+		if err != nil {
+			return
+		}
+		if err := topo.Validate(); err != nil {
+			t.Fatalf("Dragonfly(a=%d p=%d h=%d) built an invalid topology: %v", a, p, h, err)
+		}
+		g := a*h + 1
+		if got, want := len(topo.Hosts()), g*a*p; got != want {
+			t.Fatalf("Dragonfly(a=%d p=%d h=%d): %d hosts, want %d", a, p, h, got, want)
+		}
+		BuildUpDown(topo)
+	})
+}

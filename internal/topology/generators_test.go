@@ -1,0 +1,101 @@
+package topology
+
+import "testing"
+
+func TestFatTreeStructure(t *testing.T) {
+	cases := []struct {
+		k, hpe                  int
+		wantSwitches, wantHosts int
+	}{
+		{2, 1, 5, 2},    // 1 core + 2*(1+1) pod switches
+		{4, 2, 20, 16},  // 4 core + 4*(2+2)
+		{8, 8, 80, 256}, // 16 core + 8*(4+4)
+	}
+	for _, c := range cases {
+		topo, err := FatTree(FatTreeConfig{K: c.k, HostsPerEdge: c.hpe})
+		if err != nil {
+			t.Fatalf("FatTree(K=%d): %v", c.k, err)
+		}
+		if got := len(topo.Switches()); got != c.wantSwitches {
+			t.Errorf("K=%d: %d switches, want %d", c.k, got, c.wantSwitches)
+		}
+		if got := len(topo.Hosts()); got != c.wantHosts {
+			t.Errorf("K=%d: %d hosts, want %d", c.k, got, c.wantHosts)
+		}
+		if err := topo.Validate(); err != nil {
+			t.Errorf("K=%d: %v", c.k, err)
+		}
+		// Switch-switch link count: core-agg K*(K/2)^2/... each pod has
+		// (K/2)^2 agg-core + (K/2)^2 edge-agg links.
+		wantLinks := c.k*(c.k/2)*(c.k/2)*2 + c.wantHosts
+		if got := len(topo.Links()); got != wantLinks {
+			t.Errorf("K=%d: %d links, want %d", c.k, got, wantLinks)
+		}
+		// The orientation must build (connected, no panics).
+		BuildUpDown(topo)
+	}
+}
+
+func TestFatTreeRejectsBadConfig(t *testing.T) {
+	for _, cfg := range []FatTreeConfig{{K: 3, HostsPerEdge: 1}, {K: 0, HostsPerEdge: 1}, {K: 4, HostsPerEdge: 0}} {
+		if _, err := FatTree(cfg); err == nil {
+			t.Errorf("FatTree(%+v) accepted", cfg)
+		}
+	}
+}
+
+func TestDefaultFatTreeConfigSizes(t *testing.T) {
+	for _, c := range []struct{ hosts, wantK int }{{64, 4}, {256, 8}, {1024, 16}, {4096, 32}} {
+		if got := DefaultFatTreeConfig(c.hosts).K; got != c.wantK {
+			t.Errorf("DefaultFatTreeConfig(%d).K = %d, want %d", c.hosts, got, c.wantK)
+		}
+	}
+}
+
+func TestDragonflyStructure(t *testing.T) {
+	cases := []struct{ a, p, h int }{
+		{2, 1, 1}, // 3 groups of 2
+		{4, 2, 2}, // 9 groups of 4
+		{8, 4, 4}, // 33 groups of 8
+	}
+	for _, c := range cases {
+		topo, err := Dragonfly(DragonflyConfig{Routers: c.a, Hosts: c.p, Globals: c.h})
+		if err != nil {
+			t.Fatalf("Dragonfly(a=%d p=%d h=%d): %v", c.a, c.p, c.h, err)
+		}
+		g := c.a*c.h + 1
+		if got, want := len(topo.Switches()), g*c.a; got != want {
+			t.Errorf("a=%d: %d switches, want %d", c.a, got, want)
+		}
+		if got, want := len(topo.Hosts()), g*c.a*c.p; got != want {
+			t.Errorf("a=%d: %d hosts, want %d", c.a, got, want)
+		}
+		// Links: per group a*(a-1)/2 local, g*(g-1)/2 global (one per
+		// group pair), one per host.
+		want := g*c.a*(c.a-1)/2 + g*(g-1)/2 + g*c.a*c.p
+		if got := len(topo.Links()); got != want {
+			t.Errorf("a=%d: %d links, want %d", c.a, got, want)
+		}
+		if err := topo.Validate(); err != nil {
+			t.Errorf("a=%d: %v", c.a, err)
+		}
+		BuildUpDown(topo)
+	}
+}
+
+func TestDragonflyRejectsBadConfig(t *testing.T) {
+	for _, cfg := range []DragonflyConfig{{0, 1, 1}, {2, 0, 1}, {2, 1, 0}} {
+		if _, err := Dragonfly(cfg); err == nil {
+			t.Errorf("Dragonfly(%+v) accepted", cfg)
+		}
+	}
+}
+
+func TestDefaultDragonflyConfigSizes(t *testing.T) {
+	for _, c := range []struct{ hosts, wantH int }{{64, 2}, {256, 2}, {342, 3}, {1024, 3}, {1056, 4}, {4096, 5}} {
+		cfg := DefaultDragonflyConfig(c.hosts)
+		if cfg.Globals != c.wantH {
+			t.Errorf("DefaultDragonflyConfig(%d).Globals = %d, want %d", c.hosts, cfg.Globals, c.wantH)
+		}
+	}
+}
