@@ -1,7 +1,7 @@
 GO ?= go
 
 # Benchmarks guarded by the bench-gate CI job (see cmd/benchdiff).
-GUARDED_BENCH = ^(BenchmarkFig7_CodeOverhead|BenchmarkFig8_ITBOverhead|BenchmarkAllsizePingPong|BenchmarkSweepSerial|BenchmarkSweepParallel|BenchmarkRecoveryOff|BenchmarkEngineTableBuild1024)$$
+GUARDED_BENCH = ^(BenchmarkFig7_CodeOverhead|BenchmarkFig8_ITBOverhead|BenchmarkAllsizePingPong|BenchmarkSweepSerial|BenchmarkSweepParallel|BenchmarkRecoveryOff|BenchmarkEngineTableBuild1024|BenchmarkLoadStudySmall)$$
 # Output file for bench-json; CI overrides this to BENCH_PR4.json.
 BENCH_JSON ?= BENCH_PR4.json
 
@@ -50,7 +50,7 @@ bench-json:
 bench-gate: bench-json
 	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json -current $(BENCH_JSON)
 
-# Short fuzz pass over the wire codecs.
+# Short fuzz pass over the wire codecs and workload generators.
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/packet/
 	$(GO) test -fuzz=FuzzDecodeMapping -fuzztime=10s ./internal/packet/
@@ -61,6 +61,8 @@ fuzz:
 	$(GO) test -fuzz=FuzzDragonfly -fuzztime=10s ./internal/topology/
 	$(GO) test -fuzz=FuzzCompactSteps -fuzztime=10s ./internal/routing/
 	$(GO) test -fuzz=FuzzProbeScheduler -fuzztime=10s ./internal/recovery/
+	$(GO) test -fuzz=FuzzArrivalProcess -fuzztime=10s ./internal/workload/
+	$(GO) test -fuzz=FuzzFlowSizeMix -fuzztime=10s ./internal/workload/
 
 # Run every Fuzz* target briefly, discovering them with `go test
 # -list` so new targets are picked up without editing this file or the

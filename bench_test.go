@@ -520,3 +520,32 @@ func BenchmarkEngineTableBuild1024(b *testing.B) {
 	}
 	b.ReportMetric(float64(bytesTotal), "table-bytes")
 }
+
+// BenchmarkLoadStudySmall runs a trimmed open-loop load study — one
+// fat-tree preset, two engines, the uniform plan, the ring collective
+// and the RPC mesh at a single offered load — end to end through the
+// parallel runner. It is the bench-gate guard for the workload plane:
+// a regression in the arrival generators, schedule compilation or the
+// closed-loop drivers shows up here before it slows `itbsim -exp
+// load` by minutes.
+func BenchmarkLoadStudySmall(b *testing.B) {
+	cfg := core.DefaultLoadStudyConfig(5)
+	cfg.Presets = []string{"fattree-16"}
+	cfg.Engines = []string{"updown-itb", "minimal-escape"}
+	cfg.Patterns = []string{"uniform", "allreduce", "rpc"}
+	cfg.Loads = []float64{0.3}
+	cfg.Window = 150 * units.Microsecond
+	cfg.Warmup = 30 * units.Microsecond
+	cfg.VectorLen = 64
+	b.ReportAllocs()
+	b.ResetTimer()
+	var rows int
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunLoadStudy(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = len(res.Rows)
+	}
+	b.ReportMetric(float64(rows), "cells")
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoadStudyGoldenDeterministic is the CLI acceptance check for the
+// open-loop workload plane: `itbsim -exp load` must emit byte-identical
+// saturation tables at -workers 1 and -workers 4 (cells dispatch
+// through the parallel runner; rows and metrics merge in grid order),
+// covering the fat-tree and Dragonfly presets, and the table must match
+// the committed golden. A deliberate workload or engine change
+// regenerates it with:
+//
+//	REGEN_GOLDEN=1 go test ./cmd/itbsim/ -run TestLoadStudyGolden
+func TestLoadStudyGoldenDeterministic(t *testing.T) {
+	bin := buildItbsim(t)
+	runWith := func(workers string, extra ...string) []byte {
+		t.Helper()
+		args := append([]string{"-exp", "load", "-seed", "3", "-workers", workers}, extra...)
+		out, err := exec.Command(bin, args...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("itbsim -exp load -workers %s: %v\n%s", workers, err, out)
+		}
+		return out
+	}
+	got1 := runWith("1")
+	got4 := runWith("4")
+	if !bytes.Equal(got1, got4) {
+		t.Fatalf("-exp load output differs between -workers 1 and -workers 4\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s", got1, got4)
+	}
+	for _, preset := range []string{"fattree-16", "dragonfly-72"} {
+		if !bytes.Contains(got1, []byte(preset)) {
+			t.Errorf("study does not cover preset %s:\n%s", preset, got1)
+		}
+	}
+
+	path := filepath.Join("testdata", "load.golden")
+	if os.Getenv("REGEN_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got1, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with REGEN_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(got1, want) {
+		t.Errorf("-exp load drifted from golden output.\n--- got ---\n%s\n--- want ---\n%s", got1, want)
+	}
+}
+
+// TestLoadStudyCSVAndFilters locks the CSV form and the -pattern /
+// -engine filters on a single cheap cell.
+func TestLoadStudyCSVAndFilters(t *testing.T) {
+	bin := buildItbsim(t)
+	out, err := exec.Command(bin, "-exp", "load", "-pattern", "incast",
+		"-engine", "updown-itb", "-seed", "3", "-csv").CombinedOutput()
+	if err != nil {
+		t.Fatalf("itbsim -exp load -csv: %v\n%s", err, out)
+	}
+	lines := strings.Split(strings.TrimSpace(string(out)), "\n")
+	if !strings.HasPrefix(lines[0], "preset,pattern,engine,hosts,offered,delivered,") {
+		t.Errorf("-csv header unexpected: %s", lines[0])
+	}
+	// 2 presets x 1 engine x 1 pattern x 3 loads.
+	if got := len(lines) - 1; got != 6 {
+		t.Errorf("csv data rows = %d, want 6:\n%s", got, out)
+	}
+	for _, l := range lines[1:] {
+		if !strings.Contains(l, ",incast,updown-itb,") {
+			t.Errorf("row escaped the -pattern/-engine filter: %s", l)
+		}
+	}
+}
+
+// TestLoadStudyUnknownPatternRejected locks the validation path.
+func TestLoadStudyUnknownPatternRejected(t *testing.T) {
+	bin := buildItbsim(t)
+	out, err := exec.Command(bin, "-exp", "load", "-pattern", "chaos").CombinedOutput()
+	if err == nil {
+		t.Fatalf("unknown -pattern exited 0; output:\n%s", out)
+	}
+	if !strings.Contains(string(out), `unknown load pattern "chaos"`) {
+		t.Errorf("error does not name the bad pattern:\n%s", out)
+	}
+}

@@ -16,7 +16,12 @@
 //	itbsim -exp faults               # fault campaigns: delivery + recovery
 //	itbsim -exp recovery             # self-healing study: heartbeat period x churn
 //	itbsim -exp engines              # routing-engine comparison across topology classes
+//	itbsim -exp load                 # open-loop load study: SLO outputs per engine
 //	itbsim -exp all
+//
+// The load study accepts -engine and -pattern to run a single routing
+// engine or workload pattern (uniform, incast, outcast, alltoall,
+// allreduce, rpc), and -seed for the topology/schedule seed.
 //
 // The engines study accepts -engine to run a single engine, -hosts to
 // run a single nominal size, and -topofile to route a serialized
@@ -51,11 +56,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig7, fig8, costs, throughput, latload, bufpool, itbcount, ablation, scaling, patterns, roots, schemes, chunks, app, fidelity, trace, faults, recovery, engines, all")
+	exp := flag.String("exp", "all", "experiment: fig7, fig8, costs, throughput, latload, bufpool, itbcount, ablation, scaling, patterns, roots, schemes, chunks, app, fidelity, trace, faults, recovery, engines, load, all")
 	switches := flag.Int("switches", 16, "switches in the irregular network (throughput/latload)")
 	engineName := flag.String("engine", "all", "routing engine for the engines study (see -exp engines); \"all\" runs every registered engine")
 	hosts := flag.Int("hosts", 0, "single nominal host count for the engines study (0 = the default 64/256/1024 grid)")
 	topofile := flag.String("topofile", "", "serialized topology file routed by the engines study instead of the generated grid")
+	pattern := flag.String("pattern", "all", "single workload pattern for the load study (uniform, incast, outcast, alltoall, allreduce, rpc); \"all\" runs the default set")
 	seed := flag.Int64("seed", 5, "random seed for topology and traffic")
 	iters := flag.Int("iters", 100, "gm_allsize iterations per message size")
 	windowUs := flag.Int("window", 1000, "measurement window in microseconds (throughput/latload)")
@@ -426,6 +432,26 @@ func main() {
 		cfg := core.DefaultRecoveryStudyConfig(routing.ITBRouting, *switches, *seed)
 		cfg.Metrics = reg
 		res, err := core.RunRecoveryStudy(cfg)
+		if err != nil {
+			return err
+		}
+		if *csvOut {
+			return res.WriteCSV(os.Stdout)
+		}
+		res.WriteTable(os.Stdout)
+		return nil
+	})
+
+	run("load", func() error {
+		cfg := core.DefaultLoadStudyConfig(*seed)
+		cfg.Metrics = reg
+		if *engineName != "all" {
+			cfg.Engines = []string{*engineName}
+		}
+		if *pattern != "all" {
+			cfg.Patterns = []string{*pattern}
+		}
+		res, err := core.RunLoadStudy(cfg)
 		if err != nil {
 			return err
 		}

@@ -5,21 +5,22 @@
 // point-to-point latency, so routing quality shows directly in the
 // completion time: we run the same collective under up*/down* and
 // under ITB routing on an irregular 16-switch cluster.
+//
+// The collective itself and the background load both come from
+// internal/workload — this example is the thin narrative wrapper; the
+// same drivers power `itbsim -exp load`.
 package main
 
 import (
-	"encoding/binary"
 	"fmt"
 	"log"
-	"math/rand"
 
 	"repro/internal/core"
-	"repro/internal/gm"
 	"repro/internal/mcp"
 	"repro/internal/routing"
 	"repro/internal/topology"
-	"repro/internal/traffic"
 	"repro/internal/units"
+	"repro/internal/workload"
 )
 
 const vectorLen = 1024 // float-sized words per host
@@ -53,11 +54,10 @@ func main() {
 	fmt.Println("path on every ring step.")
 }
 
-// runAllreduce executes a reduce-scatter-free, simple ring allreduce:
-// the token (the accumulating vector) circles the ring twice — once to
-// accumulate, once to broadcast — and we time until the last host has
-// the result. With background set, every host also injects uniform
-// random traffic while the collective runs.
+// runAllreduce times workload.StartAllreduce's ring collective on a
+// fresh cluster. With background set, an open-loop uniform plan from
+// the same workload package injects 512-byte messages at 0.06 offered
+// load around the collective until it completes.
 func runAllreduce(topo *topology.Topology, alg routing.Algorithm, background bool) (units.Time, uint64, error) {
 	cfg := core.DefaultConfig(topo, alg, mcp.ITB)
 	if background {
@@ -73,105 +73,53 @@ func runAllreduce(topo *topology.Topology, alg routing.Algorithm, background boo
 		return 0, 0, err
 	}
 	hosts := topo.Hosts()
-	n := len(hosts)
-	ports := make([]*gm.Port, n)
-	for i, h := range hosts {
-		p, err := cl.Host(h).OpenPort(1, 2)
+	ccfg := workload.DefaultCollectiveConfig()
+	ccfg.VectorLen = vectorLen
+	coll, err := workload.StartAllreduce(cl.Eng, hosts, cl.Host, ccfg)
+	if err != nil {
+		return 0, 0, err
+	}
+
+	// Background load: a pre-compiled open-loop schedule, replayed
+	// until the collective lands. The plan horizon is deliberately
+	// generous; injection stops the moment the collective is done, so
+	// an early finish never pays for the unused tail.
+	if background {
+		sizes, err := workload.FixedSize(512)
 		if err != nil {
 			return 0, 0, err
 		}
-		p.ProvideReceiveTokens(4)
-		ports[i] = p
-	}
-	// Each host's local contribution: rank-dependent words.
-	local := func(rank int) []uint32 {
-		v := make([]uint32, vectorLen)
-		for j := range v {
-			v[j] = uint32(rank + j)
-		}
-		return v
-	}
-	encode := func(v []uint32) []byte {
-		buf := make([]byte, 4*len(v))
-		for j, x := range v {
-			binary.BigEndian.PutUint32(buf[4*j:], x)
-		}
-		return buf
-	}
-	decode := func(b []byte) []uint32 {
-		v := make([]uint32, len(b)/4)
-		for j := range v {
-			v[j] = binary.BigEndian.Uint32(b[4*j:])
-		}
-		return v
-	}
-
-	var doneAt units.Time
-	var checksum uint64
-	for i := range hosts {
-		i := i
-		ports[i].OnReceive = func(_ topology.NodeID, _ uint8, payload []byte, t units.Time) {
-			hop := int(payload[0])
-			vec := decode(payload[1:])
-			if hop < n-1 {
-				// Accumulation phase: add our contribution, pass on.
-				for j, x := range local(i) {
-					vec[j] += x
-				}
-			}
-			hop++
-			if hop == 2*n-2 {
-				// The vector has accumulated everywhere and been
-				// re-broadcast around the ring: done.
-				doneAt = t
-				for _, x := range vec {
-					checksum += uint64(x)
-				}
-				return
-			}
-			next := (i + 1) % n
-			out := append([]byte{byte(hop)}, encode(vec)...)
-			if err := ports[i].Send(hosts[next], 1, out); err != nil {
-				panic(err)
-			}
-		}
-	}
-	// Background load: every host injects uniform random 512-byte
-	// messages while the collective is in flight.
-	if background {
-		gen, err := traffic.NewGenerator(topo, traffic.Config{
-			Pattern: traffic.Uniform, MessageSize: 512, Seed: 77,
+		flows, err := workload.Plan(topo, workload.PlanConfig{
+			Scenario:      workload.ScenarioUniform,
+			Load:          0.06,
+			Arrival:       workload.ArrivalConfig{Kind: workload.Poisson},
+			Sizes:         sizes,
+			Seed:          77,
+			Horizon:       200 * units.Millisecond,
+			LinkBandwidth: cl.Net.Params().LinkBandwidth,
 		})
 		if err != nil {
 			return 0, 0, err
 		}
-		rng := rand.New(rand.NewSource(78))
-		mean := traffic.MeanInterarrival(0.06, 512, cl.Net.Params().LinkBandwidth)
-		for _, h := range hosts {
-			h := h
-			var tick func()
-			tick = func() {
-				if doneAt != 0 {
-					return // collective finished; stop injecting
+		for _, f := range flows {
+			f := f
+			cl.Eng.Schedule(f.Start, func() {
+				if coll.Done() {
+					return
 				}
-				msg := gen.NextFrom(h)
-				if err := cl.Host(h).Send(msg.Dst, make([]byte, msg.Size)); err != nil {
+				if err := cl.Host(f.Src).Send(f.Dst, make([]byte, f.Bytes)); err != nil {
 					panic(err)
 				}
-				cl.Eng.Schedule(units.Time(rng.Int63n(int64(2*mean)))+1, tick)
-			}
-			cl.Eng.Schedule(units.Time(rng.Int63n(int64(mean)))+1, tick)
+			})
 		}
 	}
 
-	// Rank 0 starts the token with its own vector, hop counter 0.
-	start := append([]byte{0}, encode(local(0))...)
-	if err := ports[0].Send(hosts[1], 1, start); err != nil {
-		return 0, 0, err
-	}
 	cl.Eng.Run()
-	if doneAt == 0 {
+	if !coll.Done() {
 		return 0, 0, fmt.Errorf("allreduce did not complete")
 	}
-	return doneAt, checksum, nil
+	if got, want := coll.Checksum(), workload.ExpectedChecksum(len(hosts), vectorLen); got != want {
+		return 0, 0, fmt.Errorf("allreduce checksum %d, want %d", got, want)
+	}
+	return coll.DoneAt(), coll.Checksum(), nil
 }

@@ -33,6 +33,12 @@ type Config struct {
 	DFSOrder bool
 	// Routing selects the mapper algorithm for the route tables.
 	Routing routing.Algorithm
+	// Engine, when non-nil, overrides Routing, Root and DFSOrder: the
+	// cluster's link orientation and route table come from the
+	// pluggable routing engine instead of the legacy searches. This
+	// is how the load study runs the same simulation stack under
+	// updown-itb, layered-ksp and minimal-escape.
+	Engine routing.Engine
 	// MCP is the firmware configuration used on every NIC.
 	MCP mcp.Config
 	// GM is the host-layer configuration used on every host.
@@ -82,17 +88,24 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 	eng := sim.NewEngine()
 	var ud *topology.UpDown
-	switch {
-	case cfg.DFSOrder && cfg.Root != nil:
-		ud = topology.BuildUpDownDFSFrom(cfg.Topo, *cfg.Root)
-	case cfg.DFSOrder:
-		ud = topology.BuildUpDownDFS(cfg.Topo)
-	case cfg.Root != nil:
-		ud = topology.BuildUpDownFrom(cfg.Topo, *cfg.Root)
-	default:
-		ud = topology.BuildUpDown(cfg.Topo)
+	var tbl *routing.Table
+	var err error
+	if cfg.Engine != nil {
+		ud = cfg.Engine.Orientation(cfg.Topo)
+		tbl, err = cfg.Engine.BuildTable(cfg.Topo, nil)
+	} else {
+		switch {
+		case cfg.DFSOrder && cfg.Root != nil:
+			ud = topology.BuildUpDownDFSFrom(cfg.Topo, *cfg.Root)
+		case cfg.DFSOrder:
+			ud = topology.BuildUpDownDFS(cfg.Topo)
+		case cfg.Root != nil:
+			ud = topology.BuildUpDownFrom(cfg.Topo, *cfg.Root)
+		default:
+			ud = topology.BuildUpDown(cfg.Topo)
+		}
+		tbl, err = routing.BuildTable(cfg.Topo, ud, cfg.Routing)
 	}
-	tbl, err := routing.BuildTable(cfg.Topo, ud, cfg.Routing)
 	if err != nil {
 		return nil, err
 	}

@@ -4,12 +4,6 @@ import (
 	"bytes"
 	"testing"
 	"testing/quick"
-
-	"repro/internal/core"
-	"repro/internal/mcp"
-	"repro/internal/routing"
-	"repro/internal/topology"
-	"repro/internal/units"
 )
 
 func TestHeaderRoundTrip(t *testing.T) {
@@ -73,125 +67,5 @@ func TestCodecProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
-	}
-}
-
-// ipRig builds two stacks on the simulated testbed.
-type ipRig struct {
-	cl     *core.Cluster
-	a, b   *Stack
-	ipA    Addr
-	ipB    Addr
-	engRun func()
-}
-
-func newIPRig(t *testing.T) *ipRig {
-	t.Helper()
-	topo, nodes := topology.Testbed()
-	cl, err := core.NewCluster(core.DefaultConfig(topo, routing.UpDownRouting, mcp.ITB))
-	if err != nil {
-		t.Fatal(err)
-	}
-	ipA, ipB := Addr{10, 0, 0, 1}, Addr{10, 0, 0, 2}
-	a, err := NewStack(cl.Host(nodes.Host1), ipA)
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, err := NewStack(cl.Host(nodes.Host2), ipB)
-	if err != nil {
-		t.Fatal(err)
-	}
-	a.AddNeighbor(ipB, nodes.Host2)
-	b.AddNeighbor(ipA, nodes.Host1)
-	return &ipRig{cl: cl, a: a, b: b, ipA: ipA, ipB: ipB, engRun: cl.Eng.Run}
-}
-
-func TestDatagramOverGM(t *testing.T) {
-	r := newIPRig(t)
-	var gotH Header
-	var gotBody []byte
-	r.b.OnDatagram = func(h Header, p []byte, _ units.Time) { gotH, gotBody = h, p }
-	msg := bytes.Repeat([]byte{0xAB}, 9000) // spans 3 GM fragments
-	if err := r.a.SendDatagram(r.ipB, ProtoUDP, msg); err != nil {
-		t.Fatal(err)
-	}
-	r.engRun()
-	if gotH.Protocol != ProtoUDP || gotH.Src != r.ipA || gotH.Dst != r.ipB {
-		t.Errorf("header = %+v", gotH)
-	}
-	if !bytes.Equal(gotBody, msg) {
-		t.Fatalf("payload corrupted: %d bytes", len(gotBody))
-	}
-	if r.a.Stats().Sent != 1 || r.b.Stats().Received != 1 {
-		t.Errorf("stats: %+v / %+v", r.a.Stats(), r.b.Stats())
-	}
-}
-
-func TestPingPong(t *testing.T) {
-	r := newIPRig(t)
-	var rtt units.Time
-	var gotSeq uint16
-	start := r.cl.Eng.Now()
-	r.a.OnEchoReply = func(seq uint16, t units.Time) { gotSeq, rtt = seq, t-start }
-	if err := r.a.Ping(r.ipB, 7); err != nil {
-		t.Fatal(err)
-	}
-	r.engRun()
-	if gotSeq != 7 {
-		t.Fatalf("echo seq = %d, want 7", gotSeq)
-	}
-	if rtt < 10*units.Microsecond || rtt > 100*units.Microsecond {
-		t.Errorf("ping RTT = %v, expected tens of microseconds", rtt)
-	}
-	if r.b.Stats().EchoReplies != 1 {
-		t.Errorf("b stats: %+v", r.b.Stats())
-	}
-}
-
-func TestSendToUnknownNeighbor(t *testing.T) {
-	r := newIPRig(t)
-	if err := r.a.SendDatagram(Addr{9, 9, 9, 9}, ProtoUDP, nil); err == nil {
-		t.Error("send to unknown neighbour succeeded")
-	}
-}
-
-func TestAddrString(t *testing.T) {
-	if got := (Addr{10, 0, 0, 1}).String(); got != "10.0.0.1" {
-		t.Errorf("String = %q", got)
-	}
-}
-
-func TestDoubleStackOnOneHost(t *testing.T) {
-	topo, nodes := topology.Testbed()
-	cl, err := core.NewCluster(core.DefaultConfig(topo, routing.UpDownRouting, mcp.ITB))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := NewStack(cl.Host(nodes.Host1), Addr{10, 0, 0, 1}); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := NewStack(cl.Host(nodes.Host1), Addr{10, 0, 0, 9}); err == nil {
-		t.Error("second stack on one host succeeded (port conflict expected)")
-	}
-}
-
-func TestMisaddressedDatagramDropped(t *testing.T) {
-	// b receives a datagram whose IP destination is not b's address:
-	// it must be counted bad and not delivered.
-	r := newIPRig(t)
-	delivered := false
-	r.b.OnDatagram = func(Header, []byte, units.Time) { delivered = true }
-	// Poison a's neighbour table: IP says 10.0.0.9 but GM delivers to b.
-	wrong := Addr{10, 0, 0, 9}
-	r.a.AddNeighbor(wrong, r.b.host.Node())
-	if err := r.a.SendDatagram(wrong, ProtoUDP, []byte("stray")); err != nil {
-		t.Fatal(err)
-	}
-	r.engRun()
-	if delivered {
-		t.Error("misaddressed datagram delivered")
-	}
-	if r.b.Stats().BadDatagrams != 1 {
-		t.Errorf("bad datagrams = %d, want 1", r.b.Stats().BadDatagrams)
 	}
 }

@@ -34,14 +34,22 @@ type Stack struct {
 	OnEchoReply func(seq uint16, t units.Time)
 }
 
-// NewStack opens the IP port on a GM host and assigns it an address.
+// NewStack opens the IP port on a GM host and assigns it an address,
+// with the stock provisioning of 16 send and 64 receive tokens.
 func NewStack(h *gm.Host, addr Addr) (*Stack, error) {
-	p, err := h.OpenPort(IPPort, 16)
+	return NewStackSized(h, addr, 16, 64)
+}
+
+// NewStackSized is NewStack with explicit token provisioning, for
+// workloads (the RPC fan-out study) whose offered load exceeds what
+// the stock ring sizes admit.
+func NewStackSized(h *gm.Host, addr Addr, sendTokens, recvTokens int) (*Stack, error) {
+	p, err := h.OpenPort(IPPort, sendTokens)
 	if err != nil {
 		return nil, err
 	}
 	s := &Stack{host: h, port: p, addr: addr, arp: make(map[Addr]topology.NodeID)}
-	p.ProvideReceiveTokens(64)
+	p.ProvideReceiveTokens(recvTokens)
 	p.OnReceive = s.receive
 	return s, nil
 }
@@ -83,6 +91,11 @@ func (s *Stack) Ping(dst Addr, seq uint16) error {
 
 // receive handles a datagram landing on the IP port.
 func (s *Stack) receive(_ topology.NodeID, _ uint8, buf []byte, t units.Time) {
+	// Re-post the receive buffer first, the way the host-side IP
+	// driver recycles its DMA ring: without this the stack goes deaf
+	// after its initial 64 tokens, wedging any long-running consumer
+	// (the RPC fan-out workload was the first to notice).
+	defer s.port.ProvideReceiveTokens(1)
 	h, payload, err := Decode(buf)
 	if err != nil || h.Dst != s.addr {
 		s.stats.BadDatagrams++

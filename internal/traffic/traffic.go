@@ -82,8 +82,11 @@ func NewGenerator(t *topology.Topology, cfg Config) (*Generator, error) {
 	if cfg.MessageSize < 0 {
 		return nil, fmt.Errorf("traffic: negative message size")
 	}
-	if cfg.Pattern == HotSpot && (cfg.HotFraction <= 0 || cfg.HotFraction > 1) {
-		return nil, fmt.Errorf("traffic: hotspot needs HotFraction in (0,1], got %v", cfg.HotFraction)
+	// Written as a negated conjunction so NaN (which fails every
+	// comparison) is rejected rather than slipping through. Zero is a
+	// legal degenerate hotspot: it decays to the uniform pattern.
+	if cfg.Pattern == HotSpot && !(cfg.HotFraction >= 0 && cfg.HotFraction <= 1) {
+		return nil, fmt.Errorf("traffic: hotspot needs HotFraction in [0,1], got %v", cfg.HotFraction)
 	}
 	g := &Generator{
 		cfg:   cfg,

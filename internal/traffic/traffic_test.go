@@ -1,6 +1,7 @@
 package traffic
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -105,13 +106,60 @@ func TestPermutationIsFixedDerangement(t *testing.T) {
 	}
 }
 
-func TestGeneratorErrors(t *testing.T) {
+// HotFraction must lie in [0,1]; anything else — including NaN, which
+// defeats naive range checks — is a configuration error, never a
+// silent clamp. Zero is legal: the hotspot decays to uniform.
+func TestHotFractionValidation(t *testing.T) {
 	topo, err := topology.Generate(topology.DefaultGenConfig(4, 9))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := NewGenerator(topo, Config{Pattern: HotSpot, MessageSize: 8}); err == nil {
-		t.Error("hotspot without fraction accepted")
+	cases := []struct {
+		name string
+		frac float64
+		ok   bool
+	}{
+		{"zero-degenerate-uniform", 0, true},
+		{"half", 0.5, true},
+		{"all-hot", 1, true},
+		{"negative", -0.1, false},
+		{"above-one", 1.5, false},
+		{"nan", math.NaN(), false},
+		{"pos-inf", math.Inf(1), false},
+		{"neg-inf", math.Inf(-1), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := NewGenerator(topo, Config{Pattern: HotSpot, HotFraction: tc.frac, MessageSize: 8, Seed: 9})
+			if tc.ok && err != nil {
+				t.Fatalf("HotFraction=%v rejected: %v", tc.frac, err)
+			}
+			if !tc.ok {
+				if err == nil {
+					t.Fatalf("HotFraction=%v accepted", tc.frac)
+				}
+				return
+			}
+			// An accepted fraction must still generate legal traffic.
+			for i := 0; i < 50; i++ {
+				m := g.NextFrom(topo.Hosts()[0])
+				if m.Dst == m.Src {
+					t.Fatal("self-message")
+				}
+			}
+			// Uniform patterns never consult HotFraction, so even a bad
+			// value there is not an error.
+			if _, err := NewGenerator(topo, Config{Pattern: Uniform, HotFraction: tc.frac, MessageSize: 8}); err != nil {
+				t.Errorf("uniform with HotFraction=%v rejected: %v", tc.frac, err)
+			}
+		})
+	}
+}
+
+func TestGeneratorErrors(t *testing.T) {
+	topo, err := topology.Generate(topology.DefaultGenConfig(4, 9))
+	if err != nil {
+		t.Fatal(err)
 	}
 	if _, err := NewGenerator(topo, Config{MessageSize: -1}); err == nil {
 		t.Error("negative size accepted")

@@ -1,0 +1,213 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func TestArrivalKindNames(t *testing.T) {
+	for _, k := range []ArrivalKind{Poisson, Bursty} {
+		got, err := ArrivalKindByName(k.String())
+		if err != nil || got != k {
+			t.Errorf("ArrivalKindByName(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ArrivalKindByName("fractal"); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if s := ArrivalKind(99).String(); s != "ArrivalKind(99)" {
+		t.Errorf("stray kind String = %q", s)
+	}
+}
+
+func TestArrivalConfigValidate(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name string
+		cfg  ArrivalConfig
+		ok   bool
+	}{
+		{"poisson", ArrivalConfig{Kind: Poisson}, true},
+		{"bursty defaults", ArrivalConfig{Kind: Bursty}, true},
+		{"bursty explicit", ArrivalConfig{Kind: Bursty, BurstRatio: 4, OnFraction: 0.5, BurstArrivals: 8}, true},
+		{"ratio below one", ArrivalConfig{Kind: Bursty, BurstRatio: 0.5}, false},
+		{"ratio NaN", ArrivalConfig{Kind: Bursty, BurstRatio: nan}, false},
+		{"ratio Inf", ArrivalConfig{Kind: Bursty, BurstRatio: math.Inf(1)}, false},
+		{"onfraction one", ArrivalConfig{Kind: Bursty, OnFraction: 1}, false},
+		{"onfraction NaN", ArrivalConfig{Kind: Bursty, OnFraction: nan}, false},
+		{"onfraction negative", ArrivalConfig{Kind: Bursty, OnFraction: -0.25}, false},
+		{"burst arrivals below one", ArrivalConfig{Kind: Bursty, BurstArrivals: 0.5}, false},
+		{"burst arrivals NaN", ArrivalConfig{Kind: Bursty, BurstArrivals: nan}, false},
+		{"unknown kind", ArrivalConfig{Kind: ArrivalKind(7)}, false},
+	}
+	for _, c := range cases {
+		err := c.cfg.Validate()
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: invalid config accepted", c.name)
+		}
+	}
+}
+
+func TestNewArrivalErrors(t *testing.T) {
+	if _, err := NewArrival(ArrivalConfig{Kind: Poisson}, 0, 1); err == nil {
+		t.Error("zero mean accepted")
+	}
+	if _, err := NewArrival(ArrivalConfig{Kind: Poisson}, -units.Microsecond, 1); err == nil {
+		t.Error("negative mean accepted")
+	}
+	if _, err := NewArrival(ArrivalConfig{Kind: Bursty, OnFraction: 2}, units.Microsecond, 1); err == nil {
+		t.Error("invalid burst shape accepted")
+	}
+}
+
+// empiricalMean draws n gaps and averages them.
+func empiricalMean(t *testing.T, cfg ArrivalConfig, mean units.Time, seed int64, n int) float64 {
+	t.Helper()
+	ap, err := NewArrival(cfg, mean, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		g := ap.Next()
+		if g < 1 {
+			t.Fatalf("gap %v below the quantisation floor", g)
+		}
+		sum += float64(g)
+	}
+	return sum / float64(n)
+}
+
+// Property: the empirical arrival rate matches the configured offered
+// load — the long-run mean gap of both process families converges to
+// the constructed mean.
+func TestArrivalMeanMatchesLoadProperty(t *testing.T) {
+	for _, kind := range []ArrivalKind{Poisson, Bursty} {
+		kind := kind
+		f := func(seed int64, meanRaw uint32) bool {
+			// Mean gaps from 10ns to ~42ms, away from the 1ps floor so
+			// quantisation cannot bias the average upward.
+			mean := units.Time(meanRaw)*10*units.Nanosecond + 10*units.Nanosecond
+			got := empiricalMean(t, ArrivalConfig{Kind: kind}, mean, seed, 60000)
+			return math.Abs(got-float64(mean)) < 0.1*float64(mean)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+			t.Errorf("%v: %v", kind, err)
+		}
+	}
+}
+
+// Property: the same seed reproduces the same gap stream; the process
+// is a pure function of (config, mean, seed).
+func TestArrivalDeterminismProperty(t *testing.T) {
+	f := func(seed int64, burstRaw uint8) bool {
+		cfg := ArrivalConfig{Kind: Bursty, BurstRatio: 1 + float64(burstRaw%16), OnFraction: 0.25, BurstArrivals: 4}
+		a, err := NewArrival(cfg, 50*units.Nanosecond, seed)
+		if err != nil {
+			return false
+		}
+		b, err := NewArrival(cfg, 50*units.Nanosecond, seed)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 200; i++ {
+			if a.Next() != b.Next() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArrivalAccessors(t *testing.T) {
+	for _, kind := range []ArrivalKind{Poisson, Bursty} {
+		ap, err := NewArrival(ArrivalConfig{Kind: kind}, units.Microsecond, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ap.Mean() != units.Microsecond {
+			t.Errorf("%v Mean = %v", kind, ap.Mean())
+		}
+		if ap.Name() != kind.String() {
+			t.Errorf("%v Name = %q", kind, ap.Name())
+		}
+	}
+}
+
+// Bursty gaps must cluster: the ON-state gap mean is BurstRatio times
+// tighter than the OFF-state one, so the gap distribution has far more
+// small gaps than a Poisson stream of the same long-run mean.
+func TestBurstyClusters(t *testing.T) {
+	mean := units.Microsecond
+	countBelow := func(cfg ArrivalConfig) int {
+		ap, err := NewArrival(cfg, mean, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for i := 0; i < 30000; i++ {
+			if ap.Next() < mean/4 {
+				n++
+			}
+		}
+		return n
+	}
+	poisson := countBelow(ArrivalConfig{Kind: Poisson})
+	bursty := countBelow(ArrivalConfig{Kind: Bursty, BurstRatio: 16, OnFraction: 0.1, BurstArrivals: 32})
+	if bursty <= poisson {
+		t.Errorf("bursty small gaps %d <= poisson %d; burstiness lost", bursty, poisson)
+	}
+}
+
+func TestQuantise(t *testing.T) {
+	if q := quantise(0.2); q != 1 {
+		t.Errorf("quantise(0.2) = %v", q)
+	}
+	if q := quantise(1e30); q != units.Time(math.MaxInt64/2) {
+		t.Errorf("quantise(1e30) = %v, want the overflow clamp", q)
+	}
+	if q := quantise(1500); q != 1500 {
+		t.Errorf("quantise(1500) = %v", q)
+	}
+}
+
+func TestMeanGap(t *testing.T) {
+	link := units.Bandwidth(1280 * 1000 * 1000 / 8) // bytes/sec scale irrelevant; positive
+	if _, err := MeanGap(0, 512, link); err == nil {
+		t.Error("zero load accepted")
+	}
+	if _, err := MeanGap(math.NaN(), 512, link); err == nil {
+		t.Error("NaN load accepted")
+	}
+	if _, err := MeanGap(math.Inf(1), 512, link); err == nil {
+		t.Error("Inf load accepted")
+	}
+	if _, err := MeanGap(0.5, 0, link); err == nil {
+		t.Error("zero mean size accepted")
+	}
+	if _, err := MeanGap(0.5, math.NaN(), link); err == nil {
+		t.Error("NaN mean size accepted")
+	}
+	// Halving the load doubles the gap.
+	g1, err := MeanGap(0.8, 1024, link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := MeanGap(0.4, 1024, link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(g2) / float64(g1)
+	if math.Abs(ratio-2) > 0.01 {
+		t.Errorf("gap ratio = %v, want 2", ratio)
+	}
+}

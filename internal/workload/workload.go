@@ -1,0 +1,209 @@
+// Package workload is the open-loop traffic plane of the load
+// studies: arrival processes (Poisson and bursty Markov-modulated),
+// flow-size mixes (fixed, uniform, heavy-tailed web-search style) and
+// scenario generators (uniform, incast, outcast, all-to-all) that
+// compile an offered load into a deterministic flow schedule, plus
+// two closed-loop drivers — a ring/tree allreduce collective over GM
+// ports and an RPC fan-out service over the gmip stack. The paper
+// evaluates ITBs under closed-loop uniform and permutation traffic;
+// this package supplies the datacenter-style mixes (FatPaths' framing)
+// the saturation studies judge the routing engines under.
+//
+// Everything here is deterministic per seed: a schedule is a pure
+// function of (topology, config), so the core drivers can shard cells
+// across workers and stay byte-identical at any worker count.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/topology"
+	"repro/internal/traffic"
+	"repro/internal/units"
+)
+
+// Scenario selects the spatial shape of an open-loop plan.
+type Scenario int
+
+const (
+	// ScenarioUniform has every host injecting to uniformly random
+	// other hosts (via internal/traffic's generator).
+	ScenarioUniform Scenario = iota
+	// ScenarioIncast aims many senders at one victim host — the
+	// classic partition/aggregate hot spot.
+	ScenarioIncast
+	// ScenarioOutcast has one overloaded source spraying all other
+	// hosts round-robin.
+	ScenarioOutcast
+	// ScenarioAllToAll has every host cycling deterministically
+	// through every other host — the shuffle phase of a distributed
+	// join.
+	ScenarioAllToAll
+)
+
+// String names the scenario.
+func (s Scenario) String() string {
+	switch s {
+	case ScenarioUniform:
+		return "uniform"
+	case ScenarioIncast:
+		return "incast"
+	case ScenarioOutcast:
+		return "outcast"
+	case ScenarioAllToAll:
+		return "alltoall"
+	default:
+		return fmt.Sprintf("Scenario(%d)", int(s))
+	}
+}
+
+// ScenarioByName resolves a scenario from its CLI name.
+func ScenarioByName(name string) (Scenario, error) {
+	for _, s := range []Scenario{ScenarioUniform, ScenarioIncast, ScenarioOutcast, ScenarioAllToAll} {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("workload: unknown scenario %q (valid: uniform incast outcast alltoall)", name)
+}
+
+// Flow is one scheduled open-loop injection: Src sends Bytes of
+// payload to Dst at absolute simulation time Start, regardless of
+// whether earlier flows have completed — that open loop is what makes
+// overload visible.
+type Flow struct {
+	Src, Dst topology.NodeID
+	Bytes    int
+	Start    units.Time
+}
+
+// maxPlanFlows bounds a schedule: beyond this the configuration is a
+// mistake (offered load, horizon or host count out of proportion),
+// and failing fast beats allocating gigabytes of flows.
+const maxPlanFlows = 4 << 20
+
+// PlanConfig compiles into a flow schedule.
+type PlanConfig struct {
+	Scenario Scenario
+	// Load is the offered load per active sender, as a fraction of
+	// its link bandwidth. Open-loop: values above 1 deliberately
+	// overload.
+	Load float64
+	// Arrival shapes the interarrival process of every sender.
+	Arrival ArrivalConfig
+	// Sizes draws per-flow payload sizes.
+	Sizes SizeMix
+	// Seed makes the schedule reproducible.
+	Seed int64
+	// Horizon bounds the schedule: flows start strictly before it.
+	Horizon units.Time
+	// LinkBandwidth is the per-host injection bandwidth the load is
+	// normalised against.
+	LinkBandwidth units.Bandwidth
+	// Fanin bounds the participant count of incast (senders) and
+	// outcast (receivers); 0 means all other hosts.
+	Fanin int
+}
+
+// Plan compiles the configuration into the deterministic flow
+// schedule, ordered by sender and then by start time.
+func Plan(topo *topology.Topology, cfg PlanConfig) ([]Flow, error) {
+	hosts := topo.Hosts()
+	if len(hosts) < 2 {
+		return nil, fmt.Errorf("workload: plan needs at least 2 hosts, have %d", len(hosts))
+	}
+	if cfg.Sizes == nil {
+		return nil, fmt.Errorf("workload: plan needs a size mix")
+	}
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("workload: plan needs a positive horizon, got %v", cfg.Horizon)
+	}
+	if cfg.Fanin < 0 || cfg.Fanin > len(hosts)-1 {
+		return nil, fmt.Errorf("workload: fanin %d outside [0, %d]", cfg.Fanin, len(hosts)-1)
+	}
+	mean, err := MeanGap(cfg.Load, cfg.Sizes.MeanBytes(), cfg.LinkBandwidth)
+	if err != nil {
+		return nil, err
+	}
+
+	// The destination chooser per sender index. Uniform layers on
+	// internal/traffic; the structured scenarios are deterministic
+	// functions of the sender's draw counter.
+	fan := cfg.Fanin
+	if fan == 0 {
+		fan = len(hosts) - 1
+	}
+	var senders []int
+	var dstFor func(senderIdx, draw int, rng *rand.Rand) topology.NodeID
+	switch cfg.Scenario {
+	case ScenarioUniform:
+		gen, err := traffic.NewGenerator(topo, traffic.Config{
+			Pattern:     traffic.Uniform,
+			MessageSize: MinFlowBytes, // sizes come from the mix; the generator only picks destinations
+			Seed:        cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i := range hosts {
+			senders = append(senders, i)
+		}
+		dstFor = func(senderIdx, _ int, _ *rand.Rand) topology.NodeID {
+			return gen.NextFrom(hosts[senderIdx]).Dst
+		}
+	case ScenarioIncast:
+		// hosts[0] is the victim; the next fan hosts converge on it.
+		for i := 1; i <= fan; i++ {
+			senders = append(senders, i)
+		}
+		dstFor = func(_, _ int, _ *rand.Rand) topology.NodeID { return hosts[0] }
+	case ScenarioOutcast:
+		// hosts[0] sprays the next fan hosts round-robin.
+		senders = []int{0}
+		dstFor = func(_, draw int, _ *rand.Rand) topology.NodeID {
+			return hosts[1+draw%fan]
+		}
+	case ScenarioAllToAll:
+		for i := range hosts {
+			senders = append(senders, i)
+		}
+		dstFor = func(senderIdx, draw int, _ *rand.Rand) topology.NodeID {
+			// Cycle through every other host, offset so the first
+			// destinations of the senders do not all collide.
+			return hosts[(senderIdx+1+draw%(len(hosts)-1))%len(hosts)]
+		}
+	default:
+		return nil, fmt.Errorf("workload: unknown scenario %d", int(cfg.Scenario))
+	}
+
+	var flows []Flow
+	for ord, si := range senders {
+		// Per-sender processes: arrival state and size draws are
+		// private streams, so one sender's schedule never depends on
+		// how many others exist.
+		ap, err := NewArrival(cfg.Arrival, mean, cfg.Seed+1000003*int64(ord+1))
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed ^ (0x5DEECE66D * int64(ord+1))))
+		t := units.Time(0)
+		for draw := 0; ; draw++ {
+			t += ap.Next()
+			if t >= cfg.Horizon {
+				break
+			}
+			if len(flows) >= maxPlanFlows {
+				return nil, fmt.Errorf("workload: plan exceeds %d flows (load %v over horizon %v on %d senders); shrink the horizon or load",
+					maxPlanFlows, cfg.Load, cfg.Horizon, len(senders))
+			}
+			flows = append(flows, Flow{
+				Src:   hosts[si],
+				Dst:   dstFor(si, draw, rng),
+				Bytes: cfg.Sizes.Sample(rng),
+				Start: t,
+			})
+		}
+	}
+	return flows, nil
+}
