@@ -1,7 +1,7 @@
 GO ?= go
 
 # Benchmarks guarded by the bench-gate CI job (see cmd/benchdiff).
-GUARDED_BENCH = ^(BenchmarkFig7_CodeOverhead|BenchmarkFig8_ITBOverhead|BenchmarkAllsizePingPong|BenchmarkSweepSerial|BenchmarkSweepParallel|BenchmarkRecoveryOff|BenchmarkEngineTableBuild1024|BenchmarkLoadStudySmall)$$
+GUARDED_BENCH = ^(BenchmarkFig7_CodeOverhead|BenchmarkFig8_ITBOverhead|BenchmarkAllsizePingPong|BenchmarkSweepSerial|BenchmarkSweepParallel|BenchmarkRecoveryOff|BenchmarkEngineTableBuild1024|BenchmarkLoadStudySmall|BenchmarkLoadStudyPartitioned)$$
 # Output file for bench-json; CI overrides this to BENCH_PR4.json.
 BENCH_JSON ?= BENCH_PR4.json
 
@@ -63,6 +63,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzProbeScheduler -fuzztime=10s ./internal/recovery/
 	$(GO) test -fuzz=FuzzArrivalProcess -fuzztime=10s ./internal/workload/
 	$(GO) test -fuzz=FuzzFlowSizeMix -fuzztime=10s ./internal/workload/
+	$(GO) test -fuzz=FuzzStaleHandleCancel -fuzztime=10s ./internal/sim/
 
 # Run every Fuzz* target briefly, discovering them with `go test
 # -list` so new targets are picked up without editing this file or the

@@ -31,6 +31,14 @@
 //
 // Independent simulation runs are sharded across -workers goroutines
 // (default: all cores); output is byte-identical at any worker count.
+// -workers must be at least 1; anything lower is rejected.
+//
+// The load study's open-loop patterns additionally accept -partitions:
+// 0 (the default) runs each cell on the legacy serial engine, N >= 1
+// runs each cell as a conservative parallel simulation (PDES) on N
+// lanes over a fixed topology-derived decomposition. Output is
+// byte-identical for every N >= 1 (and differs from -partitions 0,
+// which is a different — serial — model).
 //
 // Observability flags: -metrics <file> writes the merged metrics
 // snapshot (counters, queue high-water gauges, latency histograms) as
@@ -66,11 +74,25 @@ func main() {
 	iters := flag.Int("iters", 100, "gm_allsize iterations per message size")
 	windowUs := flag.Int("window", 1000, "measurement window in microseconds (throughput/latload)")
 	csvOut := flag.Bool("csv", false, "emit CSV data series instead of tables (fig7, fig8, itbcount, recovery)")
-	workers := flag.Int("workers", runtime.NumCPU(), "worker goroutines sharding independent simulation runs (output is identical at any value)")
+	workers := flag.Int("workers", runtime.NumCPU(), "worker goroutines sharding independent simulation runs (output is identical at any value >= 1)")
+	partitions := flag.Int("partitions", 0, "PDES lanes for the load study's open-loop cells (0 = serial model; output is identical at any value >= 1)")
 	metricsOut := flag.String("metrics", "", "write the merged metrics snapshot of the instrumented experiments as JSON to this file (byte-identical at any -workers value)")
 	traceOut := flag.String("trace", "", "write the packet-lifecycle trace of the instrumented experiments as JSON Lines to this file")
 	pprofOut := flag.String("pprof", "", "write a CPU profile of the whole invocation to this file")
 	flag.Parse()
+
+	// Validate the concurrency knobs before anything runs: a worker
+	// count below 1 used to flow straight into the runner, where it
+	// silently meant "serial" at best and hung a sharded sweep at
+	// worst. Reject it like an unknown -exp instead.
+	if *workers < 1 {
+		fmt.Fprintf(os.Stderr, "itbsim: -workers %d is invalid; need at least 1 worker goroutine\n", *workers)
+		os.Exit(1)
+	}
+	if *partitions < 0 {
+		fmt.Fprintf(os.Stderr, "itbsim: -partitions %d is invalid; 0 selects the serial model, N >= 1 selects N PDES lanes\n", *partitions)
+		os.Exit(1)
+	}
 	runner.SetWorkers(*workers)
 
 	// Reject unknown engines before anything runs, mirroring the
@@ -451,6 +473,7 @@ func main() {
 		if *pattern != "all" {
 			cfg.Patterns = []string{*pattern}
 		}
+		cfg.Partitions = *partitions
 		res, err := core.RunLoadStudy(cfg)
 		if err != nil {
 			return err

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoadPartitionedGoldenDeterministic is the CLI acceptance check
+// for the PDES execution model: `itbsim -exp load -partitions N` must
+// emit byte-identical tables for every N >= 1 at any -workers value
+// (the decomposition is a pure function of the topology; N and the
+// workers only choose executor lanes), and the table must match the
+// committed golden. A deliberate model change regenerates it with:
+//
+//	REGEN_GOLDEN=1 go test ./cmd/itbsim/ -run TestLoadPartitionedGolden
+func TestLoadPartitionedGoldenDeterministic(t *testing.T) {
+	bin := buildItbsim(t)
+	runWith := func(partitions, workers string) []byte {
+		t.Helper()
+		out, err := exec.Command(bin, "-exp", "load", "-pattern", "uniform",
+			"-seed", "3", "-partitions", partitions, "-workers", workers).CombinedOutput()
+		if err != nil {
+			t.Fatalf("itbsim -exp load -partitions %s -workers %s: %v\n%s",
+				partitions, workers, err, out)
+		}
+		return out
+	}
+	ref := runWith("1", "1")
+	for _, combo := range [][2]string{{"2", "1"}, {"4", "1"}, {"1", "4"}, {"4", "4"}} {
+		got := runWith(combo[0], combo[1])
+		if !bytes.Equal(ref, got) {
+			t.Fatalf("-exp load output differs between -partitions 1 -workers 1 and -partitions %s -workers %s\n--- ref ---\n%s\n--- got ---\n%s",
+				combo[0], combo[1], ref, got)
+		}
+	}
+
+	path := filepath.Join("testdata", "load_partitioned.golden")
+	if os.Getenv("REGEN_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, ref, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with REGEN_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(ref, want) {
+		t.Errorf("-exp load -partitions drifted from golden output.\n--- got ---\n%s\n--- want ---\n%s", ref, want)
+	}
+}
+
+// TestWorkersFlagValidation locks the -workers / -partitions argument
+// checks: values the runner cannot honour must be rejected up front
+// with a usage message and a non-zero exit, not passed through.
+func TestWorkersFlagValidation(t *testing.T) {
+	bin := buildItbsim(t)
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-exp", "load", "-workers", "0"}, "-workers 0 is invalid"},
+		{[]string{"-exp", "load", "-workers", "-3"}, "-workers -3 is invalid"},
+		{[]string{"-exp", "load", "-partitions", "-1"}, "-partitions -1 is invalid"},
+	}
+	for _, c := range cases {
+		out, err := exec.Command(bin, c.args...).CombinedOutput()
+		if err == nil {
+			t.Fatalf("%v exited 0; output:\n%s", c.args, out)
+		}
+		ee, ok := err.(*exec.ExitError)
+		if !ok || ee.ExitCode() != 1 {
+			t.Fatalf("%v: want exit code 1, got %v", c.args, err)
+		}
+		if !strings.Contains(string(out), c.want) {
+			t.Errorf("%v: message %q missing from output:\n%s", c.args, c.want, out)
+		}
+	}
+}

@@ -55,6 +55,13 @@ type LoadStudyConfig struct {
 	Fanout int
 	// Seed makes topologies and schedules reproducible.
 	Seed int64
+	// Partitions selects the execution model for the open-loop
+	// patterns: 0 (the default) is the legacy serial model; N >= 1 is
+	// the partitioned PDES model (fixed topology-derived decomposition,
+	// see pdes.go) executed on N parallel lanes. The partitioned
+	// model's output is byte-identical for every N >= 1. Closed-loop
+	// patterns (allreduce, rpc) always run serially.
+	Partitions int
 	// Metrics, when non-nil, receives each cell's merged counters
 	// under the "<preset>.<pattern>.<engine>.load<NNN>." prefix, in
 	// cell order.
@@ -173,6 +180,9 @@ func RunLoadStudy(cfg LoadStudyConfig) (LoadStudyResult, error) {
 	if cfg.Window <= 0 || cfg.Warmup < 0 {
 		return res, fmt.Errorf("core: load study needs a positive window and non-negative warmup")
 	}
+	if err := validatePartitions(cfg.Partitions); err != nil {
+		return res, err
+	}
 	mix, err := workload.NewSizeMix(cfg.Sizes)
 	if err != nil {
 		return res, err
@@ -251,6 +261,9 @@ func runLoadCell(cfg LoadStudyConfig, mix workload.SizeMix, s loadCellSpec) (loa
 	case "rpc":
 		return runLoadRPC(cfg, s, topo)
 	default:
+		if cfg.Partitions >= 1 {
+			return runLoadPlanPartitioned(cfg, mix, s, topo)
+		}
 		return runLoadPlan(cfg, mix, s, topo)
 	}
 }
@@ -401,7 +414,7 @@ func runLoadCollective(cfg LoadStudyConfig, mix workload.SizeMix, s loadCellSpec
 		if err != nil {
 			return loadCellOut{}, err
 		}
-		rng := rand.New(rand.NewSource(cfg.Seed ^ (0x9E3779B9 * int64(i + 1))))
+		rng := rand.New(rand.NewSource(cfg.Seed ^ (0x9E3779B9 * int64(i+1))))
 		var tick func()
 		tick = func() {
 			if coll != nil && coll.Done() {

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/gm"
+	"repro/internal/mcp"
+	"repro/internal/packet"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Parallel in-run simulation (PDES) for the open-loop load cells.
+//
+// The serial runner simulates one cell on one engine. The partitioned
+// runner decomposes the same cell into pdesPartitions logical processes
+// — contiguous switch clusters with their attached hosts, from
+// topology.PartitionHosts — each with its own sim.Engine, synchronized
+// by a conservative time-window barrier (sim.Coordinator).
+//
+// Every partition instantiates the full topology as its private fabric,
+// but only its owned hosts carry a real MCP+GM stack; foreign hosts are
+// fabric.Relay proxies. A wormhole segment is simulated exactly once,
+// in the partition owning the segment's source host: segments ending at
+// an owned host terminate at the real NIC locally, segments ending at a
+// foreign host drain into the Relay, which mails the packet to the
+// owner one lookahead later, where the real NIC applies the admission
+// decision (and, at an in-transit-buffer hop, reinjects the next
+// segment into the owner's own fabric).
+//
+// The decomposition is a pure function of the topology and never of the
+// requested parallelism: -partitions N selects only the number of
+// executor lanes. The coordinator applies cross-partition mail at
+// window boundaries in (time, source, sequence) order and all
+// measurement state is per-partition, merged in partition order — so
+// the cell's output is byte-identical for every N >= 1.
+//
+// Model note: the partition cut behaves like a store-and-forward
+// in-transit buffer with no admission control (the relay always
+// accepts), and channel contention is arbitrated per partition fabric.
+// The partitioned model therefore is not numerically identical to the
+// serial one — it is a fixed, deterministic model of its own, with its
+// own golden outputs; -partitions 0 keeps the legacy serial model
+// untouched.
+
+// pdesPartitions is the fixed decomposition width. PartitionHosts
+// clamps it to the switch count, so small topologies degrade
+// gracefully.
+const pdesPartitions = 4
+
+// pdesLookahead is the conservative window width: the minimum simulated
+// time a packet needs to reach a foreign host region — its source host
+// link, one switch crossing, and the link into the neighbouring region.
+func pdesLookahead(par fabric.Params) units.Time {
+	return 2*par.WireLatency + par.FallThrough
+}
+
+// partWorld is one logical process: a partition engine plus a private
+// copy of the cell's simulation stack and measurement state.
+type partWorld struct {
+	part  *sim.Partition
+	topo  *topology.Topology
+	ud    *topology.UpDown
+	net   *fabric.Network
+	tbl   *routing.Table
+	hosts map[topology.NodeID]*gm.Host
+	obs   runObs
+
+	// Per-partition measurement, merged in partition order after the
+	// run (the coordinator guarantees per-partition state is only ever
+	// touched by the lane currently running that partition).
+	lat            stats.Summary
+	deliveredBytes uint64
+	flowsDone      uint64
+}
+
+// relayMsg is one cross-partition packet handoff: the foreign host the
+// segment ended at, the packet, and its fabric timestamps already
+// shifted by the lookahead (the flight time across the cut).
+type relayMsg struct {
+	host               topology.NodeID
+	pkt                *packet.Packet
+	headerAt, tailedAt units.Time
+}
+
+// applyRelay runs in the owning partition: the packet crossed the cut,
+// present it to the real NIC.
+func (w *partWorld) applyRelay(a any) {
+	m := a.(relayMsg)
+	w.hosts[m.host].MCP().RelayArrived(m.pkt, m.headerAt, m.tailedAt)
+}
+
+// buildPartitionWorlds assembles the coordinator and one world per
+// partition. topo0 (the cell's private deserialized copy) becomes world
+// 0's topology; the remaining worlds deserialize their own.
+func buildPartitionWorlds(cfg LoadStudyConfig, s loadCellSpec, topo0 *topology.Topology, lanes int) (*sim.Coordinator, []*partWorld, *topology.HostPartition, error) {
+	hp := topology.PartitionHosts(topo0, pdesPartitions)
+	fpar := fabric.DefaultParams()
+	coord := sim.NewCoordinator(hp.K, pdesLookahead(fpar), lanes)
+	worlds := make([]*partWorld, hp.K)
+	for i := range worlds {
+		topo := topo0
+		if i > 0 {
+			var err error
+			topo, err = topology.Read(bytes.NewReader(s.topoText))
+			if err != nil {
+				return nil, nil, nil, err
+			}
+		}
+		w := &partWorld{
+			part:  coord.Partition(i),
+			topo:  topo,
+			hosts: make(map[topology.NodeID]*gm.Host),
+			obs:   newRunObs(cfg.Metrics != nil, false),
+		}
+		eng, _ := routing.EngineByName(s.engine)
+		ccfg := DefaultConfig(topo, routing.ITBRouting, mcp.ITB)
+		ccfg.Engine = eng
+		ccfg.GM.DisableAcks = true
+		ccfg.MCP.BufferPool = true
+		ccfg.MCP.RecvBuffers = 64
+		w.obs.install(&ccfg)
+		w.ud = eng.Orientation(topo)
+		tbl, err := eng.BuildTable(topo, nil)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		w.tbl = tbl
+		w.net = fabric.New(w.part.Engine(), topo, ccfg.Fabric)
+		if ccfg.Metrics != nil {
+			w.net.SetMetrics(ccfg.Metrics)
+		}
+		for _, h := range hp.Hosts[i] {
+			m := mcp.New(w.net, h, ccfg.MCP)
+			if ccfg.Metrics != nil {
+				m.SetMetrics(ccfg.Metrics)
+			}
+			w.hosts[h] = gm.NewHost(w.part.Engine(), m, tbl, ccfg.GM)
+		}
+		worlds[i] = w
+	}
+	// Second pass: every host a world does not own becomes a relay
+	// mailing arrivals to the owner's world.
+	L := coord.Lookahead()
+	for i, w := range worlds {
+		w := w
+		for _, h := range w.topo.Hosts() {
+			owner := hp.PartitionOf(h)
+			if owner == i {
+				continue
+			}
+			h, dst := h, worlds[owner]
+			w.net.Attach(h, &fabric.Relay{
+				OnPacket: func(pkt *packet.Packet, headerAt, completedAt units.Time) {
+					w.part.Send(owner, L, dst.applyRelay, relayMsg{
+						host: h, pkt: pkt,
+						headerAt: headerAt + L, tailedAt: completedAt + L,
+					})
+				},
+			})
+		}
+	}
+	return coord, worlds, hp, nil
+}
+
+// runLoadPlanPartitioned is the PDES counterpart of runLoadPlan: the
+// same flow schedule, injected into per-partition worlds and run under
+// the conservative coordinator on cfg.Partitions lanes.
+func runLoadPlanPartitioned(cfg LoadStudyConfig, mix workload.SizeMix, s loadCellSpec, topo *topology.Topology) (loadCellOut, error) {
+	coord, worlds, hp, err := buildPartitionWorlds(cfg, s, topo, cfg.Partitions)
+	if err != nil {
+		return loadCellOut{}, err
+	}
+	defer coord.Close()
+	scenario, err := workload.ScenarioByName(s.pattern)
+	if err != nil {
+		return loadCellOut{}, err
+	}
+	endAt := cfg.Warmup + cfg.Window
+	flows, err := workload.Plan(topo, workload.PlanConfig{
+		Scenario:      scenario,
+		Load:          s.load,
+		Arrival:       cfg.Arrival,
+		Sizes:         mix,
+		Seed:          cfg.Seed + 1,
+		Horizon:       endAt,
+		LinkBandwidth: fabric.DefaultParams().LinkBandwidth,
+		Fanin:         cfg.Fanin,
+	})
+	if err != nil {
+		return loadCellOut{}, err
+	}
+	row := LoadRow{Preset: s.preset, Pattern: s.pattern, Engine: s.engine,
+		Hosts: len(topo.Hosts()), Offered: s.load}
+	for i, w := range worlds {
+		w := w
+		for _, h := range hp.Hosts[i] {
+			w.hosts[h].OnMessage = func(_ topology.NodeID, payload []byte, t units.Time) {
+				sentAt := decodeStamp(payload)
+				if sentAt < cfg.Warmup || sentAt >= endAt {
+					return
+				}
+				if t <= endAt {
+					w.deliveredBytes += uint64(len(payload))
+				}
+				w.flowsDone++
+				w.lat.Add(float64(t - sentAt))
+			}
+		}
+	}
+	senders := map[topology.NodeID]bool{}
+	for _, f := range flows {
+		senders[f.Src] = true
+		if f.Start >= cfg.Warmup {
+			row.FlowsSent++
+		}
+		f := f
+		w := worlds[hp.PartitionOf(f.Src)]
+		w.part.Engine().ScheduleAt(f.Start, func() {
+			payload := make([]byte, f.Bytes)
+			encodeStamp(payload, w.part.Engine().Now())
+			if err := w.hosts[f.Src].Send(f.Dst, payload); err != nil {
+				panic(err)
+			}
+		})
+	}
+	coord.Run(endAt + cfg.Window/2)
+
+	// Merge measurement and metrics in partition order.
+	var lat stats.Summary
+	var deliveredBytes uint64
+	obs := newRunObs(cfg.Metrics != nil, false)
+	for i, w := range worlds {
+		row.FlowsDone += w.flowsDone
+		deliveredBytes += w.deliveredBytes
+		for _, v := range w.lat.Values() {
+			lat.Add(v)
+		}
+		if obs.reg != nil {
+			w.net.PublishMetrics(w.obs.reg)
+			for _, h := range hp.Hosts[i] {
+				w.hosts[h].MCP().PublishMetrics(w.obs.reg)
+				w.hosts[h].PublishMetrics(w.obs.reg)
+			}
+			obs.reg.Merge(w.obs.reg)
+		}
+	}
+	if obs.reg != nil {
+		routing.Analyze(worlds[0].topo, worlds[0].ud, worlds[0].tbl).Publish(obs.reg)
+	}
+	fctRow(&row, &lat)
+	row.Delivered = float64(deliveredBytes) / cfg.Window.Seconds() /
+		float64(len(senders)) / float64(fabric.DefaultParams().LinkBandwidth)
+	return loadCellOut{row: row, obs: obs}, nil
+}
+
+// validatePartitions rejects a negative partition count up front so the
+// grid does not fail mid-run.
+func validatePartitions(n int) error {
+	if n < 0 {
+		return fmt.Errorf("core: partition count %d is negative (0 = serial model, >= 1 = PDES lanes)", n)
+	}
+	return nil
+}

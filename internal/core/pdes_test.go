@@ -1,0 +1,88 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/units"
+)
+
+// pdesStudyConfig is one small open-loop cell with metrics on, run
+// under the partitioned model at the given lane count.
+func pdesStudyConfig(partitions int, preset, engine string) LoadStudyConfig {
+	cfg := DefaultLoadStudyConfig(3)
+	cfg.Presets = []string{preset}
+	cfg.Engines = []string{engine}
+	cfg.Patterns = []string{"uniform"}
+	cfg.Loads = []float64{0.5}
+	cfg.Window = 50 * units.Microsecond
+	cfg.Warmup = 10 * units.Microsecond
+	cfg.Partitions = partitions
+	cfg.Metrics = metrics.NewRegistry()
+	return cfg
+}
+
+func runPDESStudy(t *testing.T, partitions int, preset, engine string) (LoadStudyResult, []byte) {
+	t.Helper()
+	cfg := pdesStudyConfig(partitions, preset, engine)
+	res, err := RunLoadStudy(cfg)
+	if err != nil {
+		t.Fatalf("partitions=%d: %v", partitions, err)
+	}
+	var buf bytes.Buffer
+	if err := cfg.Metrics.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return res, buf.Bytes()
+}
+
+// TestLoadStudyPartitionLaneInvariance pins the tentpole guarantee:
+// -partitions N selects executor lanes only, never the decomposition,
+// so rows AND the full metrics snapshot are byte-identical for every
+// N >= 1.
+func TestLoadStudyPartitionLaneInvariance(t *testing.T) {
+	for _, preset := range []string{"fattree-16", "dragonfly-72"} {
+		refRes, refMx := runPDESStudy(t, 1, preset, "updown-itb")
+		if refRes.Rows[0].FlowsDone == 0 {
+			t.Fatalf("%s: partitioned model delivered no flows", preset)
+		}
+		for _, lanes := range []int{2, 4} {
+			res, mx := runPDESStudy(t, lanes, preset, "updown-itb")
+			if !reflect.DeepEqual(refRes.Rows, res.Rows) {
+				t.Errorf("%s: rows differ between 1 and %d lanes:\n  1: %+v\n  %d: %+v",
+					preset, lanes, refRes.Rows[0], lanes, res.Rows[0])
+			}
+			if !bytes.Equal(refMx, mx) {
+				t.Errorf("%s: metrics snapshot differs between 1 and %d lanes", preset, lanes)
+			}
+		}
+	}
+}
+
+// TestLoadStudyPartitionedCrossTraffic exercises the cut machinery on
+// the Dragonfly, whose ITB routes reinject at intermediate hosts: a
+// healthy run must complete flows and measure a sane delivered
+// fraction.
+func TestLoadStudyPartitionedCrossTraffic(t *testing.T) {
+	res, _ := runPDESStudy(t, 2, "dragonfly-72", "updown-itb")
+	row := res.Rows[0]
+	if row.FlowsDone == 0 || row.FlowsSent == 0 {
+		t.Fatalf("no traffic completed: %+v", row)
+	}
+	if row.Delivered <= 0 || row.Delivered > 1.5 {
+		t.Fatalf("implausible delivered fraction %v", row.Delivered)
+	}
+	if row.P50 <= 0 || row.P99 < row.P50 {
+		t.Fatalf("broken FCT percentiles: %+v", row)
+	}
+}
+
+// TestLoadStudyRejectsNegativePartitions pins the validation path.
+func TestLoadStudyRejectsNegativePartitions(t *testing.T) {
+	cfg := pdesStudyConfig(-1, "fattree-16", "updown-itb")
+	if _, err := RunLoadStudy(cfg); err == nil {
+		t.Fatal("negative partition count accepted")
+	}
+}

@@ -353,6 +353,12 @@ func (f *Flight) finish() {
 		if f.opts.OnDropped != nil {
 			f.opts.OnDropped(done)
 		}
+		// The packet dies here: no endpoint will ever see it, and the
+		// sender's OnTailOut (which releases any NIC-side reference)
+		// fired strictly earlier — the tail left the source before it
+		// could fully arrive anywhere. Pool packets go back to the
+		// pool; foreign ones fall to the GC.
+		packet.Recycle(f.pkt)
 		n.putFlight(f)
 		return
 	}

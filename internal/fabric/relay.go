@@ -1,0 +1,38 @@
+package fabric
+
+import (
+	"repro/internal/packet"
+	"repro/internal/units"
+)
+
+// Relay is the cross-partition proxy endpoint for parallel in-run
+// simulation (PDES). In a partitioned run every partition simulates
+// packets over its own copy of the full topology, but only its owned
+// hosts carry a real MCP+GM stack; every foreign host is represented by
+// a Relay. A wormhole segment terminating at a foreign host drains into
+// the Relay, which hands the packet (with its fabric timestamps) to the
+// PDES layer — the layer mails it to the owning partition, where the
+// real NIC processes it one lookahead later.
+//
+// A Relay always accepts: the partition cut behaves like an in-transit
+// buffer with no admission control (the paper's store-and-forward ITB
+// generalized to partition boundaries). Buffer pressure, stalls and
+// drops are all modelled at the real NIC on the owning side, so the
+// admission decision is made exactly once per packet.
+type Relay struct {
+	// OnPacket receives every packet whose segment ends here, at the
+	// simulated instant its tail fully arrived. The callback owns the
+	// packet from this point on (the fabric keeps no reference) and
+	// runs inside the partition's event context, so it may stage
+	// cross-partition mail but must not touch other partitions' state.
+	OnPacket func(pkt *packet.Packet, headerAt, completedAt units.Time)
+}
+
+// HeaderArrived implements Endpoint: the cut buffers unconditionally.
+func (r *Relay) HeaderArrived(f *Flight) { f.Accept() }
+
+// PacketReceived implements Endpoint: the segment is fully across the
+// cut; hand it to the PDES layer.
+func (r *Relay) PacketReceived(pkt *packet.Packet, headerAt, completedAt units.Time) {
+	r.OnPacket(pkt, headerAt, completedAt)
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/gm"
 	"repro/internal/mcp"
+	"repro/internal/packet"
 	"repro/internal/recovery"
 	"repro/internal/routing"
 	"repro/internal/sim"
@@ -69,10 +70,13 @@ func runPoolCampaign(t *testing.T, topo *topology.Topology, seed int64) string {
 	par.DeadPeerTimeouts = 4
 	hostIDs := topo.Hosts()
 	hosts := make([]*gm.Host, 0, len(hostIDs))
+	mcps := make([]*mcp.MCP, 0, len(hostIDs))
 	byID := make(map[topology.NodeID]*gm.Host)
 	for _, h := range hostIDs {
-		gh := gm.NewHost(eng, mcp.New(net, h, mcfg), tbl, par)
+		m := mcp.New(net, h, mcfg)
+		gh := gm.NewHost(eng, m, tbl, par)
 		hosts = append(hosts, gh)
+		mcps = append(mcps, m)
 		byID[h] = gh
 	}
 
@@ -145,6 +149,7 @@ func runPoolCampaign(t *testing.T, topo *topology.Topology, seed int64) string {
 		})
 	}
 
+	out0 := packet.PoolOutstanding()
 	steps := 0
 	for eng.Step() {
 		if steps++; steps > 5_000_000 {
@@ -167,10 +172,97 @@ func runPoolCampaign(t *testing.T, topo *topology.Topology, seed int64) string {
 	for id := uint64(0); id < msgs; id++ {
 		sum += fmt.Sprintf(" %d:%d/%v/%v", id, delivered[id], acked[id], failed[id])
 	}
+
+	// Pool steady state: every packet checked out during the campaign
+	// must be released by the layer that last held it. A campaign can
+	// legitimately end with a NIC still wedged (a stall event with no
+	// resume inside the horizon) holding queued wire clones in its send
+	// SRAM, so revive every NIC, drain the aftermath, and only then
+	// require the pool residue to be exactly zero. Before the drop-path
+	// recycling fix this residue grew with the drop count — the
+	// unbounded-growth leak this assertion pins.
+	for _, m := range mcps {
+		m.SetStalled(false)
+		m.SetPoolExhausted(false)
+	}
+	for eng.Step() {
+		if steps++; steps > 5_000_000 {
+			t.Fatalf("campaign seed %d: no quiescence draining revived NICs", seed)
+		}
+	}
+	if leaked := packet.PoolOutstanding() - out0; leaked != 0 {
+		t.Errorf("campaign seed %d: %d pool packets still outstanding after full drain", seed, leaked)
+	}
 	return sum
 }
 
 // patternByte is the expected content of payload byte i of message id.
 func patternByte(id uint64, i int) byte {
 	return byte(uint64(i)*1103515245 + id*12345 + 7)
+}
+
+// TestPoolSteadyStateUnderSustainedDrops hammers one receiver with
+// fire-and-forget traffic through a single receive buffer, so a large
+// fraction of the wire packets die as buffer-pool drops. Every checked
+// out pool packet — the delivered ones, the dropped ones, and the
+// fire-and-forget originals — must be back in the pool at quiescence.
+// Before the drop-path recycling fix this leaked one packet per drop
+// plus one per send (the DisableAcks pump abandoned its originals), a
+// residue proportional to traffic volume.
+func TestPoolSteadyStateUnderSustainedDrops(t *testing.T) {
+	topo, err := topology.Generate(topology.DefaultGenConfig(6, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine()
+	net := fabric.New(eng, topo, fabric.DefaultParams())
+	ud := topology.BuildUpDown(topo)
+	tbl, err := routing.BuildTable(topo, ud, routing.ITBRouting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcfg := mcp.DefaultConfig(mcp.ITB)
+	mcfg.BufferPool = true
+	mcfg.RecvBuffers = 1 // one buffer: incast overflows constantly
+	par := gm.DefaultParams()
+	par.DisableAcks = true
+	hostIDs := topo.Hosts()
+	mcps := make([]*mcp.MCP, len(hostIDs))
+	hosts := make([]*gm.Host, len(hostIDs))
+	for i, h := range hostIDs {
+		mcps[i] = mcp.New(net, h, mcfg)
+		hosts[i] = gm.NewHost(eng, mcps[i], tbl, par)
+	}
+
+	dst := hostIDs[0]
+	payload := make([]byte, 512)
+	out0 := packet.PoolOutstanding()
+	const rounds, perRound = 40, 4
+	for r := 0; r < rounds; r++ {
+		at := units.Time(r) * 2 * units.Microsecond
+		for s := 1; s <= perRound; s++ {
+			src := hosts[s]
+			eng.ScheduleAt(at, func() {
+				if err := src.Send(dst, payload); err != nil {
+					t.Errorf("send: %v", err)
+				}
+			})
+		}
+	}
+	steps := 0
+	for eng.Step() {
+		if steps++; steps > 5_000_000 {
+			t.Fatalf("no quiescence after %d events", steps)
+		}
+	}
+	var drops uint64
+	for _, m := range mcps {
+		drops += m.Stats().PoolDrops
+	}
+	if drops == 0 {
+		t.Fatal("campaign produced no buffer-pool drops; the test lost its teeth")
+	}
+	if leaked := packet.PoolOutstanding() - out0; leaked != 0 {
+		t.Errorf("%d pool packets outstanding after quiescence (%d drops); drop paths are leaking again", leaked, drops)
+	}
 }

@@ -76,6 +76,9 @@ func (c *conn) enqueue(pkt *packet.Packet, onAcked, onFailed func()) {
 		if onFailed != nil {
 			c.h.eng.Schedule(0, onFailed)
 		}
+		// The fragment never entered backlog or inflight; nothing else
+		// references it.
+		packet.Put(pkt)
 		return
 	}
 	pkt.Seq = c.nextSeq
@@ -97,8 +100,16 @@ func (c *conn) pump() {
 		pkt := c.backlog.Pop()
 		if !c.h.par.DisableAcks {
 			c.inflight = append(c.inflight, pkt)
+			c.transmit(pkt)
+			continue
 		}
+		// Fire-and-forget mode: no retransmission will ever need the
+		// original, and transmit clones the wire copy synchronously, so
+		// the original goes straight back to the pool. Keeping it
+		// (pre-fix behaviour) leaked one pool packet per send — in a
+		// long open-loop run, unbounded growth.
 		c.transmit(pkt)
+		packet.Put(pkt)
 	}
 }
 

@@ -120,6 +120,11 @@ type Packet struct {
 	// in-transit hosts (the tail has not arrived when the header is
 	// re-injected), so the flag survives ITB hops.
 	Corrupt bool
+
+	// pooled marks a packet checked out of the packet pool (Get or
+	// ClonePooled). Recycle uses it to release drop-path packets
+	// without knowing their provenance; Put clears it.
+	pooled bool
 }
 
 // HeaderOverhead is the fixed non-payload byte count of a packet with
@@ -141,6 +146,7 @@ func (p *Packet) Clone() *Packet {
 	q := *p
 	q.Route = append([]byte(nil), p.Route...)
 	q.Payload = append([]byte(nil), p.Payload...)
+	q.pooled = false // heap clone: never pool-released
 	return &q
 }
 

@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// pingWorld builds a deterministic multi-partition workload: every
+// partition runs a local timer chain and mails its right neighbour on
+// each tick with delay = lookahead + a seeded jitter. Each partition
+// records (time, tag) pairs; the trace is the observable output.
+type pingWorld struct {
+	c     *Coordinator
+	trace [][]string
+}
+
+func buildPingWorld(parts, lanes int, lookahead units.Time, seed int64) *pingWorld {
+	w := &pingWorld{
+		c:     NewCoordinator(parts, lookahead, lanes),
+		trace: make([][]string, parts),
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < parts; i++ {
+		i := i
+		p := w.c.Partition(i)
+		period := units.Time(50+rng.Intn(200)) * units.Nanosecond
+		jitter := units.Time(rng.Intn(100)) * units.Nanosecond
+		var tick func()
+		n := 0
+		tick = func() {
+			n++
+			w.trace[i] = append(w.trace[i], fmt.Sprintf("%d:tick%d@%d", i, n, int64(p.Engine().Now())))
+			dst := (i + 1) % parts
+			tag := fmt.Sprintf("%d->%d#%d", i, dst, n)
+			p.Send(dst, lookahead+jitter, func(arg any) {
+				q := w.c.Partition(dst)
+				w.trace[dst] = append(w.trace[dst], fmt.Sprintf("%d:recv %s@%d", dst, arg.(string), int64(q.Engine().Now())))
+			}, tag)
+			if n < 20 {
+				p.Engine().Schedule(period, tick)
+			}
+		}
+		p.Engine().Schedule(units.Time(rng.Intn(50))*units.Nanosecond, tick)
+	}
+	return w
+}
+
+// serialPingTrace runs the workload on a single lane — the serial
+// reference every parallel lane count must reproduce byte-for-byte.
+func serialPingTrace(parts int, lookahead units.Time, seed int64) [][]string {
+	w := buildPingWorld(parts, 1, lookahead, seed)
+	defer w.c.Close()
+	w.c.Run(100 * units.Microsecond)
+	return w.trace
+}
+
+func TestCoordinatorLaneInvariance(t *testing.T) {
+	const parts = 5
+	const lookahead = 120 * units.Nanosecond
+	for _, seed := range []int64{1, 7, 42} {
+		want := serialPingTrace(parts, lookahead, seed)
+		for _, lanes := range []int{2, 4, 8} {
+			w := buildPingWorld(parts, lanes, lookahead, seed)
+			w.c.Run(100 * units.Microsecond)
+			w.c.Close()
+			if !reflect.DeepEqual(w.trace, want) {
+				t.Fatalf("seed %d lanes %d: trace differs from lanes=1\nlanes=1: %v\nlanes=%d: %v",
+					seed, lanes, want, lanes, w.trace)
+			}
+		}
+	}
+}
+
+// TestCoordinatorConservative pins the core PDES invariant: a mail sent
+// at time u lands at u+delay, after every event the destination fired
+// before that instant and interleaved with same-instant local events in
+// flush order — i.e. timestamps per partition are non-decreasing.
+func TestCoordinatorConservative(t *testing.T) {
+	w := buildPingWorld(4, 4, 120*units.Nanosecond, 99)
+	defer w.c.Close()
+	w.c.Run(100 * units.Microsecond)
+	for i, tr := range w.trace {
+		var last units.Time
+		for _, line := range tr {
+			at := parseAt(t, line)
+			if at < last {
+				t.Fatalf("partition %d: time went backwards in trace: %v", i, tr)
+			}
+			last = at
+		}
+	}
+}
+
+func parseAt(t *testing.T, line string) units.Time {
+	t.Helper()
+	i := strings.LastIndexByte(line, '@')
+	if i < 0 {
+		t.Fatalf("malformed trace line %q", line)
+	}
+	ps, err := strconv.ParseInt(line[i+1:], 10, 64)
+	if err != nil {
+		t.Fatalf("cannot parse time from %q: %v", line, err)
+	}
+	return units.Time(ps)
+}
+
+func TestCoordinatorQuiescence(t *testing.T) {
+	c := NewCoordinator(3, 100*units.Nanosecond, 2)
+	defer c.Close()
+	if !c.Quiescent() {
+		t.Fatal("empty coordinator not quiescent")
+	}
+	p0 := c.Partition(0)
+	fired := 0
+	ev := p0.Engine().Schedule(50*units.Nanosecond, func() { fired++ })
+	p0.Engine().Schedule(60*units.Nanosecond, func() {
+		fired++
+		p0.Send(2, 100*units.Nanosecond, func(any) { fired++ }, nil)
+	})
+	if c.Quiescent() {
+		t.Fatal("coordinator with pending events reports quiescent")
+	}
+	// A cancelled event must not keep the system alive (LiveCount, not
+	// Pending, drives termination).
+	p0.Engine().Cancel(ev)
+	c.Run(units.Millisecond)
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2 (one cancelled, one local, one mailed)", fired)
+	}
+	if !c.Quiescent() {
+		t.Fatal("coordinator not quiescent after Run drained everything")
+	}
+	if got := p0.Engine().Now(); got != units.Millisecond {
+		t.Fatalf("partition clock = %v, want deadline %v", got, units.Millisecond)
+	}
+}
+
+func TestCoordinatorLookaheadViolationPanics(t *testing.T) {
+	c := NewCoordinator(2, 100*units.Nanosecond, 1)
+	defer c.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("send below lookahead did not panic")
+		}
+	}()
+	c.Partition(0).Send(1, 99*units.Nanosecond, func(any) {}, nil)
+}
+
+func TestCoordinatorPartitionPanicPropagates(t *testing.T) {
+	c := NewCoordinator(4, 100*units.Nanosecond, 4)
+	defer c.Close()
+	c.Partition(2).Engine().Schedule(10*units.Nanosecond, func() {
+		panic("boom in partition 2")
+	})
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("partition panic did not propagate out of Run")
+		}
+		if s := fmt.Sprint(v); !strings.Contains(s, "partition 2") || !strings.Contains(s, "boom in partition 2") {
+			t.Fatalf("panic message lost context: %s", s)
+		}
+	}()
+	c.Run(units.Microsecond)
+}
+
+func TestCoordinatorRejectsBadConfig(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("zero partitions", func() { NewCoordinator(0, units.Nanosecond, 1) })
+	mustPanic("zero lookahead", func() { NewCoordinator(2, 0, 1) })
+	c := NewCoordinator(2, units.Nanosecond, 1)
+	defer c.Close()
+	mustPanic("unknown dst", func() { c.Partition(0).Send(7, units.Nanosecond, func(any) {}, nil) })
+	mustPanic("nil fn", func() { c.Partition(0).Send(1, units.Nanosecond, nil, nil) })
+}
+
+// TestCoordinatorRepeatedRuns checks windows compose: running to t1
+// then t2 equals running straight to t2.
+func TestCoordinatorRepeatedRuns(t *testing.T) {
+	const lookahead = 120 * units.Nanosecond
+	straight := buildPingWorld(3, 2, lookahead, 5)
+	straight.c.Run(60 * units.Microsecond)
+	straight.c.Close()
+
+	split := buildPingWorld(3, 2, lookahead, 5)
+	split.c.Run(9 * units.Microsecond)
+	split.c.Run(31 * units.Microsecond)
+	split.c.Run(60 * units.Microsecond)
+	split.c.Close()
+
+	if !reflect.DeepEqual(straight.trace, split.trace) {
+		t.Fatalf("split runs diverge from straight run:\nstraight: %v\nsplit:    %v",
+			straight.trace, split.trace)
+	}
+}

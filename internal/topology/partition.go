@@ -1,0 +1,202 @@
+package topology
+
+// Host partitioning for parallel in-run simulation (PDES). The
+// partitioner decomposes the switch graph into k connected clusters and
+// assigns every host to the cluster of its switch, so each logical
+// process owns a contiguous piece of the fabric and cross-partition
+// traffic crosses as few links as possible.
+//
+// The algorithm is deterministic (no RNG, ties broken by node id):
+//  1. Seeds are chosen farthest-point-first over the switch graph
+//     (first the lowest switch id, then repeatedly the switch with the
+//     greatest BFS distance from every existing seed).
+//  2. Regions grow by balanced multi-source BFS: each step extends the
+//     region currently owning the fewest hosts by one frontier switch,
+//     which keeps host counts — the actual simulation work — even.
+//  3. Switches unreachable from every seed (disconnected fabrics) are
+//     appended to the smallest region in id order.
+//
+// Everything downstream (the PDES partition worlds, the cross-cut
+// relays, the deterministic metrics merge) keys off this assignment, so
+// it must stay a pure function of (topology, k).
+
+// HostPartition is a deterministic decomposition of a topology's hosts
+// into K clusters following the switch graph.
+type HostPartition struct {
+	// K is the number of partitions actually produced (clamped to the
+	// switch count; always >= 1 for a topology with switches).
+	K int
+	// OfNode maps every node id (switch or host) to its partition.
+	OfNode []int32
+	// Hosts lists each partition's hosts in ascending node id order.
+	Hosts [][]NodeID
+}
+
+// PartitionOf returns the partition owning node n.
+func (hp *HostPartition) PartitionOf(n NodeID) int { return int(hp.OfNode[n]) }
+
+// PartitionHosts splits t's hosts into (up to) k clusters. k is
+// clamped to [1, number of switches]; a topology with no switches
+// yields a single partition holding every host.
+func PartitionHosts(t *Topology, k int) *HostPartition {
+	switches := t.Switches()
+	if k < 1 {
+		k = 1
+	}
+	if len(switches) > 0 && k > len(switches) {
+		k = len(switches)
+	}
+	hp := &HostPartition{K: k, OfNode: make([]int32, t.NumNodes())}
+	for i := range hp.OfNode {
+		hp.OfNode[i] = -1
+	}
+	hp.Hosts = make([][]NodeID, k)
+	if len(switches) == 0 || k == 1 {
+		hp.K = 1
+		hp.Hosts = hp.Hosts[:1]
+		for i := range hp.OfNode {
+			hp.OfNode[i] = 0
+		}
+		hp.Hosts[0] = append(hp.Hosts[0], t.Hosts()...)
+		return hp
+	}
+
+	seeds := farthestPointSeeds(t, switches, k)
+
+	// Balanced multi-source BFS over switches. Each region keeps a FIFO
+	// frontier; the region with the fewest assigned hosts (ties: lowest
+	// region index) claims its next unassigned frontier switch.
+	frontier := make([][]NodeID, k)
+	hostCount := make([]int, k)
+	swCount := make([]int, k)
+	for r, s := range seeds {
+		frontier[r] = append(frontier[r], s)
+	}
+	assigned := 0
+	for assigned < len(switches) {
+		// Pick the lightest region that can still grow.
+		best := -1
+		for r := 0; r < k; r++ {
+			if len(frontier[r]) == 0 {
+				continue
+			}
+			if best < 0 ||
+				hostCount[r] < hostCount[best] ||
+				(hostCount[r] == hostCount[best] && swCount[r] < swCount[best]) {
+				best = r
+			}
+		}
+		if best < 0 {
+			break // every frontier exhausted: the rest is unreachable
+		}
+		var sw NodeID
+		claimed := false
+		for len(frontier[best]) > 0 {
+			sw = frontier[best][0]
+			frontier[best] = frontier[best][1:]
+			if hp.OfNode[sw] < 0 {
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			continue
+		}
+		hp.claimSwitch(t, sw, best, hostCount, swCount)
+		assigned++
+		for _, nb := range t.SwitchNeighbors(sw) {
+			if hp.OfNode[nb.Node] < 0 {
+				frontier[best] = append(frontier[best], nb.Node)
+			}
+		}
+	}
+	// Disconnected leftovers: deterministic sweep in id order, each to
+	// the currently lightest region.
+	for _, sw := range switches {
+		if hp.OfNode[sw] >= 0 {
+			continue
+		}
+		best := 0
+		for r := 1; r < k; r++ {
+			if hostCount[r] < hostCount[best] {
+				best = r
+			}
+		}
+		hp.claimSwitch(t, sw, best, hostCount, swCount)
+	}
+	// Hosts hanging off no switch at all (degenerate topologies).
+	for _, h := range t.Hosts() {
+		if hp.OfNode[h] < 0 {
+			hp.OfNode[h] = 0
+			hostCount[0]++
+		}
+	}
+	for _, h := range t.Hosts() {
+		r := hp.OfNode[h]
+		hp.Hosts[r] = append(hp.Hosts[r], h)
+	}
+	return hp
+}
+
+// claimSwitch assigns sw and its hosts to region r.
+func (hp *HostPartition) claimSwitch(t *Topology, sw NodeID, r int, hostCount, swCount []int) {
+	hp.OfNode[sw] = int32(r)
+	swCount[r]++
+	for _, h := range t.HostsAt(sw) {
+		hp.OfNode[h] = int32(r)
+		hostCount[r]++
+	}
+}
+
+// farthestPointSeeds picks k mutually distant switches: the lowest
+// switch id first, then greedily the switch maximizing the minimum BFS
+// hop distance to all chosen seeds (ties: lowest id). Unreachable
+// switches (infinite distance) are preferred — they start their own
+// component's region.
+func farthestPointSeeds(t *Topology, switches []NodeID, k int) []NodeID {
+	const inf = int32(1) << 30
+	dist := make([]int32, t.NumNodes())
+	for i := range dist {
+		dist[i] = inf
+	}
+	seeds := make([]NodeID, 0, k)
+	queue := make([]NodeID, 0, len(switches))
+	relax := func(from NodeID) {
+		queue = queue[:0]
+		dist[from] = 0
+		queue = append(queue, from)
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			for _, nb := range t.SwitchNeighbors(n) {
+				if d := dist[n] + 1; d < dist[nb.Node] {
+					dist[nb.Node] = d
+					queue = append(queue, nb.Node)
+				}
+			}
+		}
+	}
+	first := switches[0]
+	for _, s := range switches[1:] {
+		if s < first {
+			first = s
+		}
+	}
+	seeds = append(seeds, first)
+	relax(first)
+	for len(seeds) < k {
+		var far NodeID = -1
+		farD := int32(-1)
+		for _, s := range switches {
+			if dist[s] > farD && dist[s] > 0 {
+				far, farD = s, dist[s]
+			}
+		}
+		if far < 0 {
+			break // fewer reachable switches than k
+		}
+		seeds = append(seeds, far)
+		relax(far)
+	}
+	return seeds
+}

@@ -1,0 +1,129 @@
+package topology
+
+import (
+	"reflect"
+	"testing"
+)
+
+func partitionFixture(t *testing.T, seed int64) *Topology {
+	t.Helper()
+	topo, err := Generate(DefaultGenConfig(8, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestPartitionHostsCoversEveryHostOnce(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 4, 8, 100} {
+		for _, preset := range []*Topology{
+			partitionFixture(t, 1),
+			partitionFixture(t, 3),
+			mustFatTree(t),
+			mustDragonfly(t),
+		} {
+			hp := PartitionHosts(preset, k)
+			if hp.K < 1 {
+				t.Fatalf("k=%d: produced %d partitions", k, hp.K)
+			}
+			if hp.K > len(preset.Switches()) && len(preset.Switches()) > 0 {
+				t.Fatalf("k=%d: %d partitions exceed %d switches", k, hp.K, len(preset.Switches()))
+			}
+			seen := map[NodeID]int{}
+			for r, hosts := range hp.Hosts {
+				for _, h := range hosts {
+					seen[h]++
+					if got := hp.PartitionOf(h); got != r {
+						t.Fatalf("host %d listed in partition %d but OfNode says %d", h, r, got)
+					}
+				}
+			}
+			for _, h := range preset.Hosts() {
+				if seen[h] != 1 {
+					t.Fatalf("k=%d: host %d assigned %d times", k, h, seen[h])
+				}
+			}
+			// A host lives with its switch: no host split from its
+			// attachment point.
+			for _, h := range preset.Hosts() {
+				if sw, ok := preset.SwitchOf(h); ok {
+					if hp.PartitionOf(h) != hp.PartitionOf(sw) {
+						t.Fatalf("host %d in partition %d, its switch %d in %d",
+							h, hp.PartitionOf(h), sw, hp.PartitionOf(sw))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPartitionHostsDeterministic(t *testing.T) {
+	topo := mustDragonfly(t)
+	a := PartitionHosts(topo, 4)
+	b := PartitionHosts(topo, 4)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("PartitionHosts is not a pure function of (topology, k)")
+	}
+}
+
+func TestPartitionHostsBalance(t *testing.T) {
+	topo := mustFatTree(t)
+	hp := PartitionHosts(topo, 4)
+	if hp.K != 4 {
+		t.Fatalf("K = %d, want 4", hp.K)
+	}
+	total := len(topo.Hosts())
+	min, max := total, 0
+	for _, hosts := range hp.Hosts {
+		if len(hosts) < min {
+			min = len(hosts)
+		}
+		if len(hosts) > max {
+			max = len(hosts)
+		}
+	}
+	// Balanced growth: no region more than twice the ideal share.
+	if ideal := total / hp.K; max > 2*ideal {
+		t.Fatalf("unbalanced partitions: min %d max %d (ideal %d): %v", min, max, ideal, sizes(hp))
+	}
+	if min == 0 {
+		t.Fatalf("empty partition on a connected topology: %v", sizes(hp))
+	}
+}
+
+func TestPartitionHostsSinglePartition(t *testing.T) {
+	topo := partitionFixture(t, 2)
+	hp := PartitionHosts(topo, 1)
+	if hp.K != 1 {
+		t.Fatalf("K = %d, want 1", hp.K)
+	}
+	if len(hp.Hosts[0]) != len(topo.Hosts()) {
+		t.Fatalf("partition 0 has %d hosts, want all %d", len(hp.Hosts[0]), len(topo.Hosts()))
+	}
+}
+
+func sizes(hp *HostPartition) []int {
+	out := make([]int, hp.K)
+	for r, hosts := range hp.Hosts {
+		out[r] = len(hosts)
+	}
+	return out
+}
+
+func mustFatTree(t *testing.T) *Topology {
+	t.Helper()
+	topo, err := FatTree(DefaultFatTreeConfig(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func mustDragonfly(t *testing.T) *Topology {
+	t.Helper()
+	topo, err := Dragonfly(DefaultDragonflyConfig(72))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
