@@ -1,11 +1,11 @@
 GO ?= go
 
 # Benchmarks guarded by the bench-gate CI job (see cmd/benchdiff).
-GUARDED_BENCH = ^(BenchmarkFig7_CodeOverhead|BenchmarkFig8_ITBOverhead|BenchmarkAllsizePingPong|BenchmarkSweepSerial|BenchmarkSweepParallel|BenchmarkRecoveryOff|BenchmarkEngineTableBuild1024|BenchmarkLoadStudySmall|BenchmarkLoadStudyPartitioned)$$
+GUARDED_BENCH = ^(BenchmarkFig7_CodeOverhead|BenchmarkFig8_ITBOverhead|BenchmarkAllsizePingPong|BenchmarkSweepSerial|BenchmarkSweepParallel|BenchmarkRecoveryOff|BenchmarkEngineTableBuild1024|BenchmarkLoadStudySmall|BenchmarkLoadStudyPartitioned|BenchmarkFig7Lanes1|BenchmarkFig7Lanes2|BenchmarkVCAblationSweep)$$
 # Output file for bench-json; CI overrides this to BENCH_PR4.json.
 BENCH_JSON ?= BENCH_PR4.json
 
-.PHONY: all build test test-race vet lint bench bench-json bench-gate fuzz fuzz-smoke cover experiments golden clean
+.PHONY: all build test test-race vet lint vulncheck bench bench-json bench-gate fuzz fuzz-smoke cover experiments golden clean
 
 all: build lint test test-race
 
@@ -22,6 +22,17 @@ lint: vet
 		staticcheck ./...; \
 	else \
 		echo "staticcheck not installed; skipping (go vet ran)"; \
+	fi
+
+# Known-vulnerability scan (advisory in CI: the lint job runs it with
+# continue-on-error, so a fresh stdlib CVE is visible without turning
+# unrelated PRs red). Skips gracefully where govulncheck or its
+# network-backed vulndb is unavailable.
+vulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
 	fi
 
 test:

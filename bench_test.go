@@ -578,3 +578,68 @@ func BenchmarkLoadStudyPartitioned(b *testing.B) {
 	}
 	b.ReportMetric(float64(rows), "cells")
 }
+
+// BenchmarkFig7Lanes1 / BenchmarkFig7Lanes2 price the virtual-channel
+// storage layer on the paper's Figure 7 ping-pong: the same testbed
+// allsize exchange with the fabric sized to one lane (the pre-VC
+// layout, byte-identical channel indexing) and to two lanes (doubled
+// flit-buffer storage, lane-qualified arbitration). Routes stay on
+// lane 0 in both, so the pair isolates the cost of carrying the lane
+// dimension itself; the bench gate pins both ns/op and allocs/op, and
+// the fabric AllocsPerRun tests pin the hot path at exactly zero.
+func BenchmarkFig7Lanes1(b *testing.B) {
+	benchFig7Lanes(b, 1)
+}
+
+func BenchmarkFig7Lanes2(b *testing.B) {
+	benchFig7Lanes(b, 2)
+}
+
+func benchFig7Lanes(b *testing.B, lanes int) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		topo, nodes := topology.Testbed()
+		ccfg := core.DefaultConfig(topo, routing.UpDownRouting, mcp.ITB)
+		ccfg.Fabric.Lanes = lanes
+		cl, err := core.NewCluster(ccfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := gm.Allsize(cl.Eng, cl.Host(nodes.Host1), cl.Host(nodes.Host2), gm.AllsizeConfig{
+			Sizes:      []int{1, 64, 1024, 4096},
+			Iterations: 30,
+			Warmup:     3,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVCAblationSweep runs a trimmed virtual-channel ablation —
+// the Dragonfly preset, all three arms (itb / vc / itb+vc) at one and
+// two lanes — end to end through the parallel runner. It is the
+// bench-gate guard for the VC route search (the layered Dijkstra over
+// (switch, phase, lane) states), the lane-aware deadlock certifier and
+// the laned fabric under real traffic.
+func BenchmarkVCAblationSweep(b *testing.B) {
+	cfg := core.DefaultVCStudyConfig(5)
+	cfg.Presets = []string{"dragonfly-72"}
+	cfg.LaneCounts = []int{1, 2}
+	cfg.Window = 100 * units.Microsecond
+	cfg.Warmup = 20 * units.Microsecond
+	b.ReportAllocs()
+	b.ResetTimer()
+	var itbs uint64
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunVCStudy(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		itbs = 0
+		for _, r := range res.Rows {
+			itbs += uint64(r.ITBs)
+		}
+	}
+	b.ReportMetric(float64(itbs), "itbs")
+}

@@ -17,6 +17,7 @@
 //	itbsim -exp recovery             # self-healing study: heartbeat period x churn
 //	itbsim -exp engines              # routing-engine comparison across topology classes
 //	itbsim -exp load                 # open-loop load study: SLO outputs per engine
+//	itbsim -exp vc                   # VC ablation: in-transit buffers vs virtual lanes
 //	itbsim -exp all
 //
 // The load study accepts -engine and -pattern to run a single routing
@@ -64,7 +65,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig7, fig8, costs, throughput, latload, bufpool, itbcount, ablation, scaling, patterns, roots, schemes, chunks, app, fidelity, trace, faults, recovery, engines, load, all")
+	exp := flag.String("exp", "all", "experiment: fig7, fig8, costs, throughput, latload, bufpool, itbcount, ablation, scaling, patterns, roots, schemes, chunks, app, fidelity, trace, faults, recovery, engines, load, vc, all")
 	switches := flag.Int("switches", 16, "switches in the irregular network (throughput/latload)")
 	engineName := flag.String("engine", "all", "routing engine for the engines study (see -exp engines); \"all\" runs every registered engine")
 	hosts := flag.Int("hosts", 0, "single nominal host count for the engines study (0 = the default 64/256/1024 grid)")
@@ -475,6 +476,21 @@ func main() {
 		}
 		cfg.Partitions = *partitions
 		res, err := core.RunLoadStudy(cfg)
+		if err != nil {
+			return err
+		}
+		if *csvOut {
+			return res.WriteCSV(os.Stdout)
+		}
+		res.WriteTable(os.Stdout)
+		return nil
+	})
+
+	run("vc", func() error {
+		cfg := core.DefaultVCStudyConfig(*seed)
+		cfg.Metrics = reg
+		cfg.Partitions = *partitions
+		res, err := core.RunVCStudy(cfg)
 		if err != nil {
 			return err
 		}

@@ -93,6 +93,11 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if cfg.Engine != nil {
 		ud = cfg.Engine.Orientation(cfg.Topo)
 		tbl, err = cfg.Engine.BuildTable(cfg.Topo, nil)
+		// Size the fabric to the engine's lane requirement unless the
+		// caller pinned a lane count explicitly.
+		if cfg.Fabric.Lanes == 0 {
+			cfg.Fabric.Lanes = cfg.Engine.Lanes()
+		}
 	} else {
 		switch {
 		case cfg.DFSOrder && cfg.Root != nil:

@@ -96,10 +96,22 @@ func (w *partWorld) applyRelay(a any) {
 	w.hosts[m.host].MCP().RelayArrived(m.pkt, m.headerAt, m.tailedAt)
 }
 
+// partBuildSpec parameterizes the world build: the engine instance
+// (vc studies construct lane-count variants directly, so the spec
+// carries the instance rather than a name), the serialized topology
+// for the per-world private copies, and the fabric lane count (0
+// defers to the engine's requirement).
+type partBuildSpec struct {
+	engine      routing.Engine
+	topoText    []byte
+	fabricLanes int
+	wantMetrics bool
+}
+
 // buildPartitionWorlds assembles the coordinator and one world per
 // partition. topo0 (the cell's private deserialized copy) becomes world
 // 0's topology; the remaining worlds deserialize their own.
-func buildPartitionWorlds(cfg LoadStudyConfig, s loadCellSpec, topo0 *topology.Topology, lanes int) (*sim.Coordinator, []*partWorld, *topology.HostPartition, error) {
+func buildPartitionWorlds(spec partBuildSpec, topo0 *topology.Topology, lanes int) (*sim.Coordinator, []*partWorld, *topology.HostPartition, error) {
 	hp := topology.PartitionHosts(topo0, pdesPartitions)
 	fpar := fabric.DefaultParams()
 	coord := sim.NewCoordinator(hp.K, pdesLookahead(fpar), lanes)
@@ -108,7 +120,7 @@ func buildPartitionWorlds(cfg LoadStudyConfig, s loadCellSpec, topo0 *topology.T
 		topo := topo0
 		if i > 0 {
 			var err error
-			topo, err = topology.Read(bytes.NewReader(s.topoText))
+			topo, err = topology.Read(bytes.NewReader(spec.topoText))
 			if err != nil {
 				return nil, nil, nil, err
 			}
@@ -117,11 +129,15 @@ func buildPartitionWorlds(cfg LoadStudyConfig, s loadCellSpec, topo0 *topology.T
 			part:  coord.Partition(i),
 			topo:  topo,
 			hosts: make(map[topology.NodeID]*gm.Host),
-			obs:   newRunObs(cfg.Metrics != nil, false),
+			obs:   newRunObs(spec.wantMetrics, false),
 		}
-		eng, _ := routing.EngineByName(s.engine)
+		eng := spec.engine
 		ccfg := DefaultConfig(topo, routing.ITBRouting, mcp.ITB)
 		ccfg.Engine = eng
+		ccfg.Fabric.Lanes = spec.fabricLanes
+		if ccfg.Fabric.Lanes == 0 {
+			ccfg.Fabric.Lanes = eng.Lanes()
+		}
 		ccfg.GM.DisableAcks = true
 		ccfg.MCP.BufferPool = true
 		ccfg.MCP.RecvBuffers = 64
@@ -173,7 +189,12 @@ func buildPartitionWorlds(cfg LoadStudyConfig, s loadCellSpec, topo0 *topology.T
 // same flow schedule, injected into per-partition worlds and run under
 // the conservative coordinator on cfg.Partitions lanes.
 func runLoadPlanPartitioned(cfg LoadStudyConfig, mix workload.SizeMix, s loadCellSpec, topo *topology.Topology) (loadCellOut, error) {
-	coord, worlds, hp, err := buildPartitionWorlds(cfg, s, topo, cfg.Partitions)
+	eng, _ := routing.EngineByName(s.engine)
+	coord, worlds, hp, err := buildPartitionWorlds(partBuildSpec{
+		engine:      eng,
+		topoText:    s.topoText,
+		wantMetrics: cfg.Metrics != nil,
+	}, topo, cfg.Partitions)
 	if err != nil {
 		return loadCellOut{}, err
 	}

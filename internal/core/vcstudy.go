@@ -1,0 +1,482 @@
+package core
+
+import (
+	"bytes"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/mcp"
+	"repro/internal/metrics"
+	"repro/internal/routing"
+	"repro/internal/runner"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// The VC ablation: the paper argues in-transit buffers make minimal
+// routing deadlock free WITHOUT virtual channels; the classic
+// alternative buys the same property with extra lanes per physical
+// link. RunVCStudy runs both mechanisms — and their combination —
+// through the identical simulation stack: arm "itb" is the paper's
+// engine on a fabric that merely carries (idle) extra lanes, arm "vc"
+// repairs every up*/down* violation with a lane bump and zero ITBs,
+// arm "itb+vc" lets the route search pick the cheaper repair per
+// violation. Each cell reports delivered throughput, completion-time
+// percentiles, the table's total in-transit assignments, and the
+// static deadlock-freedom certificate of its (lane-aware) channel
+// dependency graph.
+
+// vcArms are the valid ablation arms in CLI order.
+var vcArms = []string{"itb", "vc", "itb+vc"}
+
+// VCStudyConfig drives the ablation grid: arm x lane count x preset.
+type VCStudyConfig struct {
+	// Presets name the topologies as "<class>-<hosts>", as in the load
+	// study.
+	Presets []string
+	// Arms selects the ablation arms; default all of vcArms.
+	Arms []string
+	// LaneCounts is the virtual-lane axis. The "itb" arm's rows must
+	// be identical across lane counts (its routes never leave lane 0);
+	// that invariance is part of the committed golden.
+	LaneCounts []int
+	// Load is the offered open-loop uniform load per sender.
+	Load float64
+	// Arrival shapes the senders' arrival process.
+	Arrival workload.ArrivalConfig
+	// Sizes selects the flow-size mix.
+	Sizes workload.SizeMixConfig
+	// Window is the measurement interval; Warmup is discarded
+	// start-up time.
+	Window, Warmup units.Time
+	// Seed makes topologies and schedules reproducible.
+	Seed int64
+	// Partitions selects the execution model exactly as in the load
+	// study: 0 = serial, N >= 1 = conservative PDES on N lanes with
+	// byte-identical output for every N.
+	Partitions int
+	// Metrics, when non-nil, receives each cell's merged counters
+	// under the "<preset>.<arm>.lanes<N>." prefix, in cell order.
+	Metrics *metrics.Registry
+}
+
+// DefaultVCStudyConfig returns the standard ablation grid.
+func DefaultVCStudyConfig(seed int64) VCStudyConfig {
+	return VCStudyConfig{
+		Presets:    []string{"fattree-16", "dragonfly-72"},
+		Arms:       vcArms,
+		LaneCounts: []int{1, 2, 4},
+		Load:       0.6,
+		Arrival:    workload.ArrivalConfig{Kind: workload.Poisson},
+		Sizes:      workload.SizeMixConfig{Kind: "websearch"},
+		Window:     250 * units.Microsecond,
+		Warmup:     50 * units.Microsecond,
+		Seed:       seed,
+	}
+}
+
+// vcArmEngine maps an (arm, lane count) cell to its routing engine.
+func vcArmEngine(arm string, lanes int) (routing.Engine, error) {
+	switch arm {
+	case "itb":
+		return routing.UpDownITBEngine{}, nil
+	case "vc":
+		return routing.VCEscapeEngine{NumLanes: lanes}, nil
+	case "itb+vc":
+		return routing.VCEscapeEngine{NumLanes: lanes, ITBRepair: true}, nil
+	}
+	return nil, fmt.Errorf("core: unknown VC ablation arm %q (valid: %s)", arm, strings.Join(vcArms, " "))
+}
+
+// VCRow is one (preset, arm, lanes) cell.
+type VCRow struct {
+	Preset string
+	Arm    string
+	Lanes  int
+	Hosts  int
+	// Offered / Delivered are per-sender load fractions as in the
+	// load study; their gap is the saturation signal.
+	Offered   float64
+	Delivered float64
+	// FlowsSent / FlowsDone count window flows.
+	FlowsSent, FlowsDone uint64
+	// P50 / P99 are flow-completion-time percentiles.
+	P50, P99 units.Time
+	// ITBs is the total in-transit assignments across the cell's
+	// route table — the resource the vc arms trade lanes against.
+	ITBs int
+	// DeadlockFree records the static lane-aware certification of the
+	// cell's table (a failed certificate fails the cell, so a
+	// committed golden always reads "yes"; the column documents that
+	// the check ran).
+	DeadlockFree bool
+}
+
+// VCStudyResult is the full ablation.
+type VCStudyResult struct {
+	Config    VCStudyConfig
+	SizesName string
+	SizesMean float64
+	Rows      []VCRow
+}
+
+// vcCellSpec is one runner work item.
+type vcCellSpec struct {
+	preset   string
+	arm      string
+	lanes    int
+	topoText []byte
+}
+
+// vcCellOut carries a cell's row and observability state.
+type vcCellOut struct {
+	row VCRow
+	obs runObs
+}
+
+// RunVCStudy executes the ablation through the parallel runner; rows
+// and metrics merge in grid order, so the study is byte-identical at
+// any worker count.
+func RunVCStudy(cfg VCStudyConfig) (VCStudyResult, error) {
+	res := VCStudyResult{Config: cfg}
+	if len(cfg.Arms) == 0 {
+		cfg.Arms = vcArms
+	}
+	for _, arm := range cfg.Arms {
+		if _, err := vcArmEngine(arm, 1); err != nil {
+			return res, err
+		}
+	}
+	if len(cfg.Presets) == 0 || len(cfg.LaneCounts) == 0 {
+		return res, fmt.Errorf("core: VC study needs presets and lane counts")
+	}
+	for _, l := range cfg.LaneCounts {
+		if l < 1 || l > 255 {
+			return res, fmt.Errorf("core: lane count %d out of range [1, 255]", l)
+		}
+	}
+	if cfg.Load <= 0 {
+		return res, fmt.Errorf("core: VC study needs a positive offered load")
+	}
+	if cfg.Window <= 0 || cfg.Warmup < 0 {
+		return res, fmt.Errorf("core: VC study needs a positive window and non-negative warmup")
+	}
+	if err := validatePartitions(cfg.Partitions); err != nil {
+		return res, err
+	}
+	mix, err := workload.NewSizeMix(cfg.Sizes)
+	if err != nil {
+		return res, err
+	}
+	res.SizesName = mix.Name()
+	res.SizesMean = mix.MeanBytes()
+
+	topoTexts := make(map[string][]byte, len(cfg.Presets))
+	for _, preset := range cfg.Presets {
+		topo, err := parseLoadPreset(preset, cfg.Seed)
+		if err != nil {
+			return res, err
+		}
+		var buf bytes.Buffer
+		if err := topology.Write(&buf, topo); err != nil {
+			return res, err
+		}
+		topoTexts[preset] = buf.Bytes()
+	}
+	var specs []vcCellSpec
+	for _, preset := range cfg.Presets {
+		for _, arm := range cfg.Arms {
+			for _, lanes := range cfg.LaneCounts {
+				specs = append(specs, vcCellSpec{
+					preset: preset, arm: arm, lanes: lanes,
+					topoText: topoTexts[preset],
+				})
+			}
+		}
+	}
+	outs, err := runner.Map(specs, func(s vcCellSpec) (vcCellOut, error) {
+		return runVCCell(cfg, mix, s)
+	})
+	if err != nil {
+		return res, err
+	}
+	for i, out := range outs {
+		res.Rows = append(res.Rows, out.row)
+		prefix := fmt.Sprintf("%s.%s.lanes%d.", specs[i].preset, specs[i].arm, specs[i].lanes)
+		out.obs.mergeInto(prefix, cfg.Metrics, nil)
+	}
+	return res, nil
+}
+
+// tableITBs sums the in-transit assignments over a route table.
+func tableITBs(tbl *routing.Table) int {
+	n := 0
+	for _, r := range tbl.Routes() {
+		n += r.NumITBs()
+	}
+	return n
+}
+
+// runVCCell dispatches one cell onto the serial or partitioned model.
+func runVCCell(cfg VCStudyConfig, mix workload.SizeMix, s vcCellSpec) (vcCellOut, error) {
+	topo, err := topology.Read(bytes.NewReader(s.topoText))
+	if err != nil {
+		return vcCellOut{}, err
+	}
+	if cfg.Partitions >= 1 {
+		return runVCCellPartitioned(cfg, mix, s, topo)
+	}
+	return runVCCellSerial(cfg, mix, s, topo)
+}
+
+// vcPlanFlows compiles the cell's open-loop uniform schedule.
+func vcPlanFlows(cfg VCStudyConfig, mix workload.SizeMix, topo *topology.Topology, bw units.Bandwidth) ([]workload.Flow, error) {
+	scenario, err := workload.ScenarioByName("uniform")
+	if err != nil {
+		return nil, err
+	}
+	return workload.Plan(topo, workload.PlanConfig{
+		Scenario:      scenario,
+		Load:          cfg.Load,
+		Arrival:       cfg.Arrival,
+		Sizes:         mix,
+		Seed:          cfg.Seed + 1,
+		Horizon:       cfg.Warmup + cfg.Window,
+		LinkBandwidth: bw,
+	})
+}
+
+// runVCCellSerial is the serial model: the runLoadPlan discipline with
+// the cell's constructed engine and pinned fabric lane count.
+func runVCCellSerial(cfg VCStudyConfig, mix workload.SizeMix, s vcCellSpec, topo *topology.Topology) (vcCellOut, error) {
+	obs := newRunObs(cfg.Metrics != nil, false)
+	eng, err := vcArmEngine(s.arm, s.lanes)
+	if err != nil {
+		return vcCellOut{}, err
+	}
+	ccfg := DefaultConfig(topo, routing.ITBRouting, mcp.ITB)
+	ccfg.Engine = eng
+	// Pin the lane count explicitly: the "itb" arm runs on a fabric
+	// that carries the extra lanes but never selects them, which is
+	// exactly the comparison the ablation wants.
+	ccfg.Fabric.Lanes = s.lanes
+	ccfg.GM.DisableAcks = true
+	ccfg.MCP.BufferPool = true
+	ccfg.MCP.RecvBuffers = 64
+	obs.install(&ccfg)
+	cl, err := NewCluster(ccfg)
+	if err != nil {
+		return vcCellOut{}, err
+	}
+	if err := eng.CheckDeadlockFree(cl.Table); err != nil {
+		return vcCellOut{}, fmt.Errorf("core: %s/%s/lanes%d failed deadlock certification: %w", s.preset, s.arm, s.lanes, err)
+	}
+	endAt := cfg.Warmup + cfg.Window
+	flows, err := vcPlanFlows(cfg, mix, topo, cl.Net.Params().LinkBandwidth)
+	if err != nil {
+		return vcCellOut{}, err
+	}
+	row := VCRow{Preset: s.preset, Arm: s.arm, Lanes: s.lanes,
+		Hosts: len(topo.Hosts()), Offered: cfg.Load,
+		ITBs: tableITBs(cl.Table), DeadlockFree: true}
+	var lat stats.Summary
+	var deliveredBytes uint64
+	senders := map[topology.NodeID]bool{}
+	for _, h := range topo.Hosts() {
+		host := cl.Host(h)
+		host.OnMessage = func(_ topology.NodeID, payload []byte, t units.Time) {
+			sentAt := decodeStamp(payload)
+			if sentAt < cfg.Warmup || sentAt >= endAt {
+				return
+			}
+			if t <= endAt {
+				deliveredBytes += uint64(len(payload))
+			}
+			row.FlowsDone++
+			lat.Add(float64(t - sentAt))
+		}
+	}
+	for _, f := range flows {
+		senders[f.Src] = true
+		if f.Start >= cfg.Warmup {
+			row.FlowsSent++
+		}
+		f := f
+		cl.Eng.ScheduleAt(f.Start, func() {
+			payload := make([]byte, f.Bytes)
+			encodeStamp(payload, cl.Eng.Now())
+			if err := cl.Host(f.Src).Send(f.Dst, payload); err != nil {
+				panic(err)
+			}
+		})
+	}
+	cl.Eng.RunUntil(endAt + cfg.Window/2)
+	vcFctRow(&row, &lat)
+	row.Delivered = float64(deliveredBytes) / cfg.Window.Seconds() /
+		float64(len(senders)) / float64(cl.Net.Params().LinkBandwidth)
+	obs.finish(cl)
+	return vcCellOut{row: row, obs: obs}, nil
+}
+
+// runVCCellPartitioned is the PDES counterpart, mirroring
+// runLoadPlanPartitioned over the shared partition worlds.
+func runVCCellPartitioned(cfg VCStudyConfig, mix workload.SizeMix, s vcCellSpec, topo *topology.Topology) (vcCellOut, error) {
+	eng, err := vcArmEngine(s.arm, s.lanes)
+	if err != nil {
+		return vcCellOut{}, err
+	}
+	coord, worlds, hp, err := buildPartitionWorlds(partBuildSpec{
+		engine:      eng,
+		topoText:    s.topoText,
+		fabricLanes: s.lanes,
+		wantMetrics: cfg.Metrics != nil,
+	}, topo, cfg.Partitions)
+	if err != nil {
+		return vcCellOut{}, err
+	}
+	defer coord.Close()
+	if err := eng.CheckDeadlockFree(worlds[0].tbl); err != nil {
+		return vcCellOut{}, fmt.Errorf("core: %s/%s/lanes%d failed deadlock certification: %w", s.preset, s.arm, s.lanes, err)
+	}
+	endAt := cfg.Warmup + cfg.Window
+	flows, err := vcPlanFlows(cfg, mix, topo, worlds[0].net.Params().LinkBandwidth)
+	if err != nil {
+		return vcCellOut{}, err
+	}
+	row := VCRow{Preset: s.preset, Arm: s.arm, Lanes: s.lanes,
+		Hosts: len(topo.Hosts()), Offered: cfg.Load,
+		ITBs: tableITBs(worlds[0].tbl), DeadlockFree: true}
+	for i, w := range worlds {
+		w := w
+		for _, h := range hp.Hosts[i] {
+			w.hosts[h].OnMessage = func(_ topology.NodeID, payload []byte, t units.Time) {
+				sentAt := decodeStamp(payload)
+				if sentAt < cfg.Warmup || sentAt >= endAt {
+					return
+				}
+				if t <= endAt {
+					w.deliveredBytes += uint64(len(payload))
+				}
+				w.flowsDone++
+				w.lat.Add(float64(t - sentAt))
+			}
+		}
+	}
+	senders := map[topology.NodeID]bool{}
+	for _, f := range flows {
+		senders[f.Src] = true
+		if f.Start >= cfg.Warmup {
+			row.FlowsSent++
+		}
+		f := f
+		w := worlds[hp.PartitionOf(f.Src)]
+		w.part.Engine().ScheduleAt(f.Start, func() {
+			payload := make([]byte, f.Bytes)
+			encodeStamp(payload, w.part.Engine().Now())
+			if err := w.hosts[f.Src].Send(f.Dst, payload); err != nil {
+				panic(err)
+			}
+		})
+	}
+	coord.Run(endAt + cfg.Window/2)
+
+	var lat stats.Summary
+	var deliveredBytes uint64
+	obs := newRunObs(cfg.Metrics != nil, false)
+	for i, w := range worlds {
+		row.FlowsDone += w.flowsDone
+		deliveredBytes += w.deliveredBytes
+		for _, v := range w.lat.Values() {
+			lat.Add(v)
+		}
+		if obs.reg != nil {
+			w.net.PublishMetrics(w.obs.reg)
+			for _, h := range hp.Hosts[i] {
+				w.hosts[h].MCP().PublishMetrics(w.obs.reg)
+				w.hosts[h].PublishMetrics(w.obs.reg)
+			}
+			obs.reg.Merge(w.obs.reg)
+		}
+	}
+	if obs.reg != nil {
+		routing.Analyze(worlds[0].topo, worlds[0].ud, worlds[0].tbl).Publish(obs.reg)
+	}
+	vcFctRow(&row, &lat)
+	row.Delivered = float64(deliveredBytes) / cfg.Window.Seconds() /
+		float64(len(senders)) / float64(worlds[0].net.Params().LinkBandwidth)
+	return vcCellOut{row: row, obs: obs}, nil
+}
+
+// vcFctRow fills the percentile columns.
+func vcFctRow(row *VCRow, lat *stats.Summary) {
+	if lat.N() == 0 {
+		return
+	}
+	row.P50 = units.Time(lat.Percentile(50))
+	row.P99 = units.Time(lat.Percentile(99))
+}
+
+// WriteTable renders the ablation grouped by preset.
+func (r VCStudyResult) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "VC ablation: in-transit buffers vs virtual-channel lanes (uniform open loop)\n")
+	fmt.Fprintf(w, "arrival %s, sizes %s (mean %.0fB), load %.2f, window %s after %s warmup\n",
+		r.Config.Arrival.Kind, r.SizesName, r.SizesMean, r.Config.Load, r.Config.Window, r.Config.Warmup)
+	fmt.Fprintf(w, "%-14s %-7s %5s %7s %8s %6s %6s %10s %10s %6s %9s\n",
+		"preset", "arm", "lanes", "offered", "delivrd", "sent", "done", "p50", "p99", "itbs", "deadlock")
+	prev := ""
+	for _, row := range r.Rows {
+		if prev != "" && row.Preset != prev {
+			fmt.Fprintln(w)
+		}
+		prev = row.Preset
+		p50, p99 := "-", "-"
+		if row.P50 > 0 {
+			p50, p99 = row.P50.String(), row.P99.String()
+		}
+		cert := "free"
+		if !row.DeadlockFree {
+			cert = "CYCLE"
+		}
+		fmt.Fprintf(w, "%-14s %-7s %5d %7.2f %8.3f %6d %6d %10s %10s %6d %9s\n",
+			row.Preset, row.Arm, row.Lanes, row.Offered, row.Delivered,
+			row.FlowsSent, row.FlowsDone, p50, p99, row.ITBs, cert)
+	}
+	fmt.Fprintf(w, "\nthe itb arm's rows are identical across lane counts (its routes never leave\n")
+	fmt.Fprintf(w, "lane 0); the vc arm trades every in-transit buffer for a lane bump, and the\n")
+	fmt.Fprintf(w, "combined arm lets the route search pick the cheaper repair per violation.\n")
+}
+
+// WriteCSV emits the rows for external plotting.
+func (r VCStudyResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"preset", "arm", "lanes", "hosts", "offered", "delivered",
+		"flows_sent", "flows_done", "p50_us", "p99_us", "itbs", "deadlock_free",
+	}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		rec := []string{
+			row.Preset, row.Arm,
+			fmt.Sprintf("%d", row.Lanes),
+			fmt.Sprintf("%d", row.Hosts),
+			fmt.Sprintf("%.4f", row.Offered),
+			fmt.Sprintf("%.6f", row.Delivered),
+			fmt.Sprintf("%d", row.FlowsSent),
+			fmt.Sprintf("%d", row.FlowsDone),
+			fmt.Sprintf("%.3f", float64(row.P50)/float64(units.Microsecond)),
+			fmt.Sprintf("%.3f", float64(row.P99)/float64(units.Microsecond)),
+			fmt.Sprintf("%d", row.ITBs),
+			fmt.Sprintf("%t", row.DeadlockFree),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -48,13 +48,17 @@ func (n *Network) SetLinkDown(link int, down bool) {
 	detail := "up"
 	if down {
 		detail = "down"
+		// Every lane of both directions dies with the cable: corrupt
+		// whatever is streaming on each of them.
 		for _, fromA := range []bool{true, false} {
-			c := n.chans[chanIdx(link, fromA)]
-			if c == nil {
-				continue
-			}
-			if f, ok := c.res.Owner().(*Flight); ok && !f.Done() {
-				f.pkt.Corrupt = true
+			for lane := 0; lane < n.maxLanes; lane++ {
+				c := n.chans[n.laneIdx(link, fromA, lane)]
+				if c == nil {
+					continue
+				}
+				if f, ok := c.res.Owner().(*Flight); ok && !f.Done() {
+					f.pkt.Corrupt = true
+				}
 			}
 		}
 	}

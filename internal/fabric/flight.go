@@ -65,6 +65,7 @@ type Flight struct {
 	hopLink  *topology.Link
 	hopCh    *channel
 	hopFromA bool
+	hopLane  int
 	hopClass int
 	// hopGrantFresh is true when hopCh was granted through its
 	// resource (and the grant time must be stamped), false when the
@@ -118,6 +119,7 @@ func (f *Flight) reset() {
 	f.hopLink = nil
 	f.hopCh = nil
 	f.hopFromA = false
+	f.hopLane = 0
 	f.hopClass = 0
 	f.hopGrantFresh = false
 	f.dropped = false
@@ -182,11 +184,11 @@ func (f *Flight) injected() {
 }
 
 // cross runs after the switch fall-through: contend for the selected
-// output channel.
+// output channel on the flight's current lane.
 func (f *Flight) cross() {
 	n := f.net
 	f.waitStart = n.eng.Now()
-	f.hopCh = n.chanOf(f.hopLink, f.hopFromA)
+	f.hopCh = n.chanOf(f.hopLink, f.hopFromA, f.hopLane)
 	f.acquireChannel(f.hopCh, f.hopClass, f.fnGranted)
 }
 
@@ -226,7 +228,23 @@ func (f *Flight) atNode(node topology.NodeID, via *topology.Link) {
 		ep.HeaderArrived(f)
 		return
 	}
-	// At a switch: consume the route byte, select the output port.
+	// At a switch: first consume any [VCTag][lane] pairs — the VC
+	// allocator moving the packet onto the lane its route selected
+	// for the hops that follow (the last pair wins) — then consume
+	// the route byte and select the output port.
+	for f.pkt.AtVCBoundary() {
+		f.pkt.ConsumeRouteByte()
+		lane := int(f.pkt.ConsumeRouteByte())
+		if lane >= n.maxLanes {
+			// The route selects a lane this fabric does not carry:
+			// the switch cannot follow it and discards the packet.
+			n.stats.Misrouted++
+			f.drainAndFinish(true)
+			return
+		}
+		f.hopLane = lane
+		n.stats.LaneSelects++
+	}
 	if f.pkt.RouteIsDelivered() || f.pkt.AtITBBoundary() {
 		// Route exhausted at a switch (or an ITB marker leaked into
 		// the fabric): misroute. The switch discards the packet.

@@ -1,0 +1,309 @@
+package fabric
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+// laneNet builds the minimal two-switch fixture for lane tests: hosts
+// a and b feed sw1, whose single SAN link to sw2 is the contended
+// resource; r1 and r2 receive on sw2.
+func laneNet(t *testing.T, lanes int) (*sim.Engine, *Network, laneNodes, map[topology.NodeID]*testEP) {
+	t.Helper()
+	topo := topology.New()
+	sw1 := topo.AddSwitch(4, "sw1")
+	sw2 := topo.AddSwitch(4, "sw2")
+	topo.Connect(sw1, 0, sw2, 0, topology.SAN)
+	a := topo.AddHost("a")
+	b := topo.AddHost("b")
+	r1 := topo.AddHost("r1")
+	r2 := topo.AddHost("r2")
+	topo.Connect(a, 0, sw1, 1, topology.LAN)
+	topo.Connect(b, 0, sw1, 2, topology.LAN)
+	topo.Connect(r1, 0, sw2, 1, topology.LAN)
+	topo.Connect(r2, 0, sw2, 2, topology.LAN)
+	eng := sim.NewEngine()
+	par := DefaultParams()
+	par.Lanes = lanes
+	net := New(eng, topo, par)
+	eps := map[topology.NodeID]*testEP{}
+	for _, h := range topo.Hosts() {
+		ep := &testEP{eng: eng}
+		eps[h] = ep
+		net.Attach(h, ep)
+	}
+	return eng, net, laneNodes{sw1: sw1, sw2: sw2, a: a, b: b, r1: r1, r2: r2}, eps
+}
+
+type laneNodes struct {
+	sw1, sw2, a, b, r1, r2 topology.NodeID
+}
+
+// laneRoute builds the wire route sw1 -> sw2 -> recv, optionally
+// prefixed with a [VCTag][lane] pair so the sw1->sw2 crossing (and
+// every hop after it, lanes being sticky) rides the given lane.
+func laneRoute(topo *topology.Topology, nodes laneNodes, recv topology.NodeID, lane int) []byte {
+	port := byte(topo.LinkAt(recv, 0).PortAt(nodes.sw2))
+	if lane == 0 {
+		return []byte{0, port}
+	}
+	return []byte{packet.VCTag, byte(lane), 0, port}
+}
+
+// TestLaneCutThroughIndependence: a short packet routed on lane 1
+// must cut through alongside a long lane-0 wormhole instead of
+// queueing behind its tail — the whole point of carrying more than
+// one flit buffer per link.
+func TestLaneCutThroughIndependence(t *testing.T) {
+	smallDone := func(lane int) units.Time {
+		eng, net, nodes, _ := laneNet(t, 2)
+		topo := net.Topology()
+		big := &packet.Packet{
+			Route: laneRoute(topo, nodes, nodes.r1, 0), Type: packet.TypeGM,
+			Payload: make([]byte, 8192),
+		}
+		net.Inject(big, nodes.a, InjectOpts{})
+		var done units.Time
+		small := &packet.Packet{
+			Route: laneRoute(topo, nodes, nodes.r2, lane), Type: packet.TypeGM,
+			Payload: make([]byte, 64),
+		}
+		net.Inject(small, nodes.b, InjectOpts{OnDelivered: func(tm units.Time) { done = tm }})
+		eng.Run()
+		if done == 0 {
+			t.Fatalf("small packet (lane %d) never delivered", lane)
+		}
+		return done
+	}
+	shared := smallDone(0)
+	laned := smallDone(1)
+	if laned >= shared {
+		t.Errorf("lane-1 delivery at %v not earlier than lane-0 queueing at %v", laned, shared)
+	}
+}
+
+// TestEscapeLaneProgressWhileLaneHeld: a wormhole parked on lane 1
+// (receiver withholding Accept) must not block lane-0 traffic over
+// the same links — lane 0 is the escape lane, and its progress is
+// what the deadlock-freedom argument of the VC engines rests on. The
+// single-lane control shows the same parked packet does block a
+// one-lane fabric.
+func TestEscapeLaneProgressWhileLaneHeld(t *testing.T) {
+	run := func(lanes, parkLane int) (escaped bool, release func()) {
+		eng, net, nodes, eps := laneNet(t, lanes)
+		topo := net.Topology()
+		eps[nodes.r1].manual = true // park the first wormhole at r1
+		parked := &packet.Packet{
+			Route: laneRoute(topo, nodes, nodes.r1, parkLane), Type: packet.TypeGM,
+			Payload: make([]byte, 2048),
+		}
+		net.Inject(parked, nodes.a, InjectOpts{})
+		eng.Run()
+		if len(eps[nodes.r1].flights) != 1 {
+			t.Fatalf("parked packet's header never reached r1 (lanes=%d)", lanes)
+		}
+		escape := &packet.Packet{
+			Route: laneRoute(topo, nodes, nodes.r2, 0), Type: packet.TypeGM,
+			Payload: make([]byte, 64),
+		}
+		net.Inject(escape, nodes.b, InjectOpts{})
+		eng.Run()
+		escaped = len(eps[nodes.r2].received) == 1
+		return escaped, func() {
+			eps[nodes.r1].flights[0].Accept()
+			eng.Run()
+			if len(eps[nodes.r1].received) != 1 {
+				t.Fatal("parked packet lost after release")
+			}
+			st := net.Stats()
+			if st.Injected != 2 || st.Delivered != 2 || st.Dropped != 0 {
+				t.Errorf("conservation broken after release: %+v", st)
+			}
+		}
+	}
+
+	escaped, release := run(2, 1)
+	if !escaped {
+		t.Error("lane-0 packet blocked behind a parked lane-1 wormhole on a 2-lane fabric")
+	}
+	// Releasing the parked flight must drain it and leave the books
+	// balanced.
+	release()
+
+	blocked, _ := run(1, 0)
+	if blocked {
+		t.Error("control failed: single-lane fabric let the escape packet pass a parked wormhole")
+	}
+}
+
+// TestLinkDownKillsAllLanesConserved: taking a cable down corrupts
+// the streams on every lane of both directions, later headers die at
+// the switch, and after repair the link carries clean traffic again —
+// with every packet accounted for and payload sizes preserved.
+func TestLinkDownKillsAllLanesConserved(t *testing.T) {
+	eng, net, nodes, eps := laneNet(t, 2)
+	topo := net.Topology()
+	link := topo.LinkAt(nodes.sw1, 0)
+	// Two long wormholes streaming concurrently on lanes 0 and 1.
+	x := &packet.Packet{
+		Route: laneRoute(topo, nodes, nodes.r1, 0), Type: packet.TypeGM,
+		Payload: make([]byte, 8192),
+	}
+	y := &packet.Packet{
+		Route: laneRoute(topo, nodes, nodes.r2, 1), Type: packet.TypeGM,
+		Payload: make([]byte, 8192),
+	}
+	net.Inject(x, nodes.a, InjectOpts{})
+	net.Inject(y, nodes.b, InjectOpts{})
+	// Mid-stream (headers across, tails still feeding), the cable dies.
+	eng.Schedule(20*units.Microsecond, func() { net.SetLinkDown(link.ID, true) })
+	// A header arriving at the dead cable is CRC-killed at sw1.
+	eng.Schedule(30*units.Microsecond, func() {
+		late := &packet.Packet{
+			Route: laneRoute(topo, nodes, nodes.r1, 1), Type: packet.TypeGM,
+			Payload: make([]byte, 64),
+		}
+		net.Inject(late, nodes.a, InjectOpts{})
+	})
+	// Repair; a fresh packet crosses clean.
+	eng.Schedule(120*units.Microsecond, func() { net.SetLinkDown(link.ID, false) })
+	eng.Schedule(130*units.Microsecond, func() {
+		clean := &packet.Packet{
+			Route: laneRoute(topo, nodes, nodes.r2, 1), Type: packet.TypeGM,
+			Payload: make([]byte, 512),
+		}
+		net.Inject(clean, nodes.b, InjectOpts{})
+	})
+	eng.Run()
+	st := net.Stats()
+	if st.Injected != 4 || st.Delivered+st.Dropped != st.Injected {
+		t.Fatalf("conservation broken: %+v", st)
+	}
+	if st.FaultKilled != 1 || st.Dropped != 1 {
+		t.Errorf("late header not CRC-killed exactly once: %+v", st)
+	}
+	// Both in-flight streams arrived corrupted — the kill hit every
+	// lane, not just lane 0 — with their payloads intact.
+	for _, rec := range append(eps[nodes.r1].received, eps[nodes.r2].received...) {
+		switch len(rec.pkt.Payload) {
+		case 8192:
+			if !rec.pkt.Corrupt {
+				t.Errorf("in-flight stream (payload %d) survived the cable kill uncorrupted", len(rec.pkt.Payload))
+			}
+		case 512:
+			if rec.pkt.Corrupt {
+				t.Error("post-repair packet arrived corrupted")
+			}
+		default:
+			t.Errorf("unexpected delivery with payload %d", len(rec.pkt.Payload))
+		}
+	}
+}
+
+// TestLaneOutOfRangeMisroutes: a route selecting a lane the fabric
+// does not carry is a misroute — the switch discards the stream and
+// the books stay balanced.
+func TestLaneOutOfRangeMisroutes(t *testing.T) {
+	eng, net, nodes, eps := laneNet(t, 2)
+	topo := net.Topology()
+	pkt := &packet.Packet{
+		Route: laneRoute(topo, nodes, nodes.r1, 2), Type: packet.TypeGM,
+		Payload: make([]byte, 64),
+	}
+	net.Inject(pkt, nodes.a, InjectOpts{})
+	eng.Run()
+	st := net.Stats()
+	if st.Misrouted != 1 || st.Dropped != 1 || st.Delivered != 0 {
+		t.Errorf("lane-2 route on 2-lane fabric: %+v, want 1 misroute, 1 drop", st)
+	}
+	if len(eps[nodes.r1].received) != 0 {
+		t.Error("misrouted packet was delivered")
+	}
+	if st.Injected != st.Delivered+st.Dropped {
+		t.Errorf("conservation broken: %+v", st)
+	}
+}
+
+// TestLaneSelectCounter: the fabric counts consumed [VCTag][lane]
+// pairs, and a single-lane fabric (where no valid route carries them)
+// stays at zero.
+func TestLaneSelectCounter(t *testing.T) {
+	eng, net, nodes, _ := laneNet(t, 2)
+	topo := net.Topology()
+	for i := 0; i < 3; i++ {
+		pkt := &packet.Packet{
+			Route: laneRoute(topo, nodes, nodes.r1, 1), Type: packet.TypeGM,
+			Payload: make([]byte, 64),
+		}
+		net.Inject(pkt, nodes.a, InjectOpts{})
+	}
+	eng.Run()
+	if got := net.Stats().LaneSelects; got != 3 {
+		t.Errorf("LaneSelects = %d, want 3", got)
+	}
+
+	eng1, net1, nodes1, _ := laneNet(t, 1)
+	pkt := &packet.Packet{
+		Route: laneRoute(net1.Topology(), nodes1, nodes1.r1, 0), Type: packet.TypeGM,
+		Payload: make([]byte, 64),
+	}
+	net1.Inject(pkt, nodes1.a, InjectOpts{})
+	eng1.Run()
+	if got := net1.Stats().LaneSelects; got != 0 {
+		t.Errorf("single-lane LaneSelects = %d, want 0", got)
+	}
+}
+
+// TestInjectDeliverLanesSteadyStateDoesNotAllocate extends the
+// zero-alloc pin of the hot loop to a two-lane fabric with a route
+// that actually switches lanes: the lane dimension (channel indexing,
+// VC-pair consumption, per-lane accounting) must not put anything on
+// the heap either.
+func TestInjectDeliverLanesSteadyStateDoesNotAllocate(t *testing.T) {
+	eng := sim.NewEngine()
+	topo, nodes := topology.Testbed()
+	par := DefaultParams()
+	par.Lanes = 2
+	net := New(eng, topo, par)
+	ep := &quietEP{}
+	for _, h := range topo.Hosts() {
+		if h == nodes.Host2 {
+			net.Attach(h, ep)
+		} else {
+			net.Attach(h, &quietEP{})
+		}
+	}
+	base := routeBytes(t, topo, nodes.Host1, nodes.Host2)
+	// Splice a lane switch in front of the final crossing so the last
+	// hop rides lane 1.
+	route := append([]byte{}, base[:len(base)-1]...)
+	route = append(route, packet.VCTag, 1, base[len(base)-1])
+	pkt := &packet.Packet{
+		Type:    packet.TypeGM,
+		Payload: make([]byte, 64),
+		Src:     int(nodes.Host1), Dst: int(nodes.Host2),
+	}
+	send := func() {
+		pkt.Route = route
+		net.Inject(pkt, nodes.Host1, InjectOpts{})
+		eng.Run()
+	}
+	for i := 0; i < 16; i++ {
+		send()
+	}
+	before := ep.received
+	allocs := testing.AllocsPerRun(200, send)
+	if allocs != 0 {
+		t.Errorf("two-lane inject->deliver allocates %.1f/op in steady state, want 0", allocs)
+	}
+	if ep.received == before {
+		t.Fatal("no packets delivered during the pin run")
+	}
+	if net.Stats().LaneSelects == 0 {
+		t.Fatal("route never switched lanes; the pin exercised nothing new")
+	}
+}

@@ -27,11 +27,17 @@ type Endpoint interface {
 	PacketReceived(pkt *packet.Packet, headerAt, completedAt units.Time)
 }
 
-// channel is one directed half of a physical link.
+// channel is one virtual lane of one directed half of a physical
+// link. With Params.Lanes <= 1 a link direction has exactly one
+// channel (the faithful Myrinet configuration); with virtual channels
+// each lane is an independently granted resource with its own credit
+// accounting, so a packet blocked on lane 0 does not stall a sibling
+// on lane 1 of the same wire.
 type channel struct {
 	res       *sim.Resource
 	link      *topology.Link
 	fromA     bool
+	lane      int
 	busy      units.Time // accumulated holding time
 	waited    units.Time // accumulated blocking time of requesters
 	grants    uint64     // packets that crossed this channel
@@ -53,6 +59,9 @@ type Counters struct {
 	// scout fault process.
 	ScoutsDropped    uint64
 	ScoutsDuplicated uint64
+	// LaneSelects counts in-header [VCTag][lane] pairs consumed at
+	// switches (always 0 on a single-lane fabric).
+	LaneSelects uint64
 }
 
 // Network is the wormhole fabric: all switches and links of a
@@ -61,9 +70,14 @@ type Network struct {
 	eng  *sim.Engine
 	topo *topology.Topology
 	par  Params
-	// chans holds the two directed channels of every link, indexed
-	// 2*linkID (A->B) and 2*linkID+1 (B->A); link ids are dense, so a
-	// flat slice replaces the old map lookup on the per-hop path.
+	// maxLanes is the per-direction virtual-channel count (>= 1).
+	maxLanes int
+	// chans holds the lanes of the two directed channels of every
+	// link, indexed (2*linkID+dir)*maxLanes+lane with dir 0 for A->B
+	// and 1 for B->A; link ids are dense, so a flat slice replaces the
+	// old map lookup on the per-hop path. With maxLanes == 1 the
+	// layout (and every index computed into it) is identical to the
+	// pre-VC chans[2*link+dir] form.
 	chans  []*channel
 	eps    map[topology.NodeID]Endpoint
 	next   uint64
@@ -91,12 +105,17 @@ type Network struct {
 
 // New builds the fabric for a topology.
 func New(eng *sim.Engine, topo *topology.Topology, par Params) *Network {
+	maxLanes := par.Lanes
+	if maxLanes < 1 {
+		maxLanes = 1
+	}
 	n := &Network{
-		eng:   eng,
-		topo:  topo,
-		par:   par,
-		chans: make([]*channel, 2*len(topo.Links())),
-		eps:   make(map[topology.NodeID]Endpoint),
+		eng:      eng,
+		topo:     topo,
+		par:      par,
+		maxLanes: maxLanes,
+		chans:    make([]*channel, 2*len(topo.Links())*maxLanes),
+		eps:      make(map[topology.NodeID]Endpoint),
 	}
 	mkRes := sim.NewResource
 	if par.RoundRobinArbitration {
@@ -105,10 +124,20 @@ func New(eng *sim.Engine, topo *topology.Topology, par Params) *Network {
 	for i := range topo.Links() {
 		l := topo.Link(i)
 		for _, fromA := range []bool{true, false} {
-			n.chans[chanIdx(l.ID, fromA)] = &channel{
-				res:   mkRes(fmt.Sprintf("link%d.fromA=%v", l.ID, fromA)),
-				link:  l,
-				fromA: fromA,
+			for lane := 0; lane < maxLanes; lane++ {
+				// The single-lane resource name is kept exactly as
+				// before so traces and deadlock reports stay
+				// byte-identical when virtual channels are off.
+				name := fmt.Sprintf("link%d.fromA=%v", l.ID, fromA)
+				if maxLanes > 1 {
+					name = fmt.Sprintf("link%d.fromA=%v.lane%d", l.ID, fromA, lane)
+				}
+				n.chans[n.laneIdx(l.ID, fromA, lane)] = &channel{
+					res:   mkRes(name),
+					link:  l,
+					fromA: fromA,
+					lane:  lane,
+				}
 			}
 		}
 	}
@@ -117,6 +146,9 @@ func New(eng *sim.Engine, topo *topology.Topology, par Params) *Network {
 	}
 	return n
 }
+
+// MaxLanes returns the per-direction virtual-channel count (>= 1).
+func (n *Network) MaxLanes() int { return n.maxLanes }
 
 // corrupts decides whether a packet of wireLen bytes survives one
 // network transit under the configured bit error rate.
@@ -183,21 +215,32 @@ func (n *Network) PublishMetrics(r *metrics.Registry) {
 	r.Counter("fabric.fault_killed").Add(s.FaultKilled)
 	r.Counter("fabric.scouts_dropped").Add(s.ScoutsDropped)
 	r.Counter("fabric.scouts_duplicated").Add(s.ScoutsDuplicated)
+	// The lane-select counter (and the .laneN key suffix below) only
+	// exists on multi-lane fabrics, so single-lane metric snapshots
+	// stay byte-identical to the pre-VC fabric.
+	if n.maxLanes > 1 {
+		r.Counter("fabric.lane_selects").Add(s.LaneSelects)
+	}
 	for i := range n.topo.Links() {
 		l := n.topo.Link(i)
 		for _, fromA := range []bool{true, false} {
-			c := n.chans[chanIdx(l.ID, fromA)]
-			if c == nil || c.grants == 0 && c.busy == 0 && c.waited == 0 {
-				continue
+			for lane := 0; lane < n.maxLanes; lane++ {
+				c := n.chans[n.laneIdx(l.ID, fromA, lane)]
+				if c == nil || c.grants == 0 && c.busy == 0 && c.waited == 0 {
+					continue
+				}
+				dir := "a2b"
+				if !fromA {
+					dir = "b2a"
+				}
+				prefix := fmt.Sprintf("fabric.link%d.%s.", l.ID, dir)
+				if n.maxLanes > 1 {
+					prefix = fmt.Sprintf("fabric.link%d.%s.lane%d.", l.ID, dir, lane)
+				}
+				r.Counter(prefix + "busy_ns").Add(uint64(c.busy.Nanoseconds()))
+				r.Counter(prefix + "waited_ns").Add(uint64(c.waited.Nanoseconds()))
+				r.Counter(prefix + "grants").Add(c.grants)
 			}
-			dir := "a2b"
-			if !fromA {
-				dir = "b2a"
-			}
-			prefix := fmt.Sprintf("fabric.link%d.%s.", l.ID, dir)
-			r.Counter(prefix + "busy_ns").Add(uint64(c.busy.Nanoseconds()))
-			r.Counter(prefix + "waited_ns").Add(uint64(c.waited.Nanoseconds()))
-			r.Counter(prefix + "grants").Add(c.grants)
 		}
 	}
 }
@@ -221,11 +264,24 @@ func (n *Network) emit(k trace.Kind, node topology.NodeID, pktID uint64, detail 
 }
 
 // ChannelBusy returns the accumulated busy time of the directed
-// channel of the given link sent from its A (or B) end, for
-// utilisation metrics.
+// channel of the given link sent from its A (or B) end, summed over
+// its lanes, for utilisation metrics.
 func (n *Network) ChannelBusy(link int, fromA bool) units.Time {
-	idx := chanIdx(link, fromA)
-	if idx < 0 || idx >= len(n.chans) {
+	var busy units.Time
+	for lane := 0; lane < n.maxLanes; lane++ {
+		busy += n.LaneBusy(link, fromA, lane)
+	}
+	return busy
+}
+
+// LaneBusy returns the accumulated busy time of one lane of a
+// directed channel.
+func (n *Network) LaneBusy(link int, fromA bool, lane int) units.Time {
+	if link < 0 || lane < 0 || lane >= n.maxLanes {
+		return 0
+	}
+	idx := n.laneIdx(link, fromA, lane)
+	if idx >= len(n.chans) {
 		return 0
 	}
 	c := n.chans[idx]
@@ -419,7 +475,10 @@ func (n *Network) Inject(pkt *packet.Packet, src topology.NodeID, opts InjectOpt
 	f.waitStart = n.eng.Now()
 	f.hopLink = hostLink
 	f.hopFromA = hostLink.FromA(src, 0)
-	f.hopCh = n.chanOf(hostLink, f.hopFromA)
+	// An injection always starts on lane 0; the first switch consumes
+	// any leading [VCTag][lane] pair and moves the packet over.
+	f.hopLane = 0
+	f.hopCh = n.chanOf(hostLink, f.hopFromA, 0)
 	// Accumulate the hop's propagation before acquiring, so the
 	// channel's heldProp marks the pipeline delay through its exit.
 	f.prop += n.par.WireLatency
@@ -445,7 +504,8 @@ func (n *Network) putFlight(f *Flight) {
 	n.flightPool = append(n.flightPool, f)
 }
 
-// chanIdx maps a directed link end to its slot in Network.chans.
+// chanIdx maps a directed link end to its direction slot; lane 0 of
+// that direction lives at chanIdx*maxLanes in Network.chans.
 func chanIdx(link int, fromA bool) int {
 	idx := 2 * link
 	if !fromA {
@@ -454,8 +514,14 @@ func chanIdx(link int, fromA bool) int {
 	return idx
 }
 
-func (n *Network) chanOf(l *topology.Link, fromA bool) *channel {
-	return n.chans[chanIdx(l.ID, fromA)]
+// laneIdx maps a (directed link end, lane) pair to its slot in
+// Network.chans.
+func (n *Network) laneIdx(link int, fromA bool, lane int) int {
+	return chanIdx(link, fromA)*n.maxLanes + lane
+}
+
+func (n *Network) chanOf(l *topology.Link, fromA bool, lane int) *channel {
+	return n.chans[chanIdx(l.ID, fromA)*n.maxLanes+lane]
 }
 
 // acquire queues the flight on the channel. class identifies the

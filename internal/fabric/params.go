@@ -56,6 +56,14 @@ type Params struct {
 	// streams serialise upstream); the option exists to demonstrate
 	// exactly that.
 	RoundRobinArbitration bool
+	// Lanes is the virtual-channel count per link direction: each
+	// physical link carries this many independent flit lanes, each
+	// with its own credit/grant accounting. 0 or 1 is the faithful
+	// Myrinet configuration (no virtual channels) and is byte- and
+	// alloc-identical to the pre-VC fabric. Routes select lanes with
+	// in-header [VCTag][lane] pairs; a packet that never selects one
+	// travels entirely on lane 0.
+	Lanes int
 }
 
 // DefaultParams returns the calibrated testbed constants.

@@ -88,6 +88,7 @@ type Stats struct {
 	PacketsReceived uint64 // delivered up to the host
 	ITBDetects      uint64 // in-transit markers recognised
 	ITBForwarded    uint64 // in-transit packets re-injected
+	ITBVCSegments   uint64 // re-injected segments that open with a VC lane pair
 	ITBPendingHits  uint64 // re-injections that found the send DMA busy
 	PoolDrops       uint64 // packets flushed by the buffer pool
 	BlockedArrivals uint64 // arrivals that waited for a receive buffer
@@ -261,6 +262,7 @@ func (m *MCP) PublishMetrics(r *metrics.Registry) {
 		{"packets_received", m.stats.PacketsReceived},
 		{"itb_detects", m.stats.ITBDetects},
 		{"itb_forwarded", m.stats.ITBForwarded},
+		{"itb_vc_segments", m.stats.ITBVCSegments},
 		{"itb_pending_hits", m.stats.ITBPendingHits},
 		{"pool_drops", m.stats.PoolDrops},
 		{"blocked_arrivals", m.stats.BlockedArrivals},
@@ -555,6 +557,14 @@ func (m *MCP) detectAndForward(pkt *packet.Packet, tailReady units.Time) {
 			// still completes into the buffer, which is freed there.
 			m.inTransit[pkt] = false
 			return
+		}
+		if pkt.AtVCBoundary() {
+			// The re-injected segment selects a virtual lane at its
+			// first switch: the ITB and VC mechanisms composing on one
+			// route (the ablation's combined arm). The firmware itself
+			// needs no lane awareness — the pair rides in the route
+			// bytes it forwards untouched.
+			m.stats.ITBVCSegments++
 		}
 		job := itbJob{pkt: pkt, tailReady: tailReady}
 		if m.wireBusy {

@@ -58,6 +58,8 @@ func FuzzSplitITBRoute(f *testing.F) {
 	f.Add(r)
 	f.Add([]byte{ITBTag})
 	f.Add([]byte{ITBTag, 200, 1})
+	f.Add([]byte{VCTag, 1, 0})
+	f.Add([]byte{1, VCTag})
 	f.Fuzz(func(t *testing.T, route []byte) {
 		segs, err := SplitITBRoute(route)
 		if err != nil {

@@ -67,6 +67,14 @@ func (t Type) String() string {
 // value cannot collide with a port selector on any 8/16-port switch.
 const ITBTag byte = 0xFE
 
+// VCTag is the in-header marker byte that precedes a virtual-channel
+// lane selector: the pair [VCTag][lane] tells the next switch to move
+// the packet onto the given lane before consuming its output-port
+// byte. Like ITBTag it sits above any real port index, and the lane
+// byte that follows is a small lane index (never 0xFE), so the two
+// marker namespaces cannot shadow each other inside a route.
+const VCTag byte = 0xFD
+
 // MaxRouteLen bounds the number of route bytes in one header. Myrinet
 // headers are small; 32 hops is far beyond any path our topologies
 // produce.
@@ -79,6 +87,7 @@ var (
 	ErrBadHeadCRC  = errors.New("packet: header CRC mismatch")
 	ErrRouteTooBig = errors.New("packet: route exceeds MaxRouteLen")
 	ErrBadITB      = errors.New("packet: malformed ITB header")
+	ErrBadVC       = errors.New("packet: malformed VC lane marker")
 )
 
 // Packet is the parsed, in-memory form of a Myrinet packet. The
@@ -185,6 +194,23 @@ func (p *Packet) PopITBHeader() (remaining int, err error) {
 	}
 	p.ITBsTaken++
 	return remaining, nil
+}
+
+// AtVCBoundary reports whether the leading route byte is a
+// virtual-channel tag, i.e. the next switch must consume a
+// [VCTag][lane] pair and move the packet onto that lane before
+// reading its port byte.
+func (p *Packet) AtVCBoundary() bool {
+	return len(p.Route) >= 2 && p.Route[0] == VCTag
+}
+
+// PeekVCLane returns the lane selected by a leading [VCTag][lane]
+// pair without consuming it, and whether one is present.
+func (p *Packet) PeekVCLane() (byte, bool) {
+	if !p.AtVCBoundary() {
+		return 0, false
+	}
+	return p.Route[1], true
 }
 
 // RouteIsDelivered reports whether all route bytes (and ITB segments)

@@ -282,8 +282,8 @@ func TestEncodeParseProperty(t *testing.T) {
 // that fits, and Validate accepts every built route.
 func TestBuildSplitProperty(t *testing.T) {
 	f := func(lens []uint8, fill byte) bool {
-		if fill == ITBTag {
-			fill = 0 // route bytes are port selectors, never the tag
+		if fill == ITBTag || fill == VCTag {
+			fill = 0 // route bytes are port selectors, never a marker
 		}
 		var segs [][]byte
 		total := 0

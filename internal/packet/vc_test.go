@@ -1,0 +1,91 @@
+package packet
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestVCBoundaryAndPeek pins the route-side VC accessors: a leading
+// [VCTag][lane] pair is a boundary, anything else is not, and
+// consuming the pair advances onto the port byte.
+func TestVCBoundaryAndPeek(t *testing.T) {
+	p := &Packet{Route: []byte{VCTag, 2, 1, 0}}
+	if !p.AtVCBoundary() {
+		t.Fatal("leading [VCTag][lane] pair not recognized")
+	}
+	lane, ok := p.PeekVCLane()
+	if !ok || lane != 2 {
+		t.Fatalf("PeekVCLane = (%d, %v), want (2, true)", lane, ok)
+	}
+	p.ConsumeRouteByte() // tag
+	p.ConsumeRouteByte() // lane
+	if p.AtVCBoundary() {
+		t.Error("still at VC boundary after consuming the pair")
+	}
+	if _, ok := p.PeekVCLane(); ok {
+		t.Error("PeekVCLane ok on a plain port byte")
+	}
+	// A lone trailing tag is not a boundary (no lane byte to read).
+	q := &Packet{Route: []byte{VCTag}}
+	if q.AtVCBoundary() {
+		t.Error("trailing VCTag without lane byte reported as boundary")
+	}
+}
+
+// TestValidateVCMarkers pins Validate's handling of virtual-channel
+// pairs: well-formed pairs pass (also inside ITB segments), a
+// truncated tag or a marker-valued lane byte fail with ErrBadVC.
+func TestValidateVCMarkers(t *testing.T) {
+	ok := [][]byte{
+		{VCTag, 0, 1, 2},
+		{1, VCTag, 3, 2},
+		{VCTag, 1, 0, ITBTag, 4, VCTag, 2, 5, 0}, // lane switch after re-injection
+	}
+	for _, r := range ok {
+		if err := Validate(&Packet{Route: r}); err != nil {
+			t.Errorf("Validate(%v) = %v, want nil", r, err)
+		}
+	}
+	bad := [][]byte{
+		{1, 2, VCTag},         // tag at end of route
+		{VCTag, VCTag, 1},     // lane byte is a VC marker
+		{1, VCTag, ITBTag, 2}, // lane byte is an ITB marker
+	}
+	for _, r := range bad {
+		if err := Validate(&Packet{Route: r}); !errors.Is(err, ErrBadVC) {
+			t.Errorf("Validate(%v) = %v, want ErrBadVC", r, err)
+		}
+	}
+}
+
+// TestSplitITBRouteVCOpaque: lane pairs ride through the ITB
+// splitter opaquely — a lane byte that happens to equal a segment
+// boundary's length byte must not desynchronize the split — and
+// BuildITBRoute round-trips them.
+func TestSplitITBRouteVCOpaque(t *testing.T) {
+	segs := [][]byte{
+		{VCTag, 1, 0, 2},
+		{3, VCTag, 2, 1},
+	}
+	route, err := BuildITBRoute(segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := SplitITBRoute(route)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(segs) {
+		t.Fatalf("split into %d segments, want %d", len(back), len(segs))
+	}
+	for i := range segs {
+		if string(back[i]) != string(segs[i]) {
+			t.Errorf("segment %d: got %v, want %v", i, back[i], segs[i])
+		}
+	}
+	// A truncated VC pair fails the split rather than aliasing into
+	// the next segment.
+	if _, err := SplitITBRoute([]byte{1, VCTag}); !errors.Is(err, ErrBadVC) {
+		t.Errorf("truncated VC pair: err = %v, want ErrBadVC", err)
+	}
+}

@@ -76,28 +76,38 @@ func Parse(buf []byte, routeLen int) (*Packet, error) {
 }
 
 // Validate checks the structural invariants of a parsed packet:
-// route length bounds and well-formed ITB markers (every ITBTag is
+// route length bounds, well-formed ITB markers (every ITBTag is
 // followed by a length byte that matches the bytes that follow it,
-// counting nested segment markers).
+// counting nested segment markers), and well-formed virtual-channel
+// markers (every VCTag is followed by a lane byte that is itself not
+// a marker).
 func Validate(p *Packet) error {
 	if len(p.Route) > MaxRouteLen {
 		return ErrRouteTooBig
 	}
 	r := p.Route
 	for i := 0; i < len(r); i++ {
-		if r[i] != ITBTag {
-			continue
+		switch r[i] {
+		case ITBTag:
+			if i+1 >= len(r) {
+				return fmt.Errorf("%w: ITB tag at end of route", ErrBadITB)
+			}
+			declared := int(r[i+1])
+			actual := len(r) - i - 2
+			if declared != actual {
+				return fmt.Errorf("%w: ITB segment declares %d remaining bytes, have %d",
+					ErrBadITB, declared, actual)
+			}
+			i++ // skip length byte
+		case VCTag:
+			if i+1 >= len(r) {
+				return fmt.Errorf("%w: VC tag at end of route", ErrBadVC)
+			}
+			if r[i+1] == ITBTag || r[i+1] == VCTag {
+				return fmt.Errorf("%w: VC lane byte %#02x is a marker", ErrBadVC, r[i+1])
+			}
+			i++ // skip lane byte
 		}
-		if i+1 >= len(r) {
-			return fmt.Errorf("%w: ITB tag at end of route", ErrBadITB)
-		}
-		declared := int(r[i+1])
-		actual := len(r) - i - 2
-		if declared != actual {
-			return fmt.Errorf("%w: ITB segment declares %d remaining bytes, have %d",
-				ErrBadITB, declared, actual)
-		}
-		i++ // skip length byte
 	}
 	return nil
 }
@@ -139,12 +149,15 @@ func BuildITBRoute(segments [][]byte) ([]byte, error) {
 
 // SplitITBRoute is the inverse of BuildITBRoute: it splits a route
 // back into its sub-path segments. Used by tests and the mapper's
-// route printer.
+// route printer. Virtual-channel [VCTag][lane] pairs embedded in a
+// segment are copied through opaquely, so a lane byte can never be
+// mistaken for a segment boundary.
 func SplitITBRoute(route []byte) ([][]byte, error) {
 	var segs [][]byte
 	cur := []byte{}
 	for i := 0; i < len(route); i++ {
-		if route[i] == ITBTag {
+		switch route[i] {
+		case ITBTag:
 			if i+1 >= len(route) {
 				return nil, ErrBadITB
 			}
@@ -154,9 +167,15 @@ func SplitITBRoute(route []byte) ([][]byte, error) {
 			segs = append(segs, cur)
 			cur = []byte{}
 			i++
-			continue
+		case VCTag:
+			if i+1 >= len(route) {
+				return nil, ErrBadVC
+			}
+			cur = append(cur, route[i], route[i+1])
+			i++
+		default:
+			cur = append(cur, route[i])
 		}
-		cur = append(cur, route[i])
 	}
 	segs = append(segs, cur)
 	return segs, nil

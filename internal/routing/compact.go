@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sort"
 
 	"repro/internal/topology"
 )
@@ -23,14 +24,19 @@ import (
 // byte per switch crossing. In-transit resets embed as a two-byte
 // stepITB marker followed by the ejection port (the port of the
 // in-transit host at the reset switch); the re-injection crosses the
-// same port back, so one byte determines both. Port numbers are
+// same port back, so one byte determines both. Virtual-lane changes
+// embed as a two-byte stepVC marker followed by the lane for the
+// subsequent hops (mirroring the packet-header [VCTag][lane] pairs;
+// the lane resets to 0 at every re-injection). Port numbers are
 // consequently capped at maxCompactPort.
 const (
 	// stepITB marks an in-transit ejection/re-injection; the next byte
 	// is the ejection port at the current switch.
 	stepITB = 0xFF
+	// stepVC marks a virtual-lane change; the next byte is the lane.
+	stepVC = 0xFE
 	// maxCompactPort is the largest encodable port number.
-	maxCompactPort = 0xFE
+	maxCompactPort = 0xFD
 )
 
 // CompactTable is the struct-of-arrays switch-pair route store built
@@ -49,6 +55,17 @@ type CompactTable struct {
 	sidx  []int32
 	off   []uint32
 	steps []byte
+	// lanes is the virtual-lane count of the engine that built the
+	// table; 0 and 1 both mean the single-lane Myrinet configuration.
+	lanes int
+}
+
+// Lanes returns the table's virtual-lane count (at least 1).
+func (ct *CompactTable) Lanes() int {
+	if ct.lanes < 1 {
+		return 1
+	}
+	return ct.lanes
 }
 
 // NumSwitches returns the switch count S; the table covers S*S pairs.
@@ -83,13 +100,15 @@ func (ct *CompactTable) SizeBytes() int {
 }
 
 // forEachStep decodes pair (si, di), invoking hop for every
-// switch-switch traversal and eject for every in-transit reset (link
-// is the host link, host the in-transit host). Decoding is structural:
-// ports must be cabled and of the right node kind; legality is
-// Validate's job.
+// switch-switch traversal, eject for every in-transit reset (link is
+// the host link, host the in-transit host), and laneShift for every
+// stepVC lane change. Decoding is structural: ports must be cabled
+// and of the right node kind, lanes within the table's lane count;
+// legality is Validate's job.
 func (ct *CompactTable) forEachStep(si, di int,
 	hop func(l *topology.Link, from topology.NodeID) error,
-	eject func(sw, host topology.NodeID, l *topology.Link) error) error {
+	eject func(sw, host topology.NodeID, l *topology.Link) error,
+	laneShift func(lane uint8) error) error {
 	steps := ct.PairSteps(si, di)
 	cur := ct.sws[si]
 	for i := 0; i < len(steps); i++ {
@@ -113,6 +132,22 @@ func (ct *CompactTable) forEachStep(si, di int,
 			}
 			if eject != nil {
 				if err := eject(cur, host, l); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		if b == stepVC {
+			if i+1 >= len(steps) {
+				return fmt.Errorf("routing: truncated lane marker at switch %d", cur)
+			}
+			i++
+			lane := steps[i]
+			if int(lane) >= ct.Lanes() {
+				return fmt.Errorf("routing: lane %d out of range at switch %d (table has %d)", lane, cur, ct.Lanes())
+			}
+			if laneShift != nil {
+				if err := laneShift(lane); err != nil {
 					return err
 				}
 			}
@@ -197,6 +232,10 @@ func (ct *CompactTable) Validate() error {
 						return fmt.Errorf("routing: in-transit host %d is dead under the exclusion set", host)
 					}
 					return nil
+				},
+				func(lane uint8) error {
+					prev = nil // fresh lane, fresh direction history
+					return nil
 				})
 			if err != nil {
 				return fmt.Errorf("routing: pair (%d, %d): %w", ct.sws[si], ct.sws[di], err)
@@ -214,7 +253,11 @@ func (ct *CompactTable) Validate() error {
 // covers switch-switch channels only, with successor sets stored as
 // per-channel output-port bitmasks — O(channels) memory instead of the
 // O(channels^2) an explicit edge set would need at 4k hosts.
+// Multi-lane tables take the lane-aware explicit-edge path instead.
 func (ct *CompactTable) CheckDeadlockFree() error {
+	if ct.Lanes() > 1 {
+		return ct.checkDeadlockFreeLanes()
+	}
 	nCh := 2 * len(ct.t.Links())
 	succ := make([]uint64, nCh)
 	s := len(ct.sws)
@@ -239,7 +282,8 @@ func (ct *CompactTable) CheckDeadlockFree() error {
 				func(sw, host topology.NodeID, l *topology.Link) error {
 					prev = -1 // consumption at the in-transit buffer
 					return nil
-				})
+				},
+				nil) // single-lane table: no stepVC markers decode
 			if err != nil {
 				return err
 			}
@@ -301,6 +345,105 @@ func chanIndex(l *topology.Link, from topology.NodeID) int32 {
 		return int32(2 * l.ID)
 	}
 	return int32(2*l.ID + 1)
+}
+
+// checkDeadlockFreeLanes is the multi-lane deadlock check: channels
+// are (link direction, lane) pairs and the dependency edges are kept
+// as explicit per-channel successor sets — the port-bitmask trick of
+// the flat path cannot name the successor's lane. Lane counts are
+// tiny (2–4) and vc tables are built for the ablation topologies, so
+// the extra memory is immaterial.
+func (ct *CompactTable) checkDeadlockFreeLanes() error {
+	L := int32(ct.Lanes())
+	succ := make(map[int32]map[int32]struct{})
+	s := len(ct.sws)
+	for si := 0; si < s; si++ {
+		for di := 0; di < s; di++ {
+			if si == di {
+				continue
+			}
+			prev := int32(-1)
+			lane := int32(0)
+			err := ct.forEachStep(si, di,
+				func(l *topology.Link, from topology.NodeID) error {
+					k := chanIndex(l, from)*L + lane
+					if prev >= 0 {
+						es := succ[prev]
+						if es == nil {
+							es = make(map[int32]struct{})
+							succ[prev] = es
+						}
+						es[k] = struct{}{}
+					}
+					prev = k
+					return nil
+				},
+				func(sw, host topology.NodeID, l *topology.Link) error {
+					prev = -1 // consumption at the in-transit buffer
+					lane = 0  // the re-injection is a fresh lane-0 entry
+					return nil
+				},
+				func(nl uint8) error {
+					lane = int32(nl)
+					return nil
+				})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	// Deterministic iterative three-colour DFS over the edge sets.
+	keys := make([]int32, 0, len(succ))
+	for k := range succ {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	adj := make(map[int32][]int32, len(succ))
+	for k, es := range succ {
+		ns := make([]int32, 0, len(es))
+		for n := range es {
+			ns = append(ns, n)
+		}
+		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+		adj[k] = ns
+	}
+	const (
+		gray  = 1
+		black = 2
+	)
+	color := make(map[int32]byte, len(succ))
+	type frame struct {
+		ch   int32
+		next int
+	}
+	var stack []frame
+	for _, c0 := range keys {
+		if color[c0] != 0 {
+			continue
+		}
+		color[c0] = gray
+		stack = append(stack[:0], frame{c0, 0})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			ns := adj[f.ch]
+			if f.next >= len(ns) {
+				color[f.ch] = black
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			nc := ns[f.next]
+			f.next++
+			switch color[nc] {
+			case gray:
+				return fmt.Errorf("routing: engine %q: channel dependency cycle through link %d lane %d, %d channels on the gray path",
+					ct.EngineName, nc/L/2, nc%L, len(stack))
+			case 0:
+				color[nc] = gray
+				stack = append(stack, frame{nc, 0})
+			}
+		}
+	}
+	return nil
 }
 
 // CompactAnalysis summarises a CompactTable for the engine-comparison
@@ -372,7 +515,8 @@ func (ct *CompactTable) Analyze() (CompactAnalysis, error) {
 				func(sw, host topology.NodeID, l *topology.Link) error {
 					itbs++
 					return nil
-				})
+				},
+				nil) // lane changes don't affect path-quality metrics
 			if err != nil {
 				return a, err
 			}

@@ -6,12 +6,14 @@ import (
 	"repro/internal/topology"
 )
 
-// Channel is one direction of a physical link: the unit of resource a
-// wormhole packet holds. Myrinet has no virtual channels, so there is
-// exactly one channel per link direction.
+// Channel is one virtual lane of one direction of a physical link:
+// the unit of resource a wormhole packet holds. Stock Myrinet has no
+// virtual channels, so there Lane is always 0 and a channel is just a
+// link direction; the vc engines route over Lane 0..k-1.
 type Channel struct {
 	LinkID int
 	From   topology.NodeID
+	Lane   uint8
 }
 
 // CDG is the channel dependency graph induced by a set of routes: an
@@ -33,8 +35,11 @@ func BuildCDG(routes []*Route) *CDG {
 	for _, r := range routes {
 		var prev *Channel
 		itbIdx := 0
-		for _, tr := range r.LinkPath {
+		for k, tr := range r.LinkPath {
 			ch := Channel{LinkID: tr.Link.ID, From: tr.From}
+			if r.Lanes != nil && k < len(r.Lanes) {
+				ch.Lane = r.Lanes[k]
+			}
 			// Detect ejections: arriving at an in-transit host ends
 			// the dependency chain; the hop out of it starts a new one.
 			if itbIdx < len(r.ITBHosts) && tr.To() == r.ITBHosts[itbIdx] {

@@ -43,6 +43,12 @@ type Engine interface {
 	// Dally & Seitz acyclicity of the channel dependency graph induced
 	// by a table this engine built.
 	CheckDeadlockFree(tbl *Table) error
+	// Lanes declares how many virtual-channel lanes per link direction
+	// the engine's routes require of the fabric. Engines whose routes
+	// never select a lane declare 1 (the faithful Myrinet
+	// configuration); the vc engines declare their lane count so the
+	// cluster builder can size the fabric to the tables it loads.
+	Lanes() int
 }
 
 // Engines returns the registered engines in stable (alphabetical by
@@ -67,9 +73,28 @@ func EngineNames() []string {
 	return names
 }
 
-// EngineByName resolves a registered engine.
+// vcEngines lists the virtual-channel engines resolvable by name.
+// They are deliberately NOT part of Engines(): the default study
+// grids iterate the registry, and the vc design points belong to the
+// dedicated VC ablation (core.RunVCStudy), not to every registry
+// sweep. Name resolution uses the two-lane instances; the ablation
+// constructs other lane counts directly.
+func vcEngines() []Engine {
+	return []Engine{
+		VCEscapeEngine{NumLanes: 2},
+		VCEscapeEngine{NumLanes: 2, ITBRepair: true},
+	}
+}
+
+// EngineByName resolves a registered engine, or one of the named
+// virtual-channel engines ("vc-escape", "vc-itb").
 func EngineByName(name string) (Engine, bool) {
 	for _, e := range Engines() {
+		if e.Name() == name {
+			return e, true
+		}
+	}
+	for _, e := range vcEngines() {
 		if e.Name() == name {
 			return e, true
 		}
@@ -78,10 +103,14 @@ func EngineByName(name string) (Engine, bool) {
 }
 
 // EngineList renders "name — description" lines for CLI help and the
-// error path that lists valid engines.
+// error path that lists valid engines, covering both the registry and
+// the named virtual-channel engines.
 func EngineList() string {
 	var b strings.Builder
 	for _, e := range Engines() {
+		fmt.Fprintf(&b, "  %-15s %s\n", e.Name(), e.Description())
+	}
+	for _, e := range vcEngines() {
 		fmt.Fprintf(&b, "  %-15s %s\n", e.Name(), e.Description())
 	}
 	return b.String()
@@ -102,9 +131,13 @@ func engineCheckTopology(name string, t *topology.Topology) error {
 	return nil
 }
 
-// pathFunc computes the switch path (and in-transit reset positions)
-// for one switch pair; engines install one into the Tables they build.
-type pathFunc func(srcSw, dstSw topology.NodeID) ([]Traversal, []int, error)
+// pathFunc computes the switch path for one switch pair; engines
+// install one into the Tables they build. Besides the traversals it
+// returns the in-transit reset positions (indices into the traversal
+// before which an ejection/re-injection happens) and, for lane-aware
+// engines, the virtual-channel lane of every traversal (nil means
+// everything rides lane 0).
+type pathFunc func(srcSw, dstSw topology.NodeID) ([]Traversal, []int, []uint8, error)
 
 // buildEngineTable runs the standard all-pairs table build with an
 // engine-specific path function (nil selects the legacy Algorithm

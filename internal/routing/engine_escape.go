@@ -41,10 +41,10 @@ func (e MinimalEscapeEngine) escapePathFunc(g *engineGraph, avoid *Avoid) pathFu
 	tree := newSearchTree(2 * len(g.sws))
 	queue := make([]int32, 0, 2*len(g.sws))
 	lastSrc := int32(-1)
-	return func(srcSw, dstSw topology.NodeID) ([]Traversal, []int, error) {
+	return func(srcSw, dstSw topology.NodeID) ([]Traversal, []int, []uint8, error) {
 		si, di := g.sidx[srcSw], g.sidx[dstSw]
 		if si < 0 || di < 0 {
-			return nil, nil, fmt.Errorf("routing: %d->%d is not a switch pair", srcSw, dstSw)
+			return nil, nil, nil, fmt.Errorf("routing: %d->%d is not a switch pair", srcSw, dstSw)
 		}
 		if si != lastSrc {
 			g.legalBFS(si, 0, avoid, tree, queue)
@@ -52,10 +52,10 @@ func (e MinimalEscapeEngine) escapePathFunc(g *engineGraph, avoid *Avoid) pathFu
 		}
 		goal := tree.bestState(di)
 		if goal < 0 {
-			return nil, nil, fmt.Errorf("routing: no legal path from switch %d to %d", srcSw, dstSw)
+			return nil, nil, nil, fmt.Errorf("routing: no legal path from switch %d to %d", srcSw, dstSw)
 		}
 		trav, _ := g.traversalsTo(tree, goal)
-		return trav, nil, nil
+		return trav, nil, nil, nil
 	}
 }
 
@@ -89,6 +89,10 @@ func (e MinimalEscapeEngine) RebuildAvoiding(prev *Table, t *topology.Topology, 
 func (MinimalEscapeEngine) CheckDeadlockFree(tbl *Table) error {
 	return CheckDeadlockFree(tbl.Routes())
 }
+
+// Lanes implements Engine: every route is legal under one orientation
+// with no lane changes, so a single lane per direction suffices.
+func (MinimalEscapeEngine) Lanes() int { return 1 }
 
 // BuildCompact implements Engine: one legal BFS per source switch.
 func (e MinimalEscapeEngine) BuildCompact(t *topology.Topology, avoid *Avoid) (*CompactTable, error) {

@@ -68,10 +68,10 @@ func (e LayeredEngine) layeredPathFunc(g *engineGraph, avoid *Avoid) pathFunc {
 	}
 	queue := make([]int32, 0, 2*len(g.sws))
 	lastSrc := int32(-1)
-	return func(srcSw, dstSw topology.NodeID) ([]Traversal, []int, error) {
+	return func(srcSw, dstSw topology.NodeID) ([]Traversal, []int, []uint8, error) {
 		si, di := g.sidx[srcSw], g.sidx[dstSw]
 		if si < 0 || di < 0 {
-			return nil, nil, fmt.Errorf("routing: %d->%d is not a switch pair", srcSw, dstSw)
+			return nil, nil, nil, fmt.Errorf("routing: %d->%d is not a switch pair", srcSw, dstSw)
 		}
 		if si != lastSrc {
 			for layer := 0; layer < l; layer++ {
@@ -82,10 +82,10 @@ func (e LayeredEngine) layeredPathFunc(g *engineGraph, avoid *Avoid) pathFunc {
 		tree := trees[pairLayer(int(si), int(di), l)]
 		goal := tree.bestState(di)
 		if goal < 0 {
-			return nil, nil, fmt.Errorf("routing: no legal path from switch %d to %d", srcSw, dstSw)
+			return nil, nil, nil, fmt.Errorf("routing: no legal path from switch %d to %d", srcSw, dstSw)
 		}
 		trav, _ := g.traversalsTo(tree, goal)
-		return trav, nil, nil
+		return trav, nil, nil, nil
 	}
 }
 
@@ -120,6 +120,10 @@ func (e LayeredEngine) RebuildAvoiding(prev *Table, t *topology.Topology, avoid 
 func (LayeredEngine) CheckDeadlockFree(tbl *Table) error {
 	return CheckDeadlockFree(tbl.Routes())
 }
+
+// Lanes implements Engine: the tie-break layers are a route-choice
+// schedule, not fabric lanes — one physical channel per direction.
+func (LayeredEngine) Lanes() int { return 1 }
 
 // BuildCompact implements Engine: per source, one legal BFS per layer,
 // then every destination reads its path from its hash-assigned layer.

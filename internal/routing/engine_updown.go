@@ -51,6 +51,10 @@ func (UpDownITBEngine) CheckDeadlockFree(tbl *Table) error {
 	return CheckDeadlockFree(tbl.Routes())
 }
 
+// Lanes implements Engine: the paper's mechanism needs no virtual
+// channels — that is its whole point.
+func (UpDownITBEngine) Lanes() int { return 1 }
+
 // BuildCompact implements Engine: one in-transit Dijkstra per source
 // switch over the struct-of-arrays graph, lexicographically minimising
 // (hops, ITBs) exactly as the per-pair search does. In-transit

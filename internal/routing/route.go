@@ -31,6 +31,11 @@ type Route struct {
 	// LinkPath is the directed traversal of every link in order,
 	// including the host links at the ends and around each ITB.
 	LinkPath []Traversal
+	// Lanes is the virtual-channel lane of each LinkPath traversal,
+	// in lockstep with LinkPath. nil means the whole route rides lane
+	// 0 (every lane-less engine); when non-nil its length must equal
+	// len(LinkPath).
+	Lanes []uint8
 }
 
 // Traversal is one directed use of a link.
@@ -100,14 +105,25 @@ func (r *Route) Validate(t *topology.Topology, ud *topology.UpDown) error {
 			return fmt.Errorf("routing: empty segment %d", i)
 		}
 	}
+	if r.Lanes != nil && len(r.Lanes) != len(r.LinkPath) {
+		return fmt.Errorf("routing: %d lane entries for %d link traversals", len(r.Lanes), len(r.LinkPath))
+	}
 	if ud == nil {
 		return nil
 	}
 	// Walk the link path segment by segment; at each ejection the
-	// direction history resets — that is the whole point of ITBs.
+	// direction history resets — that is the whole point of ITBs. A
+	// lane change also resets it: each lane's sub-segments must be
+	// legal independently (the per-lane LASH argument), but crossing
+	// onto a fresh lane starts a fresh dependency chain.
 	var prev *topology.Direction
 	itbIdx := 0
-	for _, tr := range r.LinkPath {
+	prevLane := uint8(0)
+	for k, tr := range r.LinkPath {
+		if r.Lanes != nil && r.Lanes[k] != prevLane {
+			prevLane = r.Lanes[k]
+			prev = nil
+		}
 		to := tr.To()
 		if t.Node(to).Kind == topology.KindHost && to != r.Dst {
 			// Ejection into an in-transit host.
@@ -116,6 +132,7 @@ func (r *Route) Validate(t *topology.Topology, ud *topology.UpDown) error {
 			}
 			itbIdx++
 			prev = nil
+			prevLane = 0
 			continue
 		}
 		if !ud.IsSwitchLink(tr.Link) {

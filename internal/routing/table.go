@@ -3,6 +3,7 @@ package routing
 import (
 	"fmt"
 
+	"repro/internal/packet"
 	"repro/internal/topology"
 )
 
@@ -55,6 +56,9 @@ func (tbl *Table) Engine() string { return tbl.engine }
 type cachedPath struct {
 	trav      []Traversal
 	itbBefore []int
+	// lanes is the virtual-channel lane of each traversal (nil means
+	// everything rides lane 0; only lane-aware engines populate it).
+	lanes []uint8
 }
 
 // BuildTable computes routes for all ordered host pairs.
@@ -116,7 +120,7 @@ func (tbl *Table) buildRoute(t *topology.Topology, ud *topology.UpDown, src, dst
 	case cached:
 	case tbl.pathFn != nil:
 		var err error
-		cp.trav, cp.itbBefore, err = tbl.pathFn(srcSw, dstSw)
+		cp.trav, cp.itbBefore, cp.lanes, err = tbl.pathFn(srcSw, dstSw)
 		if err != nil {
 			return nil, err
 		}
@@ -147,17 +151,28 @@ func (tbl *Table) buildRoute(t *topology.Topology, ud *topology.UpDown, src, dst
 		}
 		tbl.pathCache[key] = cp
 	}
-	return tbl.assemble(t, src, dst, srcSw, cp.trav, cp.itbBefore)
+	return tbl.assemble(t, src, dst, srcSw, cp.trav, cp.itbBefore, cp.lanes)
 }
 
-// assemble converts a switch traversal plus ITB reset positions into a
-// Route with port bytes, in-transit host choices, and link path.
-func (tbl *Table) assemble(t *topology.Topology, src, dst, srcSw topology.NodeID, trav []Traversal, itbBefore []int) (*Route, error) {
+// assemble converts a switch traversal plus ITB reset positions (and,
+// for lane-aware engines, per-traversal lane assignments) into a
+// Route with port bytes, in-transit host choices, and link path. Lane
+// changes embed as [VCTag][lane] pairs in the segment bytes, emitted
+// exactly where the wire lane (what the fabric infers while consuming
+// the route: lane 0 at every injection, then the last selected lane)
+// diverges from the lane the path wants for the next hop.
+func (tbl *Table) assemble(t *topology.Topology, src, dst, srcSw topology.NodeID, trav []Traversal, itbBefore []int, lanes []uint8) (*Route, error) {
 	r := &Route{Src: src, Dst: dst}
 	hostUp := t.LinkAt(src, 0)   // src host -> its switch
 	hostDown := t.LinkAt(dst, 0) // last switch -> dst host
+	laned := lanes != nil
+	wireLane := uint8(0)
 
 	r.LinkPath = append(r.LinkPath, Traversal{Link: hostUp, From: src})
+	if laned {
+		// Injections always enter on lane 0.
+		r.Lanes = append(r.Lanes, 0)
+	}
 
 	// Split trav at the itbBefore indices.
 	nextITB := 0
@@ -188,6 +203,12 @@ func (tbl *Table) assemble(t *topology.Topology, src, dst, srcSw topology.NodeID
 		r.LinkPath = append(r.LinkPath, Traversal{Link: hl, From: best})
 		// The re-injected packet crosses the switch again.
 		r.SwitchPath = append(r.SwitchPath, itbSwitch)
+		if laned {
+			// The ejection rides whatever lane the packet was on; the
+			// re-injection is a fresh lane-0 entry.
+			r.Lanes = append(r.Lanes, wireLane, 0)
+			wireLane = 0
+		}
 		cur = []byte{}
 		return nil
 	}
@@ -198,8 +219,15 @@ func (tbl *Table) assemble(t *topology.Topology, src, dst, srcSw topology.NodeID
 			}
 			nextITB++
 		}
+		if laned && lanes[i] != wireLane {
+			cur = append(cur, packet.VCTag, lanes[i])
+			wireLane = lanes[i]
+		}
 		cur = append(cur, byte(tr.Link.PortAt(tr.From)))
 		r.LinkPath = append(r.LinkPath, tr)
+		if laned {
+			r.Lanes = append(r.Lanes, wireLane)
+		}
 		curSw = tr.To()
 		r.SwitchPath = append(r.SwitchPath, curSw)
 	}
@@ -215,5 +243,9 @@ func (tbl *Table) assemble(t *topology.Topology, src, dst, srcSw topology.NodeID
 	cur = append(cur, byte(hostDown.PortAt(curSw)))
 	r.Segments = append(r.Segments, cur)
 	r.LinkPath = append(r.LinkPath, Traversal{Link: hostDown, From: curSw})
+	if laned {
+		// The delivery hop stays on the current lane.
+		r.Lanes = append(r.Lanes, wireLane)
+	}
 	return r, nil
 }
