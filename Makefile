@@ -67,6 +67,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzDecodeMapping -fuzztime=10s ./internal/packet/
 	$(GO) test -fuzz=FuzzSplitITBRoute -fuzztime=10s ./internal/packet/
 	$(GO) test -fuzz=FuzzEpochTag -fuzztime=10s ./internal/packet/
+	$(GO) test -fuzz=FuzzGossipDigest -fuzztime=10s ./internal/packet/
 	$(GO) test -fuzz=FuzzSerializeRoundTrip -fuzztime=10s ./internal/topology/
 	$(GO) test -fuzz=FuzzFatTree -fuzztime=10s ./internal/topology/
 	$(GO) test -fuzz=FuzzDragonfly -fuzztime=10s ./internal/topology/

@@ -15,6 +15,7 @@
 //	itbsim -exp chunks               # SDMA chunk-size ablation
 //	itbsim -exp faults               # fault campaigns: delivery + recovery
 //	itbsim -exp recovery             # self-healing study: heartbeat period x churn
+//	itbsim -exp recovery -detector gossip   # decentralized (SWIM) churn study
 //	itbsim -exp engines              # routing-engine comparison across topology classes
 //	itbsim -exp load                 # open-loop load study: SLO outputs per engine
 //	itbsim -exp vc                   # VC ablation: in-transit buffers vs virtual lanes
@@ -39,7 +40,13 @@
 // runs each cell as a conservative parallel simulation (PDES) on N
 // lanes over a fixed topology-derived decomposition. Output is
 // byte-identical for every N >= 1 (and differs from -partitions 0,
-// which is a different — serial — model).
+// which is a different — serial — model). Setting -partitions for an
+// experiment that ignores it prints a warning; -strict upgrades that
+// warning to a non-zero exit.
+//
+// The faults and recovery studies accept -detector to choose the
+// failure-detection plane: "monitor" (the centralized default) or
+// "gossip" (decentralized SWIM-style probing with no monitor host).
 //
 // Observability flags: -metrics <file> writes the merged metrics
 // snapshot (counters, queue high-water gauges, latency histograms) as
@@ -58,6 +65,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/recovery"
 	"repro/internal/routing"
 	"repro/internal/runner"
 	"repro/internal/trace"
@@ -77,6 +85,11 @@ func main() {
 	csvOut := flag.Bool("csv", false, "emit CSV data series instead of tables (fig7, fig8, itbcount, recovery)")
 	workers := flag.Int("workers", runtime.NumCPU(), "worker goroutines sharding independent simulation runs (output is identical at any value >= 1)")
 	partitions := flag.Int("partitions", 0, "PDES lanes for the load study's open-loop cells (0 = serial model; output is identical at any value >= 1)")
+	detectorName := flag.String("detector", "", "failure detector for the faults/recovery studies: monitor (centralized, the default) or gossip (decentralized SWIM)")
+	period := flag.Int("period", 0, "single heartbeat period in microseconds for the recovery study (0 = the default period axis)")
+	churn := flag.Int("churn", 0, "single churn-event count for the recovery study (0 = the default churn axis)")
+	campaigns := flag.Int("campaigns", 0, "campaigns averaged into each recovery-study cell (0 = the default)")
+	strict := flag.Bool("strict", false, "treat flag misuse warnings (e.g. -partitions on an experiment that ignores it) as errors")
 	metricsOut := flag.String("metrics", "", "write the merged metrics snapshot of the instrumented experiments as JSON to this file (byte-identical at any -workers value)")
 	traceOut := flag.String("trace", "", "write the packet-lifecycle trace of the instrumented experiments as JSON Lines to this file")
 	pprofOut := flag.String("pprof", "", "write a CPU profile of the whole invocation to this file")
@@ -95,6 +108,33 @@ func main() {
 		os.Exit(1)
 	}
 	runner.SetWorkers(*workers)
+
+	// Reject unknown detectors the same way as unknown engines: name
+	// the offender, list what is valid.
+	detector, err := recovery.ParseDetectorKind(*detectorName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "itbsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *period < 0 || *churn < 0 || *campaigns < 0 {
+		fmt.Fprintf(os.Stderr, "itbsim: -period/-churn/-campaigns must be >= 0 (0 selects the study default)\n")
+		os.Exit(1)
+	}
+
+	// -partitions only reaches the load and vc studies; on any other
+	// single experiment it silently did nothing, which repeatedly made
+	// "why is -partitions 4 not faster" a debugging session. Warn, and
+	// under -strict make it an error.
+	partitionsUsed := map[string]bool{"all": true, "load": true, "vc": true}
+	if *partitions > 0 && !partitionsUsed[*exp] {
+		fmt.Fprintf(os.Stderr, "itbsim: warning: -partitions %d has no effect on -exp %s (only the load and vc studies consume it)\n",
+			*partitions, *exp)
+		if *strict {
+			fmt.Fprintln(os.Stderr, "itbsim: -strict: treating the -partitions warning as an error")
+			os.Exit(1)
+		}
+	}
 
 	// Reject unknown engines before anything runs, mirroring the
 	// unknown -exp error path: name the offender, list what is valid.
@@ -412,6 +452,7 @@ func main() {
 	run("faults", func() error {
 		cfg := core.DefaultFaultStudyConfig(routing.ITBRouting, *switches, *seed)
 		cfg.Metrics = reg
+		cfg.Detector = detector
 		res, err := core.RunFaultStudy(cfg)
 		if err != nil {
 			return err
@@ -454,6 +495,19 @@ func main() {
 	run("recovery", func() error {
 		cfg := core.DefaultRecoveryStudyConfig(routing.ITBRouting, *switches, *seed)
 		cfg.Metrics = reg
+		cfg.Detector = detector
+		// Grid-thinning knobs for scale runs: the nightly 1024-host
+		// churn grid samples single cells rather than the full cross
+		// product.
+		if *period > 0 {
+			cfg.Periods = []units.Time{units.Time(*period) * units.Microsecond}
+		}
+		if *churn > 0 {
+			cfg.ChurnEvents = []int{*churn}
+		}
+		if *campaigns > 0 {
+			cfg.CampaignsPerCell = *campaigns
+		}
 		res, err := core.RunRecoveryStudy(cfg)
 		if err != nil {
 			return err

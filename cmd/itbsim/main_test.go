@@ -177,6 +177,137 @@ func TestRecoveryExperimentGoldenDeterministic(t *testing.T) {
 	}
 }
 
+// TestGossipRecoveryGoldenDeterministic pins the decentralized arm of
+// the churn study: `itbsim -exp recovery -detector gossip` must emit
+// byte-identical tables at -workers 1 and -workers 4 and match its own
+// committed golden — while the monitor golden above stays untouched,
+// proving -detector gossip changes nothing unless asked for.
+//
+//	REGEN_GOLDEN=1 go test ./cmd/itbsim/ -run TestGossipRecoveryGolden
+func TestGossipRecoveryGoldenDeterministic(t *testing.T) {
+	bin := buildItbsim(t)
+	runWith := func(workers string, extra ...string) []byte {
+		t.Helper()
+		args := append([]string{"-exp", "recovery", "-detector", "gossip",
+			"-switches", "8", "-seed", "3", "-workers", workers}, extra...)
+		out, err := exec.Command(bin, args...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("itbsim -exp recovery -detector gossip -workers %s: %v\n%s", workers, err, out)
+		}
+		return out
+	}
+	got1 := runWith("1")
+	got4 := runWith("4")
+	if !bytes.Equal(got1, got4) {
+		t.Fatalf("gossip churn study differs between -workers 1 and -workers 4\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s", got1, got4)
+	}
+	if !strings.Contains(string(got1), "gossip detector") {
+		t.Errorf("gossip table missing its header:\n%s", got1)
+	}
+
+	path := filepath.Join("testdata", "recovery_gossip.golden")
+	if os.Getenv("REGEN_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got1, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with REGEN_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(got1, want) {
+		t.Errorf("gossip churn study drifted from golden output.\n--- got ---\n%s\n--- want ---\n%s", got1, want)
+	}
+
+	// The CSV form must tag every row with the detector and carry the
+	// probe-traffic counters the overhead analysis reads.
+	csvOut := runWith("4", "-csv")
+	lines := strings.Split(strings.TrimSpace(string(csvOut)), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("-csv output has no data rows:\n%s", csvOut)
+	}
+	for _, col := range []string{"detector", "probes", "refutations"} {
+		if !strings.Contains(lines[0], col) {
+			t.Errorf("-csv header missing %q column: %s", col, lines[0])
+		}
+	}
+	if !strings.Contains(lines[1], "gossip") {
+		t.Errorf("-csv data row not tagged with the detector: %s", lines[1])
+	}
+}
+
+// TestUnknownDetectorRejected locks the -detector validation: a name
+// that matches no registered detector must exit 1 and list the valid
+// kinds, mirroring the -exp and -engine error paths.
+func TestUnknownDetectorRejected(t *testing.T) {
+	bin := buildItbsim(t)
+	out, err := exec.Command(bin, "-exp", "recovery", "-detector", "swim").CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("itbsim -detector swim: err=%v (want exit error)\n%s", err, out)
+	}
+	if code := ee.ExitCode(); code != 1 {
+		t.Errorf("exit code = %d, want 1", code)
+	}
+	text := string(out)
+	if !strings.Contains(text, "swim") {
+		t.Errorf("error does not name the bad detector:\n%s", text)
+	}
+	for _, kind := range []string{"monitor", "gossip"} {
+		if !strings.Contains(text, kind) {
+			t.Errorf("error does not list valid detector %q:\n%s", kind, text)
+		}
+	}
+}
+
+// TestPartitionsMisuseWarns pins the -partitions misuse diagnostics:
+// on an experiment that ignores the flag the run still succeeds but
+// warns, and -strict upgrades the warning to exit 1 before any
+// experiment output is produced.
+func TestPartitionsMisuseWarns(t *testing.T) {
+	bin := buildItbsim(t)
+
+	out, err := exec.Command(bin, "-exp", "costs", "-partitions", "4").CombinedOutput()
+	if err != nil {
+		t.Fatalf("itbsim -exp costs -partitions 4: %v\n%s", err, out)
+	}
+	text := string(out)
+	if !strings.Contains(text, "warning") || !strings.Contains(text, "-partitions 4") {
+		t.Errorf("misused -partitions produced no warning:\n%s", text)
+	}
+	if !strings.Contains(text, "cost breakdown") {
+		t.Errorf("warning-only path suppressed the experiment output:\n%s", text)
+	}
+
+	out, err = exec.Command(bin, "-exp", "costs", "-partitions", "4", "-strict").CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("itbsim -strict with misused -partitions: err=%v (want exit error)\n%s", err, out)
+	}
+	if code := ee.ExitCode(); code != 1 {
+		t.Errorf("-strict exit code = %d, want 1", code)
+	}
+	if strings.Contains(string(out), "cost breakdown") {
+		t.Errorf("-strict still ran the experiment:\n%s", out)
+	}
+
+	// The studies that consume -partitions must stay warning-free; a
+	// false positive here would train users to ignore the diagnostic.
+	out, err = exec.Command(bin, "-exp", "load", "-partitions", "2",
+		"-engine", "updown-itb", "-pattern", "uniform", "-strict").CombinedOutput()
+	if err != nil {
+		t.Fatalf("itbsim -exp load -partitions 2 -strict: %v\n%s", err, out)
+	}
+	if strings.Contains(string(out), "warning") {
+		t.Errorf("-partitions warned on an experiment that consumes it:\n%s", out)
+	}
+}
+
 // TestPprofFlagWritesProfile keeps -pprof honest: the file must exist
 // and be non-empty after a run.
 func TestPprofFlagWritesProfile(t *testing.T) {

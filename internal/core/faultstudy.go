@@ -55,6 +55,17 @@ type FaultStudyConfig struct {
 	// stock GM without remapping would do. A zero Deadline is filled
 	// with 4*Horizon.
 	Recovery *recovery.Config
+	// Detector selects the failure-detection protocol when Recovery is
+	// set: recovery.DetectorMonitor (the default, and the zero value)
+	// runs the centralized monitor-host heartbeat; recovery.DetectorGossip
+	// runs the decentralized SWIM-style detector with one agent per
+	// host and no single point of failure.
+	Detector recovery.DetectorKind
+	// Transient overrides the fraction of generated faults that are
+	// repaired within the horizon (zero keeps the generator default of
+	// 0.7). Churn studies push this toward 1 so hosts flap down and
+	// back up instead of staying dead.
+	Transient float64
 	// DropStaleITB selects the in-transit hosts' policy for packets
 	// stamped with an older epoch than the host's own during
 	// mixed-epoch convergence windows: drop (true) or optimistically
@@ -122,6 +133,18 @@ type CampaignOutcome struct {
 	StaleDrops      uint64 // stale-epoch drops, GM window + in-transit
 	DetectionAvg    units.Time
 	ConvergenceAvg  units.Time
+
+	// Detector-plane traffic: what the failure detector itself spent on
+	// the fabric. Probes counts direct probes (monitor heartbeats or
+	// gossip pings), VerifyProbes the second-chance stage (monitor
+	// verify round / gossip ping-reqs). Refutations, Digests and
+	// Piggybacks are gossip-only: incarnation bumps, membership digests
+	// attached to protocol packets, and digests ridden on data packets.
+	Probes       uint64
+	VerifyProbes uint64
+	Refutations  uint64
+	Digests      uint64
+	Piggybacks   uint64
 
 	AvgLatency units.Time
 	P99Latency units.Time
@@ -230,11 +253,12 @@ func runFaultCampaign(cfg FaultStudyConfig, spec faultSpec) (campaignOutcome, er
 		return campaignOutcome{}, err
 	}
 	out := CampaignOutcome{Name: "baseline"}
-	var mgr *recovery.Manager
+	var det recovery.Detector
 	if spec.idx > 0 {
 		camp := faults.Generate(cfg.Seed+int64(spec.idx), topo, faults.GenConfig{
-			Horizon: cfg.Horizon,
-			Events:  cfg.FaultEvents,
+			Horizon:   cfg.Horizon,
+			Events:    cfg.FaultEvents,
+			Transient: cfg.Transient,
 		})
 		out.Name = camp.Name
 		out.Events = len(camp.Events)
@@ -243,7 +267,7 @@ func runFaultCampaign(cfg FaultStudyConfig, spec faultSpec) (campaignOutcome, er
 			if rcfg.Deadline <= 0 {
 				rcfg.Deadline = 4 * cfg.Horizon
 			}
-			mgr, err = recovery.NewManager(rcfg, recovery.Target{
+			rtgt := recovery.Target{
 				Eng:     cl.Eng,
 				Topo:    topo,
 				UD:      cl.UD,
@@ -251,18 +275,36 @@ func runFaultCampaign(cfg FaultStudyConfig, spec faultSpec) (campaignOutcome, er
 				Base:    cl.Table,
 				Hosts:   hostSlice(cl),
 				Monitor: 0,
-			})
-			if err != nil {
-				return campaignOutcome{}, err
 			}
-			mgr.Start()
+			// Assign the interface only from a successfully built
+			// detector — a typed-nil pointer in det would defeat every
+			// `det != nil` guard downstream.
+			switch cfg.Detector {
+			case recovery.DetectorGossip:
+				if rcfg.Seed == 0 {
+					rcfg.Seed = cfg.Seed + int64(spec.idx)
+				}
+				gsp, gerr := recovery.NewGossip(rcfg, rtgt)
+				if gerr != nil {
+					return campaignOutcome{}, gerr
+				}
+				gsp.Start()
+				det = gsp
+			default:
+				mgr, merr := recovery.NewManager(rcfg, rtgt)
+				if merr != nil {
+					return campaignOutcome{}, merr
+				}
+				mgr.Start()
+				det = mgr
+			}
 		}
 		_, err = faults.Attach(faults.Target{
 			Eng:      cl.Eng,
 			Net:      cl.Net,
 			Topo:     topo,
 			Hosts:    hostSlice(cl),
-			Recovery: mgr,
+			Recovery: det,
 		}, camp)
 		if err != nil {
 			return campaignOutcome{}, err
@@ -342,19 +384,24 @@ func runFaultCampaign(cfg FaultStudyConfig, spec faultSpec) (campaignOutcome, er
 		out.StaleDrops += ms.StaleEpochDrops
 	}
 	out.FaultKilled = cl.Net.Stats().FaultKilled
-	if mgr != nil {
-		rs := mgr.Stats()
+	if det != nil {
+		rs := det.Stats()
 		out.EpochsPublished = rs.EpochsPublished
 		out.Suspects = rs.HostsSuspected
 		out.Confirms = rs.HostsConfirmed
 		out.Resurrections = rs.Resurrections
+		out.Probes = rs.ProbesSent
+		out.VerifyProbes = rs.VerifyProbes
+		out.Refutations = rs.Refutations
+		out.Digests = rs.DigestsSent
+		out.Piggybacks = rs.DataPiggybacks
 		if rs.Detection.N() > 0 {
 			out.DetectionAvg = units.Time(rs.Detection.Mean())
 		}
 		if rs.Convergence.N() > 0 {
 			out.ConvergenceAvg = units.Time(rs.Convergence.Mean())
 		}
-		mgr.PublishMetrics(obs.reg)
+		det.PublishMetrics(obs.reg)
 	}
 	if lat.N() > 0 {
 		out.AvgLatency = units.Time(lat.Mean())

@@ -42,6 +42,16 @@ type RecoveryStudyConfig struct {
 	Horizon units.Time
 	// Algorithm selects the routing.
 	Algorithm routing.Algorithm
+	// Detector selects the failure-detection protocol: the centralized
+	// monitor (default) or the decentralized gossip detector. Gossip
+	// turns the study into the churn study: the grid's detection and
+	// convergence latencies are cluster-consensus figures with no
+	// monitor host, and the probe-overhead columns become meaningful.
+	Detector recovery.DetectorKind
+	// Transient overrides the repaired-within-horizon fraction of
+	// generated faults (zero keeps the generator default of 0.7).
+	// Churn studies push this toward 1 for continuous down/up flapping.
+	Transient float64
 	// DropStaleITB selects the in-transit stale-epoch policy.
 	DropStaleITB bool
 	// Metrics, when non-nil, receives merged per-campaign metrics
@@ -65,6 +75,14 @@ type RecoveryStudyRow struct {
 	Confirms        uint64
 	Resurrections   uint64
 	StaleDrops      uint64
+	// Detector-plane overhead across the cell's campaigns: direct
+	// probes, second-chance probes (monitor verify / gossip ping-req),
+	// and the gossip-only refutation and digest counters.
+	Probes       uint64
+	VerifyProbes uint64
+	Refutations  uint64
+	Digests      uint64
+	Piggybacks   uint64
 	// DetectionAvg / ConvergenceAvg average the campaigns that had
 	// confirmations (zero when none did).
 	DetectionAvg   units.Time
@@ -75,6 +93,7 @@ type RecoveryStudyRow struct {
 type RecoveryStudyResult struct {
 	Switches  int
 	Algorithm routing.Algorithm
+	Detector  recovery.DetectorKind
 	Rows      []RecoveryStudyRow
 }
 
@@ -106,7 +125,11 @@ type recoverySpec struct {
 // merging cells in grid order so the result is byte-identical at any
 // worker count.
 func RunRecoveryStudy(cfg RecoveryStudyConfig) (RecoveryStudyResult, error) {
-	res := RecoveryStudyResult{Switches: cfg.Switches, Algorithm: cfg.Algorithm}
+	detector, err := recovery.ParseDetectorKind(string(cfg.Detector))
+	if err != nil {
+		return RecoveryStudyResult{}, err
+	}
+	res := RecoveryStudyResult{Switches: cfg.Switches, Algorithm: cfg.Algorithm, Detector: detector}
 	if len(cfg.Periods) == 0 || len(cfg.ChurnEvents) == 0 || cfg.CampaignsPerCell <= 0 {
 		return res, fmt.Errorf("core: recovery study needs periods, churn counts and campaigns per cell")
 	}
@@ -150,6 +173,8 @@ func RunRecoveryStudy(cfg RecoveryStudyConfig) (RecoveryStudyResult, error) {
 			Horizon:      cfg.Horizon,
 			Algorithm:    cfg.Algorithm,
 			Recovery:     &rcfg,
+			Detector:     detector,
+			Transient:    cfg.Transient,
 			DropStaleITB: cfg.DropStaleITB,
 			Metrics:      cfg.Metrics,
 		}
@@ -172,6 +197,11 @@ func RunRecoveryStudy(cfg RecoveryStudyConfig) (RecoveryStudyResult, error) {
 			row.Confirms += o.Confirms
 			row.Resurrections += o.Resurrections
 			row.StaleDrops += o.StaleDrops
+			row.Probes += o.Probes
+			row.VerifyProbes += o.VerifyProbes
+			row.Refutations += o.Refutations
+			row.Digests += o.Digests
+			row.Piggybacks += o.Piggybacks
 			if o.DetectionAvg > 0 {
 				detSum += o.DetectionAvg
 				detN++
@@ -196,8 +226,33 @@ func RunRecoveryStudy(cfg RecoveryStudyConfig) (RecoveryStudyResult, error) {
 	return res, nil
 }
 
-// WriteTable renders the grid.
+// WriteTable renders the grid. Monitor mode keeps the exact format
+// every earlier golden pinned; gossip mode — the churn study — adds
+// the probe-overhead columns that are the other side of its
+// trade-off (detection latency bought with probe traffic).
 func (r RecoveryStudyResult) WriteTable(w io.Writer) {
+	if r.Detector == recovery.DetectorGossip {
+		fmt.Fprintf(w, "Churn study (gossip detector): %s, %d switches (availability vs protocol period and churn)\n",
+			r.Algorithm, r.Switches)
+		fmt.Fprintf(w, "%-10s %6s %6s %6s %8s %6s %8s %7s %8s %8s %7s %12s %12s\n",
+			"period", "churn", "sent", "delivd", "avail", "epochs", "confirm", "resurr",
+			"probes", "pingreq", "refute", "detect-avg", "converge-avg")
+		for _, row := range r.Rows {
+			det, conv := "-", "-"
+			if row.DetectionAvg > 0 {
+				det = row.DetectionAvg.String()
+			}
+			if row.ConvergenceAvg > 0 {
+				conv = row.ConvergenceAvg.String()
+			}
+			fmt.Fprintf(w, "%-10s %6d %6d %6d %7.2f%% %6d %8d %7d %8d %8d %7d %12s %12s\n",
+				row.Period, row.ChurnEvents, row.Sent, row.Delivered, 100*row.Availability,
+				row.EpochsPublished, row.Confirms, row.Resurrections,
+				row.Probes, row.VerifyProbes, row.Refutations, det, conv)
+		}
+		fmt.Fprintf(w, "no monitor host: detection is emergent consensus, paid for in probe traffic\n")
+		return
+	}
 	fmt.Fprintf(w, "Recovery study: %s, %d switches (availability vs heartbeat period and churn)\n",
 		r.Algorithm, r.Switches)
 	fmt.Fprintf(w, "%-10s %6s %6s %6s %8s %6s %8s %7s %12s %12s\n",
@@ -224,6 +279,7 @@ func (r RecoveryStudyResult) WriteCSV(w io.Writer) error {
 		"period_us", "churn_events", "campaigns", "sent", "delivered", "failed",
 		"availability", "epochs_published", "confirms", "resurrections",
 		"detection_us", "convergence_us", "stale_drops",
+		"detector", "probes", "verify_probes", "refutations", "digests", "piggybacks",
 	}); err != nil {
 		return err
 	}
@@ -242,6 +298,12 @@ func (r RecoveryStudyResult) WriteCSV(w io.Writer) error {
 			fmt.Sprintf("%.3f", float64(row.DetectionAvg)/float64(units.Microsecond)),
 			fmt.Sprintf("%.3f", float64(row.ConvergenceAvg)/float64(units.Microsecond)),
 			fmt.Sprintf("%d", row.StaleDrops),
+			string(r.Detector),
+			fmt.Sprintf("%d", row.Probes),
+			fmt.Sprintf("%d", row.VerifyProbes),
+			fmt.Sprintf("%d", row.Refutations),
+			fmt.Sprintf("%d", row.Digests),
+			fmt.Sprintf("%d", row.Piggybacks),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

@@ -32,22 +32,31 @@ func TestConservationProperty(t *testing.T) {
 	if testing.Short() {
 		maxCount = 40
 	}
-	cfg := &quick.Config{
-		MaxCount: maxCount,
-		Rand:     rand.New(rand.NewSource(7)),
-	}
-	prop := func(seed int64) bool {
-		return checkConservation(t, topo, seed)
-	}
-	if err := quick.Check(prop, cfg); err != nil {
-		t.Fatal(err)
+	// The invariant must hold regardless of who detects failures: the
+	// centralized monitor and the decentralized gossip detector drive
+	// completely different probe traffic and (in gossip mode) per-host
+	// epoch installs, but delivery accounting may not notice.
+	for _, det := range recovery.DetectorKinds() {
+		det := det
+		t.Run(string(det), func(t *testing.T) {
+			cfg := &quick.Config{
+				MaxCount: maxCount,
+				Rand:     rand.New(rand.NewSource(7)),
+			}
+			prop := func(seed int64) bool {
+				return checkConservation(t, topo, seed, det)
+			}
+			if err := quick.Check(prop, cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
 	}
 }
 
 // checkConservation runs one campaign on a fresh cluster and verifies
 // the delivery accounting. It returns false (failing the property) on
 // any violation, logging the campaign seed so the run is replayable.
-func checkConservation(t *testing.T, topo *topology.Topology, seed int64) bool {
+func checkConservation(t *testing.T, topo *topology.Topology, seed int64, detector recovery.DetectorKind) bool {
 	t.Helper()
 	eng := sim.NewEngine()
 	net := fabric.New(eng, topo, fabric.DefaultParams())
@@ -77,19 +86,35 @@ func checkConservation(t *testing.T, topo *topology.Topology, seed int64) bool {
 	horizon := 800 * units.Microsecond
 	// Self-healing runs in-simulation: probes, suspicion, confirmation
 	// and epoch installs are all events, not an oracle recompute.
-	mgr, err := recovery.NewManager(recovery.DefaultConfig(4*horizon), recovery.Target{
+	rcfg := recovery.DefaultConfig(4 * horizon)
+	rtgt := recovery.Target{
 		Eng: eng, Topo: topo, UD: ud, Alg: routing.ITBRouting,
 		Base: tbl, Hosts: hosts, Monitor: 0,
-	})
-	if err != nil {
-		t.Error(err)
-		return false
 	}
-	mgr.Start()
+	var det recovery.Detector
+	switch detector {
+	case recovery.DetectorGossip:
+		rcfg.Seed = seed
+		gsp, err := recovery.NewGossip(rcfg, rtgt)
+		if err != nil {
+			t.Error(err)
+			return false
+		}
+		gsp.Start()
+		det = gsp
+	default:
+		mgr, err := recovery.NewManager(rcfg, rtgt)
+		if err != nil {
+			t.Error(err)
+			return false
+		}
+		mgr.Start()
+		det = mgr
+	}
 	camp := faults.Generate(seed, topo, faults.GenConfig{Horizon: horizon, Events: 5})
 	if _, err := faults.Attach(faults.Target{
 		Eng: eng, Net: net, Topo: topo,
-		Hosts: hosts, Recovery: mgr,
+		Hosts: hosts, Recovery: det,
 	}, camp); err != nil {
 		t.Error(err)
 		return false

@@ -31,8 +31,10 @@ type Target struct {
 	Hosts []*gm.Host
 
 	// Recovery receives dead-peer verdicts (ReportPeerDead) and owns
-	// suspicion, confirmation and epoch publication. Optional.
-	Recovery *recovery.Manager
+	// suspicion, confirmation and epoch publication. Optional. Either
+	// the centralized monitor Manager or the decentralized Gossip
+	// detector — leave nil (not a typed-nil pointer) when unused.
+	Recovery recovery.Detector
 
 	// Tracer (optional) records fault and recovery events.
 	Tracer *trace.Recorder
@@ -78,9 +80,10 @@ func Attach(tgt Target, c Campaign) (*Controller, error) {
 	}
 	for _, h := range tgt.Hosts {
 		ctl.mcps[h.Node()] = h.MCP()
+		witness := h.Node()
 		prev := h.OnPeerDead
 		h.OnPeerDead = func(peer topology.NodeID, t units.Time) {
-			ctl.peerDead(peer)
+			ctl.peerDead(witness, peer)
 			if prev != nil {
 				prev(peer, t)
 			}
@@ -172,13 +175,20 @@ func (ctl *Controller) apply(ev Event) {
 // which treats it as corroborating evidence (straight to Suspected
 // plus an immediate probe) but still insists on its own confirmation
 // before republishing routes — GM's verdict can be wrong about a
-// host that is merely slow or briefly partitioned.
-func (ctl *Controller) peerDead(peer topology.NodeID) {
+// host that is merely slow or briefly partitioned. Detectors that
+// care which host witnessed the death (the gossip detector routes
+// the evidence to that host's agent) get it via PeerWitness.
+func (ctl *Controller) peerDead(witness, peer topology.NodeID) {
 	if !ctl.deadHosts[peer] {
 		ctl.deadHosts[peer] = true
 		ctl.stats.PeersLost++
 	}
-	if ctl.tgt.Recovery != nil {
-		ctl.tgt.Recovery.ReportPeerDead(peer)
+	if ctl.tgt.Recovery == nil {
+		return
 	}
+	if w, ok := ctl.tgt.Recovery.(recovery.PeerWitness); ok {
+		w.ReportPeerDeadFrom(witness, peer)
+		return
+	}
+	ctl.tgt.Recovery.ReportPeerDead(peer)
 }

@@ -127,6 +127,13 @@ type Host struct {
 	// OnPeerDead fires when the dead-peer verdict is issued for a peer
 	// (Params.DeadPeerTimeouts).
 	OnPeerDead func(peer topology.NodeID, t units.Time)
+	// GossipStamp, when set, is asked for an encoded membership digest
+	// for each outgoing data packet; a non-nil return is piggybacked on
+	// the packet header (packet.Packet.Gossip) for in-transit hosts to
+	// consume. The stamping agent owns the budget — it returns nil for
+	// packets that should not pay the header tax. Nil outside gossip
+	// mode.
+	GossipStamp func() []byte
 
 	tracer *trace.Recorder
 	stats  Stats
@@ -172,6 +179,11 @@ func (h *Host) Node() topology.NodeID { return h.node }
 // header); new Sends use the new table — matching real GM, where the
 // NIC's route SRAM is rewritten between sends.
 func (h *Host) SetTable(tbl *routing.Table) { h.tbl = tbl }
+
+// Table returns the host's current route table: the construction-time
+// table until an install replaces it. Decentralized recovery gives
+// every host its own table, so inspection is per-host.
+func (h *Host) Table() *routing.Table { return h.tbl }
 
 // Epoch returns the route-table epoch stamped on outgoing packets.
 func (h *Host) Epoch() uint32 { return h.epoch }
@@ -351,6 +363,9 @@ func (h *Host) sendPort(dst topology.NodeID, payload []byte, route []byte, typ p
 			pkt.FragIndex = i
 			pkt.LastFrag = i == len(frags)-1
 			pkt.Epoch = h.epoch
+			if h.GossipStamp != nil {
+				pkt.Gossip = h.GossipStamp()
+			}
 			var ackCb, failCb func()
 			if pkt.LastFrag {
 				ackCb, failCb = onAcked, onFailed

@@ -95,6 +95,8 @@ type Stats struct {
 	CRCDrops        uint64 // packets flushed for failing the payload CRC
 	StallDrops      uint64 // arrivals flushed while the NIC was stalled
 	StaleEpochDrops uint64 // in-transit packets flushed by the stale-epoch policy
+	GossipDigests   uint64 // membership digests consumed from mapping payloads
+	GossipPiggybacks uint64 // membership digests consumed off in-transit data packets
 }
 
 // sendJob is a packet staged for transmission.
@@ -162,9 +164,21 @@ type MCP struct {
 	OnDeliver func(pkt *packet.Packet, t units.Time)
 	// OnMapping is called (on the mapper host) when a mapping packet
 	// addressed to this host's own mapper arrives: a self-returned
-	// scout or a reply from a remote NIC. Other NICs leave it nil;
-	// their MCP answers probes autonomously.
+	// scout, a reply from a remote NIC, or — in gossip mode — an
+	// indirect-probe request or acknowledgement for the local failure
+	// detector. Other NICs leave it nil; their MCP answers probes
+	// autonomously.
 	OnMapping func(m packet.Mapping, t units.Time)
+	// OnGossip is called with every membership digest this firmware
+	// consumes: digests riding mapping payloads, and digests
+	// piggybacked on data packets crossing this host in transit. Nil
+	// outside gossip mode.
+	OnGossip func(entries []packet.GossipEntry, t units.Time)
+	// ProbeDigest, when set, supplies the membership digest the MCP
+	// attaches to its autonomous probe replies — the refutation channel
+	// of the gossip detector: a probed host's reply always carries its
+	// own current incarnation. Nil outside gossip mode.
+	ProbeDigest func() []packet.GossipEntry
 
 	tracer *trace.Recorder
 	stats  Stats
@@ -269,6 +283,8 @@ func (m *MCP) PublishMetrics(r *metrics.Registry) {
 		{"crc_drops", m.stats.CRCDrops},
 		{"stall_drops", m.stats.StallDrops},
 		{"stale_epoch_drops", m.stats.StaleEpochDrops},
+		{"gossip_digests", m.stats.GossipDigests},
+		{"gossip_piggybacks", m.stats.GossipPiggybacks},
 	} {
 		if c.v != 0 {
 			r.Counter(pfx + c.name).Add(c.v)
@@ -542,6 +558,17 @@ func (m *MCP) detectAndForward(pkt *packet.Packet, tailReady units.Time) {
 		detect += m.cfg.NIC.DispatchCycles
 	}
 	m.nic.CPU.Post(prio, detect, func() {
+		if len(pkt.Gossip) > 0 && m.OnGossip != nil {
+			// A data packet crossing this host in transit carries a
+			// piggybacked membership digest: consume it (the header is
+			// already in SRAM at detection time) but leave it on the
+			// packet, so one stamped packet seeds every ITB host on its
+			// route.
+			if entries, _, err := packet.ParseGossipDigest(pkt.Gossip); err == nil {
+				m.stats.GossipPiggybacks++
+				m.OnGossip(entries, m.eng.Now())
+			}
+		}
 		if m.cfg.DropStaleITB && pkt.Epoch > 0 && pkt.Epoch < m.epoch {
 			// Stale-epoch policy: the packet was stamped under an older
 			// table than this host runs; flush it instead of forwarding
@@ -680,10 +707,22 @@ func (m *MCP) handleMapping(pkt *packet.Packet) {
 	if err != nil {
 		return // malformed scout: flush
 	}
+	if len(mp.Digest) > 0 && m.OnGossip != nil {
+		// Any mapping payload may carry a piggybacked membership
+		// digest; consume it here so every handler below sees a
+		// detector already updated with the sender's view.
+		m.stats.GossipDigests++
+		m.OnGossip(mp.Digest, m.eng.Now())
+	}
 	switch {
 	case mp.Kind == packet.MappingReply,
+		mp.Kind == packet.MappingPingReq,
+		mp.Kind == packet.MappingPingAck,
 		mp.Kind == packet.MappingProbe && mp.Origin == int32(m.host):
-		// Addressed to the mapper running on this host.
+		// Addressed to the mapper or failure-detector agent running on
+		// this host. Indirect-probe relaying needs routes the firmware
+		// does not have, so ping-reqs go up to the agent too; without
+		// one they die here, exactly as a relay that cannot help.
 		if m.OnMapping != nil {
 			m.OnMapping(mp, m.eng.Now())
 		}
@@ -693,6 +732,10 @@ func (m *MCP) handleMapping(pkt *packet.Packet) {
 		// bootstrapping its own attach port); inject anyway — the
 		// fabric flushes the route-less reply at the first switch,
 		// exactly as real misaddressed scouts die.
+		var digest []packet.GossipEntry
+		if m.ProbeDigest != nil {
+			digest = m.ProbeDigest()
+		}
 		reply := &packet.Packet{
 			Route: append([]byte(nil), mp.ReturnRoute...),
 			Type:  packet.TypeMapping,
@@ -702,6 +745,7 @@ func (m *MCP) handleMapping(pkt *packet.Packet) {
 				Kind:   packet.MappingReply,
 				Nonce:  mp.Nonce,
 				Origin: int32(m.host),
+				Digest: digest,
 			}),
 		}
 		m.SubmitSend(reply, nil)

@@ -78,3 +78,38 @@ func FuzzSplitITBRoute(f *testing.F) {
 		}
 	})
 }
+
+// FuzzGossipDigest hardens the membership-digest decoder: arbitrary
+// bytes must never panic, and any digest that parses must re-encode
+// to the same bytes and re-parse to the same entries.
+func FuzzGossipDigest(f *testing.F) {
+	f.Add(AppendGossipDigest(nil, []GossipEntry{
+		{Node: 1, Incarnation: 2, State: GossipAlive},
+		{Node: -3, Incarnation: 0xFFFFFFFF, State: GossipDead},
+	}))
+	f.Add(AppendGossipDigest(nil, nil))
+	f.Add([]byte{GossipTag})
+	f.Add([]byte{GossipTag, 1, 0, 0, 0, 7, 0, 0, 0, 1, 9, 0})
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		entries, rest, err := ParseGossipDigest(buf)
+		if err != nil {
+			return
+		}
+		if len(entries) > MaxGossipEntries {
+			t.Fatalf("decoder returned %d entries, max is %d", len(entries), MaxGossipEntries)
+		}
+		re := AppendGossipDigest(nil, entries)
+		if want := buf[:len(buf)-len(rest)]; !bytes.Equal(re, want) {
+			t.Fatalf("re-encode % x != parsed bytes % x", re, want)
+		}
+		again, rest2, err := ParseGossipDigest(re)
+		if err != nil || len(rest2) != 0 {
+			t.Fatalf("re-parse failed: %v (%d bytes left)", err, len(rest2))
+		}
+		for i := range entries {
+			if again[i] != entries[i] {
+				t.Fatal("gossip digest parse/encode not idempotent")
+			}
+		}
+	})
+}

@@ -1,0 +1,149 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Gossip membership-digest codec. The decentralized failure detector
+// (internal/recovery's SWIM-style gossip mode) disseminates bounded
+// membership digests by piggybacking them on mapping-protocol traffic
+// and — budgeted — on GM data-packet headers consumed at in-transit
+// hosts. On the wire a digest is:
+//
+//	[GossipTag][count][entry]...[checksum]
+//
+// where each entry is nine bytes —
+//
+//	[4-byte big-endian node id][4-byte big-endian incarnation][state]
+//
+// — and the trailing checksum is the XOR of everything before it,
+// mirroring the epoch-tag codec so corrupted or foreign bytes are
+// rejected cheaply (see FuzzGossipDigest).
+
+// GossipTag is the marker byte that opens an encoded membership
+// digest. Like ITBTag and EpochTag it sits far above any port
+// selector byte and collides with no other marker.
+const GossipTag byte = 0xD6
+
+// GossipState is a member's liveness state as carried in a digest.
+type GossipState byte
+
+const (
+	// GossipAlive asserts the member was reachable at the stated
+	// incarnation.
+	GossipAlive GossipState = 0
+	// GossipSuspect asserts a failed probe cycle at the stated
+	// incarnation; overridden by a higher-incarnation alive claim.
+	GossipSuspect GossipState = 1
+	// GossipDead asserts a confirmed failure; overridden only by a
+	// higher-incarnation alive claim (a revived host refuting its own
+	// obituary).
+	GossipDead GossipState = 2
+)
+
+// String returns a short name for the state.
+func (s GossipState) String() string {
+	switch s {
+	case GossipAlive:
+		return "alive"
+	case GossipSuspect:
+		return "suspect"
+	case GossipDead:
+		return "dead"
+	default:
+		return fmt.Sprintf("GossipState(%d)", byte(s))
+	}
+}
+
+// GossipEntry is one member's claim inside a digest.
+type GossipEntry struct {
+	Node        int32
+	Incarnation uint32
+	State       GossipState
+}
+
+// MaxGossipEntries bounds the number of entries one digest may carry:
+// digests must stay a small, constant-bounded header tax, never a
+// full membership dump.
+const MaxGossipEntries = 16
+
+// gossipEntryLen is the encoded size of one digest entry.
+const gossipEntryLen = 9
+
+// ErrBadGossip reports a malformed or corrupted membership digest.
+var ErrBadGossip = fmt.Errorf("packet: malformed gossip digest")
+
+// GossipDigestLen returns the encoded size of a digest with n entries.
+func GossipDigestLen(n int) int { return 2 + n*gossipEntryLen + 1 }
+
+// AppendGossipDigest appends the encoded digest to dst and returns the
+// extended slice. It panics if entries exceeds MaxGossipEntries or a
+// state byte is out of range — both are caller bugs, not wire
+// conditions.
+func AppendGossipDigest(dst []byte, entries []GossipEntry) []byte {
+	if len(entries) > MaxGossipEntries {
+		panic("packet: gossip digest exceeds MaxGossipEntries")
+	}
+	start := len(dst)
+	dst = append(dst, GossipTag, byte(len(entries)))
+	var u [4]byte
+	for _, e := range entries {
+		if e.State > GossipDead {
+			panic("packet: gossip entry state out of range")
+		}
+		binary.BigEndian.PutUint32(u[:], uint32(e.Node))
+		dst = append(dst, u[:]...)
+		binary.BigEndian.PutUint32(u[:], e.Incarnation)
+		dst = append(dst, u[:]...)
+		dst = append(dst, byte(e.State))
+	}
+	sum := byte(0)
+	for _, b := range dst[start:] {
+		sum ^= b
+	}
+	return append(dst, sum)
+}
+
+// ParseGossipDigest decodes the digest at the front of b, returning
+// the entries and the remaining bytes. It fails on a short buffer, a
+// wrong marker byte, an oversized entry count, an out-of-range state,
+// or a checksum mismatch.
+func ParseGossipDigest(b []byte) (entries []GossipEntry, rest []byte, err error) {
+	if len(b) < GossipDigestLen(0) {
+		return nil, b, fmt.Errorf("%w: %d bytes, need %d", ErrBadGossip, len(b), GossipDigestLen(0))
+	}
+	if b[0] != GossipTag {
+		return nil, b, fmt.Errorf("%w: marker %#02x", ErrBadGossip, b[0])
+	}
+	n := int(b[1])
+	if n > MaxGossipEntries {
+		return nil, b, fmt.Errorf("%w: %d entries exceeds max %d", ErrBadGossip, n, MaxGossipEntries)
+	}
+	total := GossipDigestLen(n)
+	if len(b) < total {
+		return nil, b, fmt.Errorf("%w: %d bytes, need %d for %d entries", ErrBadGossip, len(b), total, n)
+	}
+	sum := byte(0)
+	for _, x := range b[:total-1] {
+		sum ^= x
+	}
+	if got := b[total-1]; got != sum {
+		return nil, b, fmt.Errorf("%w: checksum %#02x, want %#02x", ErrBadGossip, got, sum)
+	}
+	if n > 0 {
+		entries = make([]GossipEntry, n)
+		for i := 0; i < n; i++ {
+			off := 2 + i*gossipEntryLen
+			entries[i] = GossipEntry{
+				Node:        int32(binary.BigEndian.Uint32(b[off : off+4])),
+				Incarnation: binary.BigEndian.Uint32(b[off+4 : off+8]),
+				State:       GossipState(b[off+8]),
+			}
+			if entries[i].State > GossipDead {
+				return nil, b, fmt.Errorf("%w: state %d out of range", ErrBadGossip, b[off+8])
+			}
+		}
+	}
+	return entries, b[total:], nil
+}

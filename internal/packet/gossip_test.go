@@ -1,0 +1,226 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestGossipDigestRoundTrip(t *testing.T) {
+	entries := []GossipEntry{
+		{Node: 7, Incarnation: 0, State: GossipAlive},
+		{Node: -1, Incarnation: 3, State: GossipSuspect},
+		{Node: 1024, Incarnation: 0xFFFFFFFF, State: GossipDead},
+	}
+	buf := AppendGossipDigest(nil, entries)
+	if len(buf) != GossipDigestLen(len(entries)) {
+		t.Fatalf("encoded %d bytes, want %d", len(buf), GossipDigestLen(len(entries)))
+	}
+	got, rest, err := ParseGossipDigest(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Errorf("%d bytes left over", len(rest))
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("decoded %d entries, want %d", len(got), len(entries))
+	}
+	for i := range entries {
+		if got[i] != entries[i] {
+			t.Errorf("entry %d: %+v != %+v", i, got[i], entries[i])
+		}
+	}
+}
+
+func TestGossipDigestEmpty(t *testing.T) {
+	buf := AppendGossipDigest(nil, nil)
+	got, rest, err := ParseGossipDigest(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 || len(rest) != 0 {
+		t.Errorf("empty digest decoded as %v (+%d bytes)", got, len(rest))
+	}
+}
+
+func TestGossipDigestTrailingBytes(t *testing.T) {
+	buf := AppendGossipDigest(nil, []GossipEntry{{Node: 3, Incarnation: 1}})
+	buf = append(buf, 0xAA, 0xBB)
+	_, rest, err := ParseGossipDigest(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rest, []byte{0xAA, 0xBB}) {
+		t.Errorf("rest = %v", rest)
+	}
+}
+
+func TestGossipDigestErrors(t *testing.T) {
+	good := AppendGossipDigest(nil, []GossipEntry{{Node: 1, Incarnation: 2, State: GossipSuspect}})
+	cases := map[string][]byte{
+		"nil":          nil,
+		"short":        good[:2],
+		"wrong marker": append([]byte{EpochTag}, good[1:]...),
+		"bad checksum": append(append([]byte(nil), good[:len(good)-1]...), good[len(good)-1]^1),
+		"count too big": func() []byte {
+			b := append([]byte(nil), good...)
+			b[1] = MaxGossipEntries + 1
+			b[len(b)-1] ^= byte(MaxGossipEntries+1) ^ 1 // keep checksum valid
+			return b
+		}(),
+		"truncated entries": func() []byte {
+			b := append([]byte(nil), good...)
+			b[1] = 2
+			b[len(b)-1] ^= 2 ^ 1
+			return b
+		}(),
+		"state out of range": func() []byte {
+			b := append([]byte(nil), good...)
+			b[10] = byte(GossipDead) + 1
+			b[len(b)-1] ^= byte(GossipSuspect) ^ (byte(GossipDead) + 1)
+			return b
+		}(),
+	}
+	for name, buf := range cases {
+		if _, _, err := ParseGossipDigest(buf); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestGossipDigestTooManyEntriesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	AppendGossipDigest(nil, make([]GossipEntry, MaxGossipEntries+1))
+}
+
+func TestGossipStateString(t *testing.T) {
+	for want, s := range map[string]GossipState{
+		"alive": GossipAlive, "suspect": GossipSuspect, "dead": GossipDead,
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+	if GossipState(9).String() != "GossipState(9)" {
+		t.Errorf("out-of-range String() = %q", GossipState(9).String())
+	}
+}
+
+// Property: any in-range entry set round-trips, appended after
+// arbitrary prefix bytes.
+func TestGossipDigestProperty(t *testing.T) {
+	f := func(prefix []byte, nodes []int32, incs []uint32, states []byte) bool {
+		n := len(nodes)
+		if len(incs) < n {
+			n = len(incs)
+		}
+		if len(states) < n {
+			n = len(states)
+		}
+		if n > MaxGossipEntries {
+			n = MaxGossipEntries
+		}
+		entries := make([]GossipEntry, n)
+		for i := 0; i < n; i++ {
+			entries[i] = GossipEntry{
+				Node:        nodes[i],
+				Incarnation: incs[i],
+				State:       GossipState(states[i] % 3),
+			}
+		}
+		buf := AppendGossipDigest(append([]byte(nil), prefix...), entries)
+		got, rest, err := ParseGossipDigest(buf[len(prefix):])
+		if err != nil || len(rest) != 0 || len(got) != n {
+			return false
+		}
+		for i := range entries {
+			if got[i] != entries[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMappingPingReqRoundTrip(t *testing.T) {
+	m := Mapping{
+		Kind:        MappingPingReq,
+		Nonce:       9,
+		Origin:      4,
+		Target:      17,
+		ReturnRoute: []byte{2, 5},
+		Digest: []GossipEntry{
+			{Node: 4, Incarnation: 1, State: GossipAlive},
+			{Node: 17, Incarnation: 0, State: GossipSuspect},
+		},
+	}
+	got, err := DecodeMapping(EncodeMapping(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != m.Kind || got.Nonce != m.Nonce || got.Origin != m.Origin ||
+		got.Target != m.Target || !bytes.Equal(got.ReturnRoute, m.ReturnRoute) {
+		t.Errorf("round trip: %+v != %+v", got, m)
+	}
+	if len(got.Digest) != 2 || got.Digest[0] != m.Digest[0] || got.Digest[1] != m.Digest[1] {
+		t.Errorf("digest round trip: %+v", got.Digest)
+	}
+}
+
+func TestMappingPingAckRoundTrip(t *testing.T) {
+	m := Mapping{Kind: MappingPingAck, Nonce: 3, Origin: 17, Target: 8}
+	got, err := DecodeMapping(EncodeMapping(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != MappingPingAck || got.Target != 8 || got.Origin != 17 {
+		t.Errorf("got %+v", got)
+	}
+}
+
+// The pre-gossip wire format must be byte-identical when no digest is
+// attached: monitor-mode goldens depend on it.
+func TestMappingDigestFreeEncodingUnchanged(t *testing.T) {
+	m := Mapping{Kind: MappingProbe, Nonce: 0xDEADBEEF, Origin: 42, ReturnRoute: []byte{3, 1, 4}}
+	want := []byte{
+		0,
+		0xDE, 0xAD, 0xBE, 0xEF,
+		0, 0, 0, 42,
+		3,
+		3, 1, 4,
+	}
+	if got := EncodeMapping(m); !bytes.Equal(got, want) {
+		t.Errorf("probe encoding changed: % x, want % x", got, want)
+	}
+}
+
+func TestMappingProbeWithDigest(t *testing.T) {
+	m := Mapping{
+		Kind:   MappingReply,
+		Nonce:  1,
+		Origin: 5,
+		Digest: []GossipEntry{{Node: 5, Incarnation: 2, State: GossipAlive}},
+	}
+	got, err := DecodeMapping(EncodeMapping(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Digest) != 1 || got.Digest[0] != m.Digest[0] {
+		t.Errorf("digest on reply lost: %+v", got.Digest)
+	}
+	// A malformed trailing digest must be rejected, not silently
+	// dropped.
+	buf := EncodeMapping(m)
+	buf[len(buf)-1] ^= 1
+	if _, err := DecodeMapping(buf); err == nil {
+		t.Error("corrupted trailing digest accepted")
+	}
+}

@@ -10,15 +10,29 @@ import (
 // wind back to the mapper prove a route loops home, and probes that
 // land on a remote NIC are answered by that NIC's MCP using the
 // return route carried in the probe payload.
+//
+// The decentralized failure detector reuses the same payload format
+// for its SWIM-style probe cycle: direct probes and replies are the
+// original kinds, indirect verification adds MappingPingReq /
+// MappingPingAck, and every kind may carry a trailing membership
+// digest (see gossip.go). A digest-free probe or reply is
+// byte-identical to the pre-gossip wire format, and DecodeMapping has
+// always ignored trailing bytes, so old and new endpoints interoperate.
 
 // MappingKind distinguishes probes from replies.
 type MappingKind byte
 
 const (
-	// MappingProbe is a scout sent by the mapper.
+	// MappingProbe is a scout sent by the mapper (or a direct gossip
+	// probe sent by a peer's failure-detector agent).
 	MappingProbe MappingKind = 0
 	// MappingReply is an MCP's answer to a probe.
 	MappingReply MappingKind = 1
+	// MappingPingReq asks the receiving host to probe Target on the
+	// sender's behalf (SWIM indirect verification).
+	MappingPingReq MappingKind = 2
+	// MappingPingAck reports that the ping-req relay reached Target.
+	MappingPingAck MappingKind = 3
 )
 
 // Mapping is the decoded payload of a TypeMapping packet.
@@ -27,47 +41,93 @@ type Mapping struct {
 	// Nonce correlates replies (and self-returned probes) with the
 	// probe that caused them.
 	Nonce uint32
-	// Origin is the mapper host's node id (probes), or the replying
-	// host's node id (replies).
+	// Origin is the requesting host's node id (probes and ping-reqs),
+	// or the replying host's node id (replies and ping-acks).
 	Origin int32
+	// Target is the host a ping-req asks the receiver to probe, echoed
+	// back in the ping-ack. Only encoded for the ping-req/ping-ack
+	// kinds; the probe/reply wire layout is unchanged.
+	Target int32
 	// ReturnRoute is the wire route a replying NIC must use to reach
-	// the mapper (probes only).
+	// the requester (probes and ping-reqs).
 	ReturnRoute []byte
+	// Digest is the piggybacked membership digest, if any. Empty
+	// digests are not encoded, keeping pre-gossip payloads
+	// byte-identical.
+	Digest []GossipEntry
+}
+
+// hasTarget reports whether the kind encodes the Target field.
+func (k MappingKind) hasTarget() bool {
+	return k == MappingPingReq || k == MappingPingAck
 }
 
 // EncodeMapping serialises a mapping payload.
 func EncodeMapping(m Mapping) []byte {
-	buf := make([]byte, 0, 1+4+4+1+len(m.ReturnRoute))
+	n := 1 + 4 + 4 + 1 + len(m.ReturnRoute)
+	if m.Kind.hasTarget() {
+		n += 4
+	}
+	if len(m.Digest) > 0 {
+		n += GossipDigestLen(len(m.Digest))
+	}
+	buf := make([]byte, 0, n)
 	buf = append(buf, byte(m.Kind))
 	var u [4]byte
 	binary.BigEndian.PutUint32(u[:], m.Nonce)
 	buf = append(buf, u[:]...)
 	binary.BigEndian.PutUint32(u[:], uint32(m.Origin))
 	buf = append(buf, u[:]...)
+	if m.Kind.hasTarget() {
+		binary.BigEndian.PutUint32(u[:], uint32(m.Target))
+		buf = append(buf, u[:]...)
+	}
 	if len(m.ReturnRoute) > 255 {
 		panic("packet: mapping return route too long")
 	}
 	buf = append(buf, byte(len(m.ReturnRoute)))
 	buf = append(buf, m.ReturnRoute...)
+	if len(m.Digest) > 0 {
+		buf = AppendGossipDigest(buf, m.Digest)
+	}
 	return buf
 }
 
-// DecodeMapping parses a mapping payload.
+// DecodeMapping parses a mapping payload. Trailing bytes that do not
+// open a membership digest are ignored, as they always were — that
+// slack is what lets the digest ride behind the original layout.
 func DecodeMapping(payload []byte) (Mapping, error) {
 	var m Mapping
 	if len(payload) < 10 {
 		return m, fmt.Errorf("packet: mapping payload too short (%d bytes)", len(payload))
 	}
 	m.Kind = MappingKind(payload[0])
-	if m.Kind != MappingProbe && m.Kind != MappingReply {
+	if m.Kind > MappingPingAck {
 		return m, fmt.Errorf("packet: unknown mapping kind %d", payload[0])
 	}
 	m.Nonce = binary.BigEndian.Uint32(payload[1:5])
 	m.Origin = int32(binary.BigEndian.Uint32(payload[5:9]))
-	n := int(payload[9])
-	if len(payload) < 10+n {
+	off := 9
+	if m.Kind.hasTarget() {
+		if len(payload) < off+5 {
+			return m, fmt.Errorf("packet: mapping target truncated")
+		}
+		m.Target = int32(binary.BigEndian.Uint32(payload[off : off+4]))
+		off += 4
+	}
+	n := int(payload[off])
+	off++
+	if len(payload) < off+n {
 		return m, fmt.Errorf("packet: mapping return route truncated")
 	}
-	m.ReturnRoute = append([]byte(nil), payload[10:10+n]...)
+	m.ReturnRoute = append([]byte(nil), payload[off:off+n]...)
+	off += n
+	if rest := payload[off:]; len(rest) > 0 && rest[0] == GossipTag {
+		entries, _, err := ParseGossipDigest(rest)
+		if err != nil {
+			return m, err
+		}
+		m.Digest = entries
+	}
 	return m, nil
 }

@@ -129,6 +129,14 @@ type Packet struct {
 	// in-transit hosts (the tail has not arrived when the header is
 	// re-injected), so the flag survives ITB hops.
 	Corrupt bool
+	// Gossip is an encoded membership digest (see AppendGossipDigest)
+	// piggybacked on the packet header by the decentralized failure
+	// detector, consumed — not stripped — at in-transit hosts so one
+	// stamped packet seeds every ITB host it crosses. The bytes are
+	// written once by the stamping agent and treated as read-only
+	// thereafter: clones share the backing array. Nil outside gossip
+	// mode, so monitor-mode wire timing is untouched.
+	Gossip []byte
 
 	// pooled marks a packet checked out of the packet pool (Get or
 	// ClonePooled). Recycle uses it to release drop-path packets
@@ -143,10 +151,12 @@ type Packet struct {
 const HeaderOverhead = 2 + 4
 
 // WireLen returns the current on-the-wire length in bytes: remaining
-// route, type, payload, CRC. The length shrinks as switches consume
-// route bytes, exactly as in Myrinet.
+// route, type, payload, CRC, plus any piggybacked gossip digest. The
+// length shrinks as switches consume route bytes, exactly as in
+// Myrinet; the digest tax is charged for the whole flight, which is
+// the honest cost of carrying detector traffic on data packets.
 func (p *Packet) WireLen() int {
-	return len(p.Route) + HeaderOverhead + len(p.Payload)
+	return len(p.Route) + HeaderOverhead + len(p.Payload) + len(p.Gossip)
 }
 
 // Clone returns a deep copy of the packet. The fabric uses it when a

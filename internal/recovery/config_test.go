@@ -1,0 +1,100 @@
+package recovery
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// TestConfigValidate pins the validation contract: zero means "use
+// the default", negative is a caller bug reported as an error — never
+// silently coerced.
+func TestConfigValidate(t *testing.T) {
+	base := func() Config { return DefaultConfig(1000 * units.Microsecond) }
+	cases := []struct {
+		name    string
+		mutate  func(*Config)
+		wantErr string // empty = valid
+	}{
+		{"defaults", func(c *Config) {}, ""},
+		{"all zero durations mean default", func(c *Config) {
+			c.Period, c.Spacing, c.Timeout, c.InstallDelay, c.InstallStagger = 0, 0, 0, 0, 0
+		}, ""},
+		{"all zero counts mean default", func(c *Config) {
+			c.SuspectAfter, c.ConfirmAfter, c.RetireAfter = 0, 0, 0
+			c.IndirectProbes, c.SuspicionPeriods, c.DigestSize, c.DataGossipEvery = 0, 0, 0, 0
+		}, ""},
+		{"negative period", func(c *Config) { c.Period = -1 }, "Config.Period"},
+		{"negative spacing", func(c *Config) { c.Spacing = -units.Microsecond }, "Config.Spacing"},
+		{"negative timeout", func(c *Config) { c.Timeout = -5 }, "Config.Timeout"},
+		{"negative install delay", func(c *Config) { c.InstallDelay = -1 }, "Config.InstallDelay"},
+		{"negative install stagger", func(c *Config) { c.InstallStagger = -1 }, "Config.InstallStagger"},
+		{"negative suspect after", func(c *Config) { c.SuspectAfter = -2 }, "Config.SuspectAfter"},
+		{"negative confirm after", func(c *Config) { c.ConfirmAfter = -1 }, "Config.ConfirmAfter"},
+		{"negative retire after", func(c *Config) { c.RetireAfter = -1 }, "Config.RetireAfter"},
+		{"negative indirect probes", func(c *Config) { c.IndirectProbes = -1 }, "Config.IndirectProbes"},
+		{"negative suspicion periods", func(c *Config) { c.SuspicionPeriods = -3 }, "Config.SuspicionPeriods"},
+		{"negative digest size", func(c *Config) { c.DigestSize = -1 }, "Config.DigestSize"},
+		{"negative data gossip every", func(c *Config) { c.DataGossipEvery = -4 }, "Config.DataGossipEvery"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base()
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Validate() = nil, want error naming %s", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate() = %q, want it to name %s", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestNewManagerRejectsNegativeConfig checks the constructor actually
+// consults Validate (the silent-coercion fix, end to end).
+func TestNewManagerRejectsNegativeConfig(t *testing.T) {
+	cfg := DefaultConfig(1000 * units.Microsecond)
+	cfg.Period = -150 * units.Microsecond
+	if _, err := NewManager(cfg, Target{}); err == nil || !strings.Contains(err.Error(), "Config.Period") {
+		t.Fatalf("NewManager(negative period) = %v, want validation error", err)
+	}
+}
+
+// TestNewGossipRejectsNegativeConfig: same contract for the gossip
+// constructor.
+func TestNewGossipRejectsNegativeConfig(t *testing.T) {
+	cfg := DefaultConfig(1000 * units.Microsecond)
+	cfg.Timeout = -1
+	if _, err := NewGossip(cfg, Target{}); err == nil || !strings.Contains(err.Error(), "Config.Timeout") {
+		t.Fatalf("NewGossip(negative timeout) = %v, want validation error", err)
+	}
+}
+
+// TestParseDetectorKind pins the CLI-facing parser.
+func TestParseDetectorKind(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want DetectorKind
+		ok   bool
+	}{
+		{"", DetectorMonitor, true},
+		{"monitor", DetectorMonitor, true},
+		{"gossip", DetectorGossip, true},
+		{"swim", "", false},
+		{"Monitor", "", false},
+	} {
+		got, err := ParseDetectorKind(tc.in)
+		if tc.ok != (err == nil) || got != tc.want {
+			t.Errorf("ParseDetectorKind(%q) = %v, %v; want %v, ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package recovery
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/topology"
+)
+
+// Detector is the failure-detection surface the fault controller and
+// the studies program against: the centralized monitor Manager and the
+// decentralized Gossip detector both satisfy it, so a campaign selects
+// its detection mode without knowing the protocol behind it.
+type Detector interface {
+	// Start begins detection at the current simulation time.
+	Start()
+	// ReportPeerDead feeds a GM dead-peer verdict in as corroborating
+	// evidence (the detector still confirms on its own terms).
+	ReportPeerDead(peer topology.NodeID)
+	// StateOf returns the detector's belief about a host. For the
+	// gossip detector this is the cluster-level consensus view the
+	// instrumentation maintains, not any single agent's.
+	StateOf(node topology.NodeID) State
+	// Suspected counts hosts currently suspected.
+	Suspected() int
+	// Confirmed counts hosts currently confirmed dead.
+	Confirmed() int
+	// Stats returns a snapshot of the protocol counters.
+	Stats() Stats
+	// PublishMetrics dumps the counters into r under recovery.*.
+	PublishMetrics(r *metrics.Registry)
+}
+
+// PeerWitness is the optional richer report interface: a detector
+// that can use the identity of the host that issued a dead-peer
+// verdict (the gossip detector routes the evidence to that host's
+// agent) implements it; the controller falls back to ReportPeerDead
+// otherwise.
+type PeerWitness interface {
+	ReportPeerDeadFrom(witness, peer topology.NodeID)
+}
+
+// Compile-time checks: both detectors satisfy the interface.
+var (
+	_ Detector    = (*Manager)(nil)
+	_ Detector    = (*Gossip)(nil)
+	_ PeerWitness = (*Gossip)(nil)
+)
+
+// DetectorKind names a detection mode on the CLI and in study
+// configs.
+type DetectorKind string
+
+const (
+	// DetectorMonitor is PR 5's centralized monitor-host heartbeat.
+	DetectorMonitor DetectorKind = "monitor"
+	// DetectorGossip is the decentralized SWIM-style detector.
+	DetectorGossip DetectorKind = "gossip"
+)
+
+// DetectorKinds lists the valid kinds in display order.
+func DetectorKinds() []DetectorKind {
+	return []DetectorKind{DetectorMonitor, DetectorGossip}
+}
+
+// ParseDetectorKind validates a CLI string. The empty string means
+// the default (monitor) so existing invocations keep their behavior.
+func ParseDetectorKind(s string) (DetectorKind, error) {
+	switch DetectorKind(s) {
+	case "", DetectorMonitor:
+		return DetectorMonitor, nil
+	case DetectorGossip:
+		return DetectorGossip, nil
+	default:
+		return "", fmt.Errorf("recovery: unknown detector %q (valid: monitor, gossip)", s)
+	}
+}

@@ -108,25 +108,85 @@ type Config struct {
 	// RetireAfter retires the accumulated link suspects every this
 	// many rounds (0 disables retirement).
 	RetireAfter int
+
+	// Gossip-mode fields (ignored by the monitor Manager).
+
+	// IndirectProbes is how many ping-req relays a failed direct probe
+	// fans out to before suspecting the target (SWIM's K).
+	IndirectProbes int
+	// SuspicionPeriods is how many Periods an unrefuted suspicion
+	// survives before the suspecting agent confirms the death.
+	SuspicionPeriods int
+	// DigestSize bounds the membership-digest entries piggybacked on
+	// one protocol packet (capped at packet.MaxGossipEntries).
+	DigestSize int
+	// DataGossipEvery stamps a digest onto every Nth outgoing data
+	// packet per host — the budget on the data-plane piggyback channel.
+	DataGossipEvery int
+	// Seed drives each agent's deterministic peer-sampling shuffle.
+	Seed int64
 }
 
 // DefaultConfig returns the calibrated protocol constants. The
 // deadline must be supplied: it is run-specific.
 func DefaultConfig(deadline units.Time) Config {
 	return Config{
-		Period:         150 * units.Microsecond,
-		Spacing:        2 * units.Microsecond,
-		Timeout:        60 * units.Microsecond,
-		SuspectAfter:   2,
-		ConfirmAfter:   4,
-		Deadline:       deadline,
-		InstallDelay:   20 * units.Microsecond,
-		InstallStagger: 5 * units.Microsecond,
-		RetireAfter:    10,
+		Period:           150 * units.Microsecond,
+		Spacing:          2 * units.Microsecond,
+		Timeout:          60 * units.Microsecond,
+		SuspectAfter:     2,
+		ConfirmAfter:     4,
+		Deadline:         deadline,
+		InstallDelay:     20 * units.Microsecond,
+		InstallStagger:   5 * units.Microsecond,
+		RetireAfter:      10,
+		IndirectProbes:   2,
+		SuspicionPeriods: 3,
+		DigestSize:       8,
+		DataGossipEvery:  4,
 	}
 }
 
-// withDefaults fills zero fields from DefaultConfig.
+// Validate rejects nonsensical configurations instead of silently
+// coercing them: a negative duration or count is a caller bug, not a
+// request for the default. Zero keeps meaning "use the default" —
+// withDefaults fills those after validation.
+func (c Config) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    units.Time
+	}{
+		{"Period", c.Period},
+		{"Spacing", c.Spacing},
+		{"Timeout", c.Timeout},
+		{"InstallDelay", c.InstallDelay},
+		{"InstallStagger", c.InstallStagger},
+	} {
+		if f.v < 0 {
+			return fmt.Errorf("recovery: Config.%s is negative (%v); zero means default", f.name, f.v)
+		}
+	}
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"SuspectAfter", c.SuspectAfter},
+		{"ConfirmAfter", c.ConfirmAfter},
+		{"RetireAfter", c.RetireAfter},
+		{"IndirectProbes", c.IndirectProbes},
+		{"SuspicionPeriods", c.SuspicionPeriods},
+		{"DigestSize", c.DigestSize},
+		{"DataGossipEvery", c.DataGossipEvery},
+	} {
+		if f.v < 0 {
+			return fmt.Errorf("recovery: Config.%s is negative (%d); zero means default", f.name, f.v)
+		}
+	}
+	return nil
+}
+
+// withDefaults fills zero fields from DefaultConfig. Negative values
+// are rejected by Validate before this runs.
 func (c Config) withDefaults() Config {
 	d := DefaultConfig(c.Deadline)
 	if c.Period <= 0 {
@@ -149,6 +209,21 @@ func (c Config) withDefaults() Config {
 	}
 	if c.InstallStagger <= 0 {
 		c.InstallStagger = d.InstallStagger
+	}
+	if c.IndirectProbes <= 0 {
+		c.IndirectProbes = d.IndirectProbes
+	}
+	if c.SuspicionPeriods <= 0 {
+		c.SuspicionPeriods = d.SuspicionPeriods
+	}
+	if c.DigestSize <= 0 {
+		c.DigestSize = d.DigestSize
+	}
+	if c.DigestSize > packet.MaxGossipEntries {
+		c.DigestSize = packet.MaxGossipEntries
+	}
+	if c.DataGossipEvery <= 0 {
+		c.DataGossipEvery = d.DataGossipEvery
 	}
 	return c
 }
@@ -185,6 +260,10 @@ type Stats struct {
 	LinksRetired    uint64
 	PeerReports     uint64
 	RoutesReused    uint64
+	// Gossip-mode counters (always zero under the monitor detector).
+	Refutations    uint64 // incarnation bumps refuting own suspicion/obituary
+	DigestsSent    uint64 // digests attached to outgoing protocol packets
+	DataPiggybacks uint64 // digests stamped onto outgoing data packets
 	// Detection samples first-miss -> confirmed per confirmed host.
 	Detection *stats.Summary
 	// Convergence samples trigger -> last install per published epoch.
@@ -239,6 +318,9 @@ type Manager struct {
 
 // NewManager builds (but does not start) a manager.
 func NewManager(cfg Config, tgt Target) (*Manager, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if cfg.Deadline <= 0 {
 		return nil, fmt.Errorf("recovery: Config.Deadline is required (it bounds the probe process)")
 	}
@@ -729,6 +811,14 @@ func (m *Manager) SetMetrics(r *metrics.Registry) {
 // PublishMetrics dumps the protocol counters into r under
 // recovery.*. Zero counters are skipped to keep snapshots compact.
 func (m *Manager) PublishMetrics(r *metrics.Registry) {
+	m.stats.publish(r)
+}
+
+// publish dumps the counters into r under recovery.*, shared by both
+// detectors. Zero counters are skipped to keep snapshots compact (and
+// to keep monitor-mode snapshots byte-identical to their pre-gossip
+// form).
+func (s Stats) publish(r *metrics.Registry) {
 	if r == nil {
 		return
 	}
@@ -736,28 +826,31 @@ func (m *Manager) PublishMetrics(r *metrics.Registry) {
 		name string
 		v    uint64
 	}{
-		{"probes_sent", m.stats.ProbesSent},
-		{"probe_replies", m.stats.ProbeReplies},
-		{"probe_misses", m.stats.ProbeMisses},
-		{"verify_probes", m.stats.VerifyProbes},
-		{"hosts_suspected", m.stats.HostsSuspected},
-		{"hosts_confirmed", m.stats.HostsConfirmed},
-		{"hosts_restored", m.stats.HostsRestored},
-		{"resurrections", m.stats.Resurrections},
-		{"epochs_published", m.stats.EpochsPublished},
-		{"links_suspected", m.stats.LinksSuspected},
-		{"links_retired", m.stats.LinksRetired},
-		{"peer_reports", m.stats.PeerReports},
-		{"routes_reused", m.stats.RoutesReused},
+		{"probes_sent", s.ProbesSent},
+		{"probe_replies", s.ProbeReplies},
+		{"probe_misses", s.ProbeMisses},
+		{"verify_probes", s.VerifyProbes},
+		{"hosts_suspected", s.HostsSuspected},
+		{"hosts_confirmed", s.HostsConfirmed},
+		{"hosts_restored", s.HostsRestored},
+		{"resurrections", s.Resurrections},
+		{"epochs_published", s.EpochsPublished},
+		{"links_suspected", s.LinksSuspected},
+		{"links_retired", s.LinksRetired},
+		{"peer_reports", s.PeerReports},
+		{"routes_reused", s.RoutesReused},
+		{"refutations", s.Refutations},
+		{"digests_sent", s.DigestsSent},
+		{"data_piggybacks", s.DataPiggybacks},
 	} {
 		if c.v != 0 {
 			r.Counter("recovery." + c.name).Add(c.v)
 		}
 	}
-	if m.stats.Detection.N() > 0 {
-		r.Gauge("recovery.detection_mean_us").Set(m.stats.Detection.Mean() / float64(units.Microsecond))
+	if s.Detection.N() > 0 {
+		r.Gauge("recovery.detection_mean_us").Set(s.Detection.Mean() / float64(units.Microsecond))
 	}
-	if m.stats.Convergence.N() > 0 {
-		r.Gauge("recovery.convergence_mean_us").Set(m.stats.Convergence.Mean() / float64(units.Microsecond))
+	if s.Convergence.N() > 0 {
+		r.Gauge("recovery.convergence_mean_us").Set(s.Convergence.Mean() / float64(units.Microsecond))
 	}
 }

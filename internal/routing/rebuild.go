@@ -82,6 +82,89 @@ func RebuildAvoiding(prev *Table, t *topology.Topology, ud *topology.UpDown, alg
 	return tbl, reused, nil
 }
 
+// lazyRebuild is the deferred-resolution state of a table returned by
+// RebuildAvoidingLazy: Lookup misses resolve against it on demand.
+type lazyRebuild struct {
+	prev *Table
+	topo *topology.Topology
+	ud   *topology.UpDown
+	// failed memoizes pairs with no route under the exclusion set
+	// (dead endpoints, unreachable under the avoid set), so repeated
+	// sends to a dead peer don't re-search every time.
+	failed map[[2]topology.NodeID]struct{}
+	// reused, when non-nil, is incremented for every route adopted
+	// from prev — the lazy analogue of RebuildAvoiding's return count.
+	reused *uint64
+}
+
+// RebuildAvoidingLazy is RebuildAvoiding with on-demand resolution:
+// the returned table starts empty and each Lookup miss either adopts
+// prev's still-valid route or searches a replacement, memoizing
+// either way. Eager rebuilds pay O(hosts²) per distinct exclusion
+// set just to copy the survivors; a lazy table pays only for the
+// pairs traffic actually uses, which is what makes per-agent gossip
+// installs (every host rebuilding around its own local dead set, in
+// its own order) affordable at thousand-host scales. A nil prev (or
+// one built by a different algorithm) resolves every pair by search.
+//
+// The returned table is for single-goroutine simulation use: Lookup
+// mutates it.
+func RebuildAvoidingLazy(prev *Table, t *topology.Topology, ud *topology.UpDown, alg Algorithm, avoid *Avoid, reused *uint64) *Table {
+	tbl := &Table{
+		Algorithm: alg,
+		routes:    make(map[[2]topology.NodeID]*Route),
+		itbLoad:   make(map[topology.NodeID]int),
+		pathCache: make(map[[2]topology.NodeID]cachedPath),
+		avoid:     avoid,
+	}
+	if prev != nil && prev.Algorithm != alg {
+		prev = nil
+	}
+	tbl.lazyFill = &lazyRebuild{
+		prev:   prev,
+		topo:   t,
+		ud:     ud,
+		failed: make(map[[2]topology.NodeID]struct{}),
+		reused: reused,
+	}
+	return tbl
+}
+
+// resolveLazy fills one pair of a lazily rebuilt table, mirroring one
+// iteration of RebuildAvoiding's loop: dead endpoints are omitted,
+// surviving prev routes are shared (routes are immutable once built),
+// and invalidated pairs are searched under the exclusion set.
+func (tbl *Table) resolveLazy(src, dst topology.NodeID) (*Route, bool) {
+	lz := tbl.lazyFill
+	key := [2]topology.NodeID{src, dst}
+	if _, bad := lz.failed[key]; bad {
+		return nil, false
+	}
+	if src == dst || tbl.avoid.hostDead(lz.topo, src) || tbl.avoid.hostDead(lz.topo, dst) {
+		lz.failed[key] = struct{}{}
+		return nil, false
+	}
+	if lz.prev != nil {
+		if r, ok := lz.prev.Lookup(src, dst); ok && routeValid(lz.topo, r, tbl.avoid) {
+			tbl.routes[key] = r
+			for _, h := range r.ITBHosts {
+				tbl.itbLoad[h]++
+			}
+			if lz.reused != nil {
+				*lz.reused++
+			}
+			return r, true
+		}
+	}
+	r, err := tbl.buildRoute(lz.topo, lz.ud, src, dst)
+	if err != nil {
+		lz.failed[key] = struct{}{}
+		return nil, false
+	}
+	tbl.routes[key] = r
+	return r, true
+}
+
 // FindRoute computes one route src->dst under an exclusion set
 // without building a table — the recovery manager's verification
 // probes use it to reach a suspect over an alternate path that avoids

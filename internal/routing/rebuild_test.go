@@ -132,3 +132,98 @@ func TestFindRouteAvoidsPrimaryPath(t *testing.T) {
 		t.Fatal("FindRoute to a dead endpoint succeeded")
 	}
 }
+
+// TestRebuildLazyMatchesEager checks the on-demand rebuild: a lazily
+// rebuilt table must answer every pair exactly as the eager
+// RebuildAvoiding would — same reachability, routes valid under the
+// exclusion set — with reuse counted as pairs resolve and
+// materialization (Len/Routes) closing the gap to the eager table.
+func TestRebuildLazyMatchesEager(t *testing.T) {
+	tp, f := topology.Figure1()
+	ud := topology.BuildUpDown(tp)
+	base, err := BuildTable(tp, ud, ITBRouting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avoid := AvoidLinks().AddHost(f.Hosts[6])
+
+	eager, wantReused, err := RebuildAvoiding(base, tp, ud, ITBRouting, avoid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reused uint64
+	lazy := RebuildAvoidingLazy(base, tp, ud, ITBRouting, avoid, &reused)
+
+	hosts := tp.Hosts()
+	for _, src := range hosts {
+		for _, dst := range hosts {
+			rl, okl := lazy.Lookup(src, dst)
+			_, oke := eager.Lookup(src, dst)
+			if okl != oke {
+				t.Fatalf("pair %d->%d: lazy has route %v, eager %v", src, dst, okl, oke)
+			}
+			if !okl {
+				// The miss must be memoized: a second Lookup may not
+				// fall through to a fresh search.
+				if _, bad := lazy.lazyFill.failed[[2]topology.NodeID{src, dst}]; !bad && src != dst {
+					t.Errorf("pair %d->%d: unroutable pair not memoized", src, dst)
+				}
+				continue
+			}
+			if !routeValid(tp, rl, avoid) {
+				t.Errorf("pair %d->%d: lazy route crosses the exclusion set", src, dst)
+			}
+			for _, h := range rl.ITBHosts {
+				if h == f.Hosts[6] {
+					t.Errorf("pair %d->%d: lazy route ejects through the dead host", src, dst)
+				}
+			}
+		}
+	}
+	if int(reused) != wantReused {
+		t.Errorf("lazy reused %d routes, eager reused %d", reused, wantReused)
+	}
+	if lazy.Len() != eager.Len() {
+		t.Errorf("materialized lazy table has %d routes, eager %d", lazy.Len(), eager.Len())
+	}
+	if got := len(lazy.Routes()); got != eager.Len() {
+		t.Errorf("Routes() returned %d entries, want %d", got, eager.Len())
+	}
+}
+
+// TestRebuildLazyNilPrev checks degenerate prevs: nil, and an
+// algorithm mismatch, both resolve every pair by search with zero
+// reuse, and Len() materialization alone matches a full build.
+func TestRebuildLazyNilPrev(t *testing.T) {
+	tp, _ := topology.Figure1()
+	ud := topology.BuildUpDown(tp)
+	want, err := BuildTable(tp, ud, ITBRouting)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var reused uint64
+	lazy := RebuildAvoidingLazy(nil, tp, ud, ITBRouting, nil, &reused)
+	if lazy.Len() != want.Len() {
+		t.Errorf("nil-prev lazy table has %d routes, want %d", lazy.Len(), want.Len())
+	}
+	if reused != 0 {
+		t.Errorf("reused = %d with nil prev, want 0", reused)
+	}
+
+	udTbl, err := BuildTable(tp, ud, UpDownRouting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reused = 0
+	lazy2 := RebuildAvoidingLazy(udTbl, tp, ud, ITBRouting, nil, &reused)
+	if lazy2.Len() != want.Len() {
+		t.Errorf("algorithm-change lazy table has %d routes, want %d", lazy2.Len(), want.Len())
+	}
+	if reused != 0 {
+		t.Errorf("reused = %d across an algorithm change, want 0", reused)
+	}
+	if lazy2.Algorithm != ITBRouting {
+		t.Errorf("algorithm = %v, want ITBRouting", lazy2.Algorithm)
+	}
+}

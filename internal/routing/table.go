@@ -47,6 +47,9 @@ type Table struct {
 	// the Algorithm-selected legacy searches.
 	engine string
 	pathFn pathFunc
+	// lazyFill, when non-nil, resolves Lookup misses on demand (tables
+	// from RebuildAvoidingLazy); eager tables leave it nil.
+	lazyFill *lazyRebuild
 }
 
 // Engine returns the name of the Engine that built the table, or ""
@@ -85,15 +88,38 @@ func BuildTable(t *topology.Topology, ud *topology.UpDown, alg Algorithm) (*Tabl
 	return tbl, nil
 }
 
-// Lookup returns the route from src to dst.
+// Lookup returns the route from src to dst. On a lazily rebuilt
+// table a miss resolves (and memoizes) the pair on demand.
 func (tbl *Table) Lookup(src, dst topology.NodeID) (*Route, bool) {
 	r, ok := tbl.routes[[2]topology.NodeID{src, dst}]
-	return r, ok
+	if ok || tbl.lazyFill == nil {
+		return r, ok
+	}
+	return tbl.resolveLazy(src, dst)
+}
+
+// materialize forces every unresolved pair of a lazily rebuilt table
+// so whole-table accessors see the complete route set; eager tables
+// are untouched.
+func (tbl *Table) materialize() {
+	if tbl.lazyFill == nil {
+		return
+	}
+	hosts := tbl.lazyFill.topo.Hosts()
+	for _, src := range hosts {
+		for _, dst := range hosts {
+			if src != dst {
+				tbl.Lookup(src, dst)
+			}
+		}
+	}
+	tbl.lazyFill = nil
 }
 
 // Routes returns every route in the table (iteration order is not
 // specified; callers that need determinism should iterate host pairs).
 func (tbl *Table) Routes() []*Route {
+	tbl.materialize()
 	out := make([]*Route, 0, len(tbl.routes))
 	for _, r := range tbl.routes {
 		out = append(out, r)
@@ -102,7 +128,10 @@ func (tbl *Table) Routes() []*Route {
 }
 
 // Len returns the number of routes.
-func (tbl *Table) Len() int { return len(tbl.routes) }
+func (tbl *Table) Len() int {
+	tbl.materialize()
+	return len(tbl.routes)
+}
 
 // buildRoute assembles a host-to-host Route from a switch path.
 func (tbl *Table) buildRoute(t *topology.Topology, ud *topology.UpDown, src, dst topology.NodeID) (*Route, error) {
